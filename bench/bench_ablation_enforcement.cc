@@ -1,0 +1,42 @@
+// Ablation A1 (DESIGN.md): where should the order be enforced?
+// §5.1 rejects enforcing through direct DAG dependencies ("conservative
+// ... prevents pipelining and drastically reduces the communication
+// throughput") and anything weaker than a sender-side gate. This bench
+// quantifies the three options against the unscheduled baseline.
+#include <iostream>
+
+#include "harness/experiments.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tictac;
+  using runtime::Enforcement;
+  std::cout << "Ablation: enforcement mechanism (envG, 8 workers, 2 PS, "
+               "TIC order)\n\n";
+  for (const bool training : {false, true}) {
+    std::cout << (training ? "task = train\n" : "task = inference\n");
+    util::Table table({"Model", "priority-only", "hand-off gate",
+                       "DAG chaining"});
+    for (const char* name :
+         {"Inception v2", "ResNet-50 v2", "VGG-16"}) {
+      const auto& info = models::FindModel(name);
+      std::vector<std::string> row{name};
+      for (const Enforcement e :
+           {Enforcement::kPriorityOnly, Enforcement::kHandoffGate,
+            Enforcement::kDagChain}) {
+        auto config = runtime::EnvG(8, 2, training);
+        config.enforcement = e;
+        const auto speedup = harness::MeasureSpeedup(
+            info, config, runtime::Method::kTic, 7);
+        row.push_back(util::FmtPct(speedup.speedup()));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Expected shape: hand-off gating >= priority-only, and DAG "
+               "chaining loses badly\nwith multiple PS because transfers "
+               "serialize across channels.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Extension (paper §7 future work): Parameter Server with TicTac
+// scheduling vs decentralized ring all-reduce, the aggregation pattern
+// the paper explicitly leaves out of scope (§2). Shows where each
+// aggregation strategy wins at equal hardware.
+#include <iostream>
+
+#include "models/builder.h"
+#include "models/zoo.h"
+#include "runtime/allreduce.h"
+#include "runtime/runner.h"
+#include "util/table.h"
+
+using namespace tictac;
+
+namespace {
+
+double AllReduceThroughput(const models::ModelInfo& info,
+                           const runtime::ClusterConfig& config,
+                           std::uint64_t seed) {
+  const core::Graph graph =
+      models::BuildWorkerGraph(info, {.training = true});
+  const auto lowering = runtime::LowerAllReduce(graph, config);
+  sim::TaskGraphSim sim = lowering.BuildSim();
+  double total = 0.0;
+  constexpr int kIters = 10;
+  for (int i = 0; i < kIters; ++i) {
+    total += sim.Run(config.sim, seed + static_cast<std::uint64_t>(i)).makespan;
+  }
+  return info.standard_batch * config.num_workers / (total / kIters);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Extension: PS (baseline / TIC) vs ring all-reduce, "
+               "training throughput in samples/s (envG, 8 workers, 2 PS)\n\n";
+  util::Table table({"Model", "PS baseline", "PS + TIC", "Ring all-reduce",
+                     "TIC vs all-reduce"});
+  for (const char* name :
+       {"Inception v1", "Inception v3", "ResNet-50 v2", "VGG-16"}) {
+    const auto& info = models::FindModel(name);
+    const auto config = runtime::EnvG(8, 2, /*training=*/true);
+    runtime::Runner runner(info, config);
+    const double base =
+        runner.Run(runtime::Method::kBaseline, 10, 17).Throughput();
+    const double tic =
+        runner.Run(runtime::Method::kTic, 10, 17).Throughput();
+    const double ar = AllReduceThroughput(info, config, 17);
+    table.AddRow({name, util::Fmt(base, 1), util::Fmt(tic, 1),
+                  util::Fmt(ar, 1), util::FmtPct(tic / ar - 1.0)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: all-reduce removes the PS NIC bottleneck "
+               "and the forward pass\nnever waits on parameter pulls, so "
+               "it leads on communication-heavy models;\nPS+TIC narrows "
+               "the gap where computation dominates. Ordering inside\n"
+               "collectives is the paper's named future work.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Extension: transfer chunking (P3/ByteScheduler-style tensor slicing) on
+// top of TicTac ordering. Whole-tensor transfers suffer head-of-line
+// blocking on the channel — a late high-priority tensor waits for the
+// full residual of whatever is on the wire. Chunking bounds that wait.
+// Most visible on models with a few huge tensors (AlexNet/VGG fc layers).
+#include <iostream>
+
+#include "harness/experiments.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tictac;
+  std::cout << "Extension: TIC speedup (%) over unchunked baseline, with "
+               "and without 4 MiB transfer chunking\n"
+               "(envG, 4 workers, 2 PS, inference)\n\n";
+  util::Table table({"Model", "TIC", "TIC + chunking", "TAC + chunking",
+                     "baseline + chunking"});
+  for (const char* name : {"AlexNet v2", "VGG-16", "VGG-19",
+                           "Inception v3"}) {
+    const auto& info = models::FindModel(name);
+    auto plain = runtime::EnvG(4, 2, /*training=*/false);
+    auto chunked = plain;
+    chunked.chunk_bytes = 4ll << 20;
+
+    runtime::Runner plain_runner(info, plain);
+    runtime::Runner chunked_runner(info, chunked);
+    const double base =
+        plain_runner.Run(runtime::Method::kBaseline, 10, 13).Throughput();
+    const double tic =
+        plain_runner.Run(runtime::Method::kTic, 10, 13).Throughput();
+    const double tic_chunked =
+        chunked_runner.Run(runtime::Method::kTic, 10, 13).Throughput();
+    const double tac_chunked =
+        chunked_runner.Run(runtime::Method::kTac, 10, 13).Throughput();
+    const double base_chunked =
+        chunked_runner.Run(runtime::Method::kBaseline, 10, 13).Throughput();
+    table.AddRow({name, util::FmtPct(tic / base - 1.0),
+                  util::FmtPct(tic_chunked / base - 1.0),
+                  util::FmtPct(tac_chunked / base - 1.0),
+                  util::FmtPct(base_chunked / base - 1.0)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: chunking mainly rescues *bad* orders "
+               "(it bounds the cost of any\nsingle unlucky pick). Note "
+               "TIC under chunking: its transfer-count oracle (Eq. 5)\n"
+               "sees k chunks as cost k, so parameters that split into "
+               "fewer chunks jump the\nqueue regardless of layer depth — "
+               "TAC's byte-aware oracle does not regress.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 12 (envC, Inception v2, 1000 runs each with and without TAC):
+//   (a) regression of scheduling efficiency E against normalized step
+//       time — the paper reports R^2 = 0.98;
+//   (b) CDF of normalized step time — baseline spreads wide, TAC is
+//       sharp; the paper quotes 95th-percentile normalized step times of
+//       0.634 (baseline) vs 0.998 (TAC).
+//
+// Normalized step time follows the paper's convention: the fastest
+// observed step divided by this step (1 = fastest possible).
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "harness/experiments.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tictac;
+  constexpr int kRuns = 1000;
+  std::cout << "Figure 12: Inception v2 on envC, " << kRuns
+            << " runs per method\n\n";
+
+  const auto& info = models::FindModel("Inception v2");
+  runtime::Runner runner(info, runtime::EnvC(2, 1, /*training=*/true));
+
+  std::vector<double> step_base;
+  std::vector<double> step_tac;
+  std::vector<double> eff_all;
+  std::vector<double> step_all;
+  for (const auto method :
+       {runtime::Method::kBaseline, runtime::Method::kTac}) {
+    const auto result = runner.Run(method, kRuns, 31337);
+    for (const auto& it : result.iterations) {
+      (method == runtime::Method::kBaseline ? step_base : step_tac)
+          .push_back(it.makespan);
+      eff_all.push_back(it.mean_efficiency);
+      step_all.push_back(it.makespan);
+    }
+  }
+
+  // (a) regression of E against normalized step time.
+  const double fastest = util::Min(step_all);
+  std::vector<double> normalized_all;
+  normalized_all.reserve(step_all.size());
+  for (double t : step_all) normalized_all.push_back(fastest / t);
+  const auto fit = util::FitLine(eff_all, normalized_all);
+  std::cout << "(a) normalized step time = " << util::Fmt(fit.intercept, 4)
+            << " + " << util::Fmt(fit.slope, 4)
+            << " * E,  R^2 = " << util::Fmt(fit.r2, 3)
+            << "  (paper: R^2 = 0.98)\n\n";
+
+  // (b) CDF of normalized step time per method.
+  auto normalize = [&](std::vector<double> steps) {
+    for (double& t : steps) t = fastest / t;
+    return steps;
+  };
+  const auto norm_base = normalize(step_base);
+  const auto norm_tac = normalize(step_tac);
+
+  std::cout << "(b) CDF of normalized step time\n";
+  util::Table table({"Percentile", "No Ordering", "TAC"});
+  for (const double p : {0.05, 0.25, 0.50, 0.75, 0.95}) {
+    table.AddRow({util::Fmt(p * 100, 0) + "th",
+                  util::Fmt(util::Percentile(norm_base, p), 4),
+                  util::Fmt(util::Percentile(norm_tac, p), 4)});
+  }
+  table.Print(std::cout);
+
+  const double p95_base = util::Percentile(norm_base, 0.05);
+  const double p95_tac = util::Percentile(norm_tac, 0.05);
+  std::cout << "\n95th percentile step time (normalized, higher = tighter): "
+            << "baseline " << util::Fmt(p95_base, 4) << " vs TAC "
+            << util::Fmt(p95_tac, 4)
+            << "  (paper: 0.634 vs 0.998)\n";
+  std::cout << "step-time coefficient of variation: baseline "
+            << util::Fmt(util::Stddev(step_base) / util::Mean(step_base), 4)
+            << " vs TAC "
+            << util::Fmt(util::Stddev(step_tac) / util::Mean(step_tac), 4)
+            << "\n";
+  return 0;
+}

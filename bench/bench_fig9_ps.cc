@@ -1,0 +1,34 @@
+// Figure 9: throughput speedup over baseline while scaling the number of
+// parameter servers {1, 2, 4} with 8 workers on envG, inference and
+// training.
+#include <iostream>
+
+#include "harness/experiments.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tictac;
+  std::cout << "Figure 9: speedup (%) vs baseline, scaling parameter "
+               "servers (envG, 8 workers, TIC)\n\n";
+  for (const bool training : {false, true}) {
+    std::cout << (training ? "task = train\n" : "task = inference\n");
+    util::Table table({"Model", "PS=1", "PS=2", "PS=4"});
+    for (const auto& name : harness::FigureModels()) {
+      const auto& info = models::FindModel(name);
+      std::vector<std::string> row{name};
+      for (const int ps : {1, 2, 4}) {
+        const auto config = runtime::EnvG(8, ps, training);
+        const auto speedup = harness::MeasureSpeedup(
+            info, config, runtime::Method::kTic, /*seed=*/77 + ps);
+        row.push_back(util::FmtPct(speedup.speedup()));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Paper shape: ordering keeps helping with multiple PS;\n"
+               "inference gains exceed training gains; larger networks\n"
+               "gain more.\n";
+  return 0;
+}

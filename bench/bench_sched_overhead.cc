@@ -1,0 +1,57 @@
+// Scheduling-computation overhead (§6 reports ~10 s offline per model for
+// the Python implementation; the heuristics are computed once before
+// training, so this is not on the iteration critical path). Measures TIC
+// and TAC end-to-end: dependency analysis + priority assignment.
+#include <benchmark/benchmark.h>
+
+#include "core/tac.h"
+#include "core/tic.h"
+#include "models/builder.h"
+#include "models/zoo.h"
+
+namespace {
+
+using tictac::core::AnalyticalTimeOracle;
+using tictac::core::PlatformModel;
+
+void BM_Tic(benchmark::State& state, const char* model) {
+  const auto& info = tictac::models::FindModel(model);
+  const auto graph =
+      tictac::models::BuildWorkerGraph(info, {.training = true});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tictac::core::Tic(graph));
+  }
+  state.SetLabel(std::to_string(graph.size()) + " ops");
+}
+
+void BM_Tac(benchmark::State& state, const char* model) {
+  const auto& info = tictac::models::FindModel(model);
+  const auto graph =
+      tictac::models::BuildWorkerGraph(info, {.training = true});
+  const AnalyticalTimeOracle oracle{PlatformModel{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tictac::core::Tac(graph, oracle));
+  }
+  state.SetLabel(std::to_string(graph.size()) + " ops");
+}
+
+void BM_DependencyAnalysis(benchmark::State& state, const char* model) {
+  const auto& info = tictac::models::FindModel(model);
+  const auto graph =
+      tictac::models::BuildWorkerGraph(info, {.training = true});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tictac::core::PropertyIndex(graph));
+  }
+}
+
+BENCHMARK_CAPTURE(BM_Tic, alexnet, "AlexNet v2");
+BENCHMARK_CAPTURE(BM_Tic, inception_v3, "Inception v3");
+BENCHMARK_CAPTURE(BM_Tic, resnet101_v2, "ResNet-101 v2");
+BENCHMARK_CAPTURE(BM_Tac, alexnet, "AlexNet v2");
+BENCHMARK_CAPTURE(BM_Tac, inception_v3, "Inception v3");
+BENCHMARK_CAPTURE(BM_Tac, resnet101_v2, "ResNet-101 v2");
+BENCHMARK_CAPTURE(BM_DependencyAnalysis, resnet101_v2, "ResNet-101 v2");
+
+}  // namespace
+
+BENCHMARK_MAIN();

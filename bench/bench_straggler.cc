@@ -1,0 +1,41 @@
+// Straggler decomposition (§6.3): schedule-induced stragglers (random
+// per-worker orders) vs hardware stragglers (a slow device). Enforced
+// ordering eliminates the former and cannot touch the latter.
+#include <iostream>
+
+#include "models/zoo.h"
+#include "runtime/runner.h"
+#include "util/table.h"
+
+using namespace tictac;
+
+int main() {
+  std::cout << "Straggler decomposition (envG, 8 workers, 2 PS, training, "
+               "Inception v2)\n\n";
+  const auto& info = models::FindModel("Inception v2");
+  util::Table table({"Cluster", "Method", "Iteration (ms)",
+                     "Mean straggler %", "Max straggler %"});
+  for (const bool slow_worker : {false, true}) {
+    auto config = runtime::EnvG(8, 2, /*training=*/true);
+    if (slow_worker) {
+      config.worker_speed_factors.assign(8, 1.0);
+      config.worker_speed_factors[7] = 0.7;  // one 30%-slower device
+    }
+    runtime::Runner runner(info, config);
+    for (const auto method :
+         {runtime::Method::kBaseline, runtime::Method::kTic}) {
+      const auto result = runner.Run(method, 10, 21);
+      table.AddRow({slow_worker ? "1 slow worker" : "homogeneous",
+                    ToString(method),
+                    util::Fmt(result.MeanIterationTime() * 1e3, 1),
+                    util::Fmt(result.MeanStragglerPct(), 1),
+                    util::Fmt(result.MaxStragglerPct(), 1)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: on homogeneous hardware TIC removes most "
+               "of the straggler wait\n(the paper reports up to 2.3x); "
+               "with a genuinely slow device the residual\nstraggler share "
+               "is hardware-bound and ordering cannot remove it.\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Regenerates Table 1: DNN model characteristics, measured from the model
+// zoo and the generated worker graphs (not echoed from constants — the
+// graph is built and counted).
+#include <iostream>
+
+#include "models/builder.h"
+#include "models/zoo.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tictac;
+  std::cout << "Table 1: DNN model characteristics\n"
+            << "(#Ops counted from the generated worker partition graphs)\n\n";
+  util::Table table({"Neural Network Model", "#Par", "Total Par Size (MiB)",
+                     "#Ops Inference", "#Ops Training", "Batch Size"});
+  for (const auto& info : models::ModelZoo()) {
+    const auto inference = models::BuildWorkerGraph(info, {.training = false});
+    const auto training = models::BuildWorkerGraph(info, {.training = true});
+    const double mib =
+        static_cast<double>(inference.TotalRecvBytes()) / (1024.0 * 1024.0);
+    table.AddRow({info.name,
+                  std::to_string(inference.RecvOps().size()),
+                  util::Fmt(mib, 2),
+                  std::to_string(inference.size()),
+                  std::to_string(training.size()),
+                  std::to_string(info.standard_batch)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

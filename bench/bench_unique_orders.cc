@@ -1,0 +1,36 @@
+// §2.2's motivating observation: across 1000 iterations, the order in
+// which a worker receives parameters under vanilla execution is
+// essentially never repeated (every iteration unique for ResNet-50 v2 and
+// Inception v3; 493 unique orders for VGG-16), while enforcement makes
+// the order identical every iteration.
+#include <iostream>
+
+#include "models/zoo.h"
+#include "runtime/runner.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tictac;
+  constexpr int kIterations = 1000;
+  std::cout << "Unique parameter-arrival orders at one worker across "
+            << kIterations << " iterations (envG, 2 workers, 1 PS)\n\n";
+  util::Table table({"Model", "#Par", "Unique orders (baseline)",
+                     "Unique orders (TIC)"});
+  for (const char* name : {"ResNet-50 v2", "Inception v3", "VGG-16"}) {
+    const auto& info = models::FindModel(name);
+    auto config = runtime::EnvG(2, 1, /*training=*/true);
+    config.sim.out_of_order_probability = 0.0;  // isolate scheduling
+    runtime::Runner runner(info, config);
+    const auto base =
+        runner.Run(runtime::Method::kBaseline, kIterations, 424242);
+    const auto tic = runner.Run(runtime::Method::kTic, kIterations, 424242);
+    table.AddRow({name, std::to_string(info.num_params),
+                  std::to_string(base.UniqueRecvOrders()),
+                  std::to_string(tic.UniqueRecvOrders())});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper observation: 1000/1000 unique for ResNet-50 v2 and "
+               "Inception v3, 493/1000 for VGG-16, and a single enforced "
+               "order under TicTac.\n";
+  return 0;
+}

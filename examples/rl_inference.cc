@@ -1,0 +1,37 @@
+// The reinforcement-learning serving setup of Figure 3: inference agents
+// repeatedly pull fresh parameters from the parameter servers and run the
+// forward pass. Enforced transfer ordering shortens the read-and-infer
+// cycle — the paper's second target environment (§2).
+#include <iostream>
+
+#include "models/zoo.h"
+#include "runtime/runner.h"
+#include "util/table.h"
+
+using namespace tictac;
+
+int main() {
+  std::cout << "RL inference agents reading parameters from PS "
+               "(envG, 4 agents, 1 PS)\n\n";
+  util::Table table({"Policy network", "Baseline (samples/s)",
+                     "TIC (samples/s)", "Speedup", "Unique orders base/TIC"});
+  for (const char* name : {"Inception v1", "Inception v3", "ResNet-50 v1"}) {
+    const auto& model = models::FindModel(name);
+    auto config = runtime::EnvG(/*num_workers=*/4, /*num_ps=*/1,
+                                /*training=*/false);
+    config.sim.out_of_order_probability = 0.0;
+    runtime::Runner runner(model, config);
+    const auto base = runner.Run(runtime::Method::kBaseline, 10, 7);
+    const auto tic = runner.Run(runtime::Method::kTic, 10, 7);
+    table.AddRow({name, util::Fmt(base.Throughput(), 1),
+                  util::Fmt(tic.Throughput(), 1),
+                  util::FmtPct(tic.Throughput() / base.Throughput() - 1.0),
+                  std::to_string(base.UniqueRecvOrders()) + "/" +
+                      std::to_string(tic.UniqueRecvOrders())});
+  }
+  table.Print(std::cout);
+  std::cout << "\nEvery agent sees the same enforced order under TIC (one "
+               "unique order),\nwhile vanilla execution re-randomizes the "
+               "order each step.\n";
+  return 0;
+}

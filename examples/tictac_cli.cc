@@ -1,0 +1,210 @@
+// tictac_cli — command-line front end over the public API.
+//
+//   tictac_cli models
+//       List the model zoo with Table 1 characteristics.
+//   tictac_cli schedule <model> [--method tic|tac] [--training]
+//       Print the priority list (the ordering wizard's output, §5).
+//   tictac_cli simulate <model> [--workers N] [--ps N] [--training]
+//                       [--method baseline|tic|tac] [--iterations N]
+//       Simulate a cluster and report throughput / E / stragglers.
+//   tictac_cli compare <model> [--workers N] [--ps N] [--training]
+//       Baseline vs TIC vs TAC side by side.
+//   tictac_cli export-graph <model> [--training]
+//       Serialize the worker partition (core/io.h text format).
+//   tictac_cli export-dot <model> [--training]
+//       Graphviz DOT of the worker partition with TIC priorities.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/io.h"
+#include "core/tac.h"
+#include "core/tic.h"
+#include "models/builder.h"
+#include "models/zoo.h"
+#include "runtime/runner.h"
+#include "util/table.h"
+
+using namespace tictac;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string model;
+  int workers = 4;
+  int ps = 1;
+  bool training = false;
+  std::string method = "tic";
+  int iterations = 10;
+};
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+         "  tictac_cli models\n"
+         "  tictac_cli schedule <model> [--method tic|tac] [--training]\n"
+         "  tictac_cli simulate <model> [--workers N] [--ps N] "
+         "[--training] [--method baseline|tic|tac] [--iterations N]\n"
+         "  tictac_cli compare <model> [--workers N] [--ps N] "
+         "[--training]\n";
+  return 2;
+}
+
+bool Parse(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  int i = 2;
+  if (args.command != "models") {
+    if (i >= argc) return false;
+    args.model = argv[i++];
+  }
+  for (; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--training") {
+      args.training = true;
+    } else if (flag == "--workers") {
+      const char* v = next();
+      if (!v) return false;
+      args.workers = std::stoi(v);
+    } else if (flag == "--ps") {
+      const char* v = next();
+      if (!v) return false;
+      args.ps = std::stoi(v);
+    } else if (flag == "--method") {
+      const char* v = next();
+      if (!v) return false;
+      args.method = v;
+    } else if (flag == "--iterations") {
+      const char* v = next();
+      if (!v) return false;
+      args.iterations = std::stoi(v);
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+runtime::Method ParseMethod(const std::string& name) {
+  if (name == "baseline") return runtime::Method::kBaseline;
+  if (name == "tac") return runtime::Method::kTac;
+  return runtime::Method::kTic;
+}
+
+int CmdModels() {
+  util::Table table({"Model", "#Par", "MiB", "#Ops inf", "#Ops train",
+                     "Batch", "Family"});
+  for (const auto& info : models::ModelZoo()) {
+    table.AddRow({info.name, std::to_string(info.num_params),
+                  util::Fmt(info.total_param_mib, 2),
+                  std::to_string(info.ops_inference),
+                  std::to_string(info.ops_training),
+                  std::to_string(info.standard_batch),
+                  ToString(info.family)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdSchedule(const Args& args) {
+  const auto& info = models::FindModel(args.model);
+  const core::Graph graph =
+      models::BuildWorkerGraph(info, {.training = args.training});
+  core::Schedule schedule;
+  if (args.method == "tac") {
+    core::AnalyticalTimeOracle oracle{core::PlatformModel{}};
+    schedule = core::Tac(graph, oracle);
+  } else {
+    schedule = core::Tic(graph);
+  }
+  std::cout << "# priority list for " << info.name << " ("
+            << (args.training ? "training" : "inference") << ", "
+            << args.method << ")\n"
+            << "# rank param bytes priority op\n";
+  int rank = 0;
+  for (const core::OpId r : schedule.RecvOrder(graph)) {
+    const core::Op& op = graph.op(r);
+    std::cout << rank++ << " " << op.param << " " << op.bytes << " "
+              << schedule.priority(r) << " " << op.name << "\n";
+  }
+  return 0;
+}
+
+int CmdSimulate(const Args& args) {
+  const auto& info = models::FindModel(args.model);
+  const auto config = runtime::EnvG(args.workers, args.ps, args.training);
+  runtime::Runner runner(info, config);
+  const auto result =
+      runner.Run(ParseMethod(args.method), args.iterations, 1);
+  std::cout << info.name << ": " << args.workers << " workers, " << args.ps
+            << " PS, " << (args.training ? "training" : "inference")
+            << ", method=" << args.method << "\n";
+  std::cout << "  mean iteration time: "
+            << util::Fmt(result.MeanIterationTime() * 1e3, 2) << " ms\n";
+  std::cout << "  throughput:          " << util::Fmt(result.Throughput(), 1)
+            << " samples/s\n";
+  std::cout << "  scheduling eff. E:   "
+            << util::Fmt(result.MeanEfficiency(), 3) << "\n";
+  std::cout << "  comm/comp overlap:   " << util::Fmt(result.MeanOverlap(), 3)
+            << "\n";
+  std::cout << "  max straggler share: "
+            << util::Fmt(result.MaxStragglerPct(), 1) << "%\n";
+  return 0;
+}
+
+int CmdCompare(const Args& args) {
+  const auto& info = models::FindModel(args.model);
+  const auto config = runtime::EnvG(args.workers, args.ps, args.training);
+  runtime::Runner runner(info, config);
+  util::Table table({"Method", "Iteration (ms)", "Throughput", "Speedup",
+                     "E", "Overlap", "Max straggler %"});
+  double base = 0.0;
+  for (const auto method : {runtime::Method::kBaseline, runtime::Method::kTic,
+                            runtime::Method::kTac}) {
+    const auto result = runner.Run(method, args.iterations, 1);
+    if (method == runtime::Method::kBaseline) base = result.Throughput();
+    table.AddRow({ToString(method),
+                  util::Fmt(result.MeanIterationTime() * 1e3, 1),
+                  util::Fmt(result.Throughput(), 1),
+                  util::FmtPct(result.Throughput() / base - 1.0),
+                  util::Fmt(result.MeanEfficiency(), 3),
+                  util::Fmt(result.MeanOverlap(), 3),
+                  util::Fmt(result.MaxStragglerPct(), 1)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, args)) return Usage();
+  try {
+    if (args.command == "models") return CmdModels();
+    if (args.command == "schedule") return CmdSchedule(args);
+    if (args.command == "simulate") return CmdSimulate(args);
+    if (args.command == "compare") return CmdCompare(args);
+    if (args.command == "export-graph" || args.command == "export-dot") {
+      const auto& info = models::FindModel(args.model);
+      const core::Graph graph =
+          models::BuildWorkerGraph(info, {.training = args.training});
+      if (args.command == "export-graph") {
+        std::cout << core::GraphToString(graph);
+      } else {
+        const core::Schedule tic = core::Tic(graph);
+        std::cout << core::ToDot(graph, &tic);
+      }
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return Usage();
+}

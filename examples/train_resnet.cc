@@ -1,0 +1,46 @@
+// Distributed training of ResNet-50 v2 on a simulated 8-worker / 2-PS
+// envG cluster: baseline vs TIC vs TAC. This is the workload the paper's
+// introduction motivates — synchronized Model-Replica SGD where iteration
+// time is gated by parameter transfers.
+#include <iostream>
+
+#include "models/zoo.h"
+#include "runtime/runner.h"
+#include "util/table.h"
+
+using namespace tictac;
+
+int main() {
+  const auto& model = models::FindModel("ResNet-50 v2");
+  const auto config = runtime::EnvG(/*num_workers=*/8, /*num_ps=*/2,
+                                    /*training=*/true);
+  runtime::Runner runner(model, config);
+
+  std::cout << "Training " << model.name << " on envG: 8 workers, 2 PS, "
+            << "batch " << model.standard_batch << " per worker\n"
+            << "worker graph: " << runner.worker_graph().size()
+            << " ops, " << model.num_params << " parameter transfers ("
+            << util::Fmt(model.total_param_mib, 1) << " MiB) per direction\n\n";
+
+  util::Table table({"Method", "Iteration (ms)", "Throughput (samples/s)",
+                     "Speedup", "Efficiency E", "Max straggler %"});
+  double baseline_throughput = 0.0;
+  for (const auto method : {runtime::Method::kBaseline, runtime::Method::kTic,
+                            runtime::Method::kTac}) {
+    const auto result = runner.Run(method, /*iterations=*/10, /*seed=*/2024);
+    if (method == runtime::Method::kBaseline) {
+      baseline_throughput = result.Throughput();
+    }
+    table.AddRow(
+        {ToString(method), util::Fmt(result.MeanIterationTime() * 1e3, 1),
+         util::Fmt(result.Throughput(), 1),
+         util::FmtPct(result.Throughput() / baseline_throughput - 1.0),
+         util::Fmt(result.MeanEfficiency(), 3),
+         util::Fmt(result.MaxStragglerPct(), 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nTIC/TAC enforce one near-optimal transfer order on every "
+               "worker; the baseline\nre-rolls a random order each "
+               "iteration, stalling compute and creating stragglers.\n";
+  return 0;
+}

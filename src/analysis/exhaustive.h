@@ -1,0 +1,50 @@
+// Exhaustive schedule search for small graphs.
+//
+// The scheduling problem is NP-hard (§3.1 maps it to flowshop), so the
+// paper cannot validate TIC/TAC against the optimum on real models. On
+// small DAGs we can: enumerate every permutation of recv ops, evaluate
+// each order's makespan on the canonical one-NIC/one-CPU device, and
+// compare the heuristics against the true best/worst. Property tests use
+// this to certify near-optimality of TAC on thousands of random DAGs.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.h"
+#include "core/time_oracle.h"
+
+namespace tictac::analysis {
+
+using core::Graph;
+using core::OpId;
+using core::Schedule;
+using core::TimeOracle;
+
+// Deterministic makespan of executing `graph` on a two-channel device
+// (downlink NIC for recvs, uplink NIC for sends, one compute resource)
+// with recv transfers wired in exactly `recv_order`. Compute ops run in
+// deterministic topological tie-break order.
+double EvaluateOrder(const Graph& graph, const TimeOracle& oracle,
+                     const std::vector<OpId>& recv_order);
+
+// Same, for the recv order a Schedule induces.
+double EvaluateSchedule(const Graph& graph, const TimeOracle& oracle,
+                        const Schedule& schedule);
+
+struct ExhaustiveResult {
+  double best = 0.0;
+  double worst = 0.0;
+  double mean = 0.0;
+  std::vector<OpId> best_order;
+  std::vector<OpId> worst_order;
+  std::size_t orders_evaluated = 0;
+};
+
+// Evaluates every permutation of the graph's recv ops. Throws
+// std::invalid_argument if the graph has more than `max_recvs` recvs
+// (factorial blow-up guard).
+ExhaustiveResult ExhaustiveSearch(const Graph& graph,
+                                  const TimeOracle& oracle,
+                                  int max_recvs = 8);
+
+}  // namespace tictac::analysis

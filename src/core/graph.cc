@@ -1,0 +1,145 @@
+#include "core/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+#include <sstream>
+
+namespace tictac::core {
+
+const char* ToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCompute: return "compute";
+    case OpKind::kRecv: return "recv";
+    case OpKind::kSend: return "send";
+    case OpKind::kAggregate: return "aggregate";
+    case OpKind::kRead: return "read";
+    case OpKind::kUpdate: return "update";
+  }
+  return "unknown";
+}
+
+OpId Graph::AddOp(Op op) {
+  const OpId id = static_cast<OpId>(ops_.size());
+  op.id = id;
+  ops_.push_back(std::move(op));
+  preds_.emplace_back();
+  succs_.emplace_back();
+  return id;
+}
+
+OpId Graph::AddCompute(std::string name, double cost) {
+  Op op;
+  op.name = std::move(name);
+  op.kind = OpKind::kCompute;
+  op.cost = cost;
+  return AddOp(std::move(op));
+}
+
+OpId Graph::AddRecv(std::string name, std::int64_t bytes, int param) {
+  Op op;
+  op.name = std::move(name);
+  op.kind = OpKind::kRecv;
+  op.bytes = bytes;
+  op.param = param;
+  return AddOp(std::move(op));
+}
+
+OpId Graph::AddSend(std::string name, std::int64_t bytes, int param) {
+  Op op;
+  op.name = std::move(name);
+  op.kind = OpKind::kSend;
+  op.bytes = bytes;
+  op.param = param;
+  return AddOp(std::move(op));
+}
+
+void Graph::AddEdge(OpId from, OpId to) {
+  assert(from >= 0 && static_cast<std::size_t>(from) < ops_.size());
+  assert(to >= 0 && static_cast<std::size_t>(to) < ops_.size());
+  assert(from != to);
+  auto& out = succs_[static_cast<std::size_t>(from)];
+  if (std::find(out.begin(), out.end(), to) != out.end()) return;
+  out.push_back(to);
+  preds_[static_cast<std::size_t>(to)].push_back(from);
+  ++num_edges_;
+}
+
+std::vector<OpId> Graph::RecvOps() const { return OpsOfKind(OpKind::kRecv); }
+
+std::vector<OpId> Graph::OpsOfKind(OpKind kind) const {
+  std::vector<OpId> out;
+  for (const Op& op : ops_) {
+    if (op.kind == kind) out.push_back(op.id);
+  }
+  return out;
+}
+
+bool Graph::IsAcyclic() const {
+  return TopologicalOrder().size() == ops_.size();
+}
+
+std::vector<OpId> Graph::TopologicalOrder() const {
+  std::vector<int> indegree(ops_.size(), 0);
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    indegree[i] = static_cast<int>(preds_[i].size());
+  }
+  // Min-id queue keeps the order deterministic across runs.
+  std::priority_queue<OpId, std::vector<OpId>, std::greater<>> ready;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (indegree[i] == 0) ready.push(static_cast<OpId>(i));
+  }
+  std::vector<OpId> order;
+  order.reserve(ops_.size());
+  while (!ready.empty()) {
+    const OpId id = ready.top();
+    ready.pop();
+    order.push_back(id);
+    for (OpId succ : succs_[static_cast<std::size_t>(id)]) {
+      if (--indegree[static_cast<std::size_t>(succ)] == 0) ready.push(succ);
+    }
+  }
+  return order;  // shorter than ops_.size() iff a cycle exists
+}
+
+bool Graph::IsTopologicalOrder(const std::vector<OpId>& order) const {
+  if (order.size() != ops_.size()) return false;
+  std::vector<int> position(ops_.size(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const OpId id = order[i];
+    if (id < 0 || static_cast<std::size_t>(id) >= ops_.size()) return false;
+    if (position[static_cast<std::size_t>(id)] != -1) return false;
+    position[static_cast<std::size_t>(id)] = static_cast<int>(i);
+  }
+  for (std::size_t to = 0; to < ops_.size(); ++to) {
+    for (OpId from : preds_[to]) {
+      if (position[static_cast<std::size_t>(from)] >=
+          position[to]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::int64_t Graph::TotalRecvBytes() const {
+  std::int64_t total = 0;
+  for (const Op& op : ops_) {
+    if (op.kind == OpKind::kRecv) total += op.bytes;
+  }
+  return total;
+}
+
+std::string Graph::DebugSummary() const {
+  std::map<OpKind, int> counts;
+  for (const Op& op : ops_) counts[op.kind]++;
+  std::ostringstream os;
+  os << "graph: " << ops_.size() << " ops, " << num_edges_ << " edges\n";
+  for (const auto& [kind, count] : counts) {
+    os << "  " << ToString(kind) << ": " << count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tictac::core

@@ -1,0 +1,81 @@
+// Directed acyclic computational graph.
+//
+// This is the TicTac equivalent of a TensorFlow partition graph: a DAG of
+// Ops with explicit edges, cheap predecessor/successor iteration, and
+// topological-order utilities. All scheduling algorithms (Algorithms 1-3)
+// and the simulator consume this representation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/op.h"
+
+namespace tictac::core {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // --- construction -------------------------------------------------------
+
+  // Adds an op; the returned id indexes into ops(). The id stored in `op`
+  // is overwritten.
+  OpId AddOp(Op op);
+
+  // Convenience constructors for the common kinds.
+  OpId AddCompute(std::string name, double cost);
+  OpId AddRecv(std::string name, std::int64_t bytes, int param = -1);
+  OpId AddSend(std::string name, std::int64_t bytes, int param = -1);
+
+  // Adds a dependency edge from -> to ("to consumes from"). Duplicate
+  // edges are ignored. Both ids must be valid.
+  void AddEdge(OpId from, OpId to);
+
+  // --- accessors -----------------------------------------------------------
+
+  std::size_t size() const { return ops_.size(); }
+  const Op& op(OpId id) const { return ops_[static_cast<std::size_t>(id)]; }
+  Op& mutable_op(OpId id) { return ops_[static_cast<std::size_t>(id)]; }
+  const std::vector<Op>& ops() const { return ops_; }
+
+  const std::vector<OpId>& preds(OpId id) const {
+    return preds_[static_cast<std::size_t>(id)];
+  }
+  const std::vector<OpId>& succs(OpId id) const {
+    return succs_[static_cast<std::size_t>(id)];
+  }
+
+  // All recv ops, in id order.
+  std::vector<OpId> RecvOps() const;
+  // All ops of the given kind, in id order.
+  std::vector<OpId> OpsOfKind(OpKind kind) const;
+
+  std::size_t num_edges() const { return num_edges_; }
+
+  // --- structure -----------------------------------------------------------
+
+  // True if the graph contains no cycle. (AddEdge does not check; callers
+  // building graphs programmatically validate once.)
+  bool IsAcyclic() const;
+
+  // One topological order (Kahn). Requires IsAcyclic().
+  std::vector<OpId> TopologicalOrder() const;
+
+  // True if `order` is a permutation of all ops respecting every edge.
+  bool IsTopologicalOrder(const std::vector<OpId>& order) const;
+
+  // Total bytes across all recv ops (the per-iteration parameter volume).
+  std::int64_t TotalRecvBytes() const;
+
+  // Human-readable multi-line summary (op/edge counts per kind).
+  std::string DebugSummary() const;
+
+ private:
+  std::vector<Op> ops_;
+  std::vector<std::vector<OpId>> preds_;
+  std::vector<std::vector<OpId>> succs_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace tictac::core

@@ -1,0 +1,166 @@
+#include "core/io.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tictac::core {
+namespace {
+
+OpKind KindFromString(const std::string& token) {
+  static const std::map<std::string, OpKind> kKinds = {
+      {"compute", OpKind::kCompute},     {"recv", OpKind::kRecv},
+      {"send", OpKind::kSend},           {"aggregate", OpKind::kAggregate},
+      {"read", OpKind::kRead},           {"update", OpKind::kUpdate},
+  };
+  const auto it = kKinds.find(token);
+  if (it == kKinds.end()) {
+    throw std::runtime_error("unknown op kind: " + token);
+  }
+  return it->second;
+}
+
+}  // namespace
+
+void WriteGraph(const Graph& graph, std::ostream& os) {
+  // Costs must survive the round trip bit-for-bit.
+  os.precision(17);
+  os << "# tictac-graph v1\n";
+  for (const Op& op : graph.ops()) {
+    os << "op " << op.id << ' ' << ToString(op.kind) << ' ' << op.bytes
+       << ' ' << op.cost << ' ' << op.param << ' ' << op.name << '\n';
+  }
+  for (const Op& op : graph.ops()) {
+    for (const OpId succ : graph.succs(op.id)) {
+      os << "edge " << op.id << ' ' << succ << '\n';
+    }
+  }
+}
+
+std::string GraphToString(const Graph& graph) {
+  std::ostringstream os;
+  WriteGraph(graph, os);
+  return os.str();
+}
+
+Graph ReadGraph(std::istream& is) {
+  Graph graph;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    std::string directive;
+    tokens >> directive;
+    if (directive == "op") {
+      OpId id;
+      std::string kind;
+      Op op;
+      if (!(tokens >> id >> kind >> op.bytes >> op.cost >> op.param)) {
+        throw std::runtime_error("malformed op line: " + line);
+      }
+      op.kind = KindFromString(kind);
+      std::getline(tokens, op.name);
+      if (!op.name.empty() && op.name.front() == ' ') op.name.erase(0, 1);
+      const OpId assigned = graph.AddOp(std::move(op));
+      if (assigned != id) {
+        throw std::runtime_error("op ids must be contiguous from 0");
+      }
+    } else if (directive == "edge") {
+      OpId from;
+      OpId to;
+      if (!(tokens >> from >> to)) {
+        throw std::runtime_error("malformed edge line: " + line);
+      }
+      if (from < 0 || to < 0 ||
+          static_cast<std::size_t>(from) >= graph.size() ||
+          static_cast<std::size_t>(to) >= graph.size()) {
+        throw std::runtime_error("edge references unknown op: " + line);
+      }
+      graph.AddEdge(from, to);
+    } else {
+      throw std::runtime_error("unknown directive: " + directive);
+    }
+  }
+  if (!graph.IsAcyclic()) {
+    throw std::runtime_error("serialized graph contains a cycle");
+  }
+  return graph;
+}
+
+Graph GraphFromString(const std::string& text) {
+  std::istringstream is(text);
+  return ReadGraph(is);
+}
+
+void WriteSchedule(const Schedule& schedule, const Graph& graph,
+                   std::ostream& os) {
+  os << "# tictac-schedule v1\n";
+  for (const Op& op : graph.ops()) {
+    if (schedule.HasPriority(op.id)) {
+      os << "priority " << op.id << ' ' << schedule.priority(op.id) << '\n';
+    }
+  }
+}
+
+std::string ScheduleToString(const Schedule& schedule, const Graph& graph) {
+  std::ostringstream os;
+  WriteSchedule(schedule, graph, os);
+  return os.str();
+}
+
+Schedule ReadSchedule(std::istream& is, const Graph& graph) {
+  Schedule schedule(graph.size());
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    std::string directive;
+    OpId op;
+    int priority;
+    if (!(tokens >> directive >> op >> priority) ||
+        directive != "priority") {
+      throw std::runtime_error("malformed schedule line: " + line);
+    }
+    if (op < 0 || static_cast<std::size_t>(op) >= graph.size()) {
+      throw std::runtime_error("priority references unknown op: " + line);
+    }
+    schedule.SetPriority(op, priority);
+  }
+  return schedule;
+}
+
+Schedule ScheduleFromString(const std::string& text, const Graph& graph) {
+  std::istringstream is(text);
+  return ReadSchedule(is, graph);
+}
+
+std::string ToDot(const Graph& graph, const Schedule* schedule) {
+  std::ostringstream os;
+  os << "digraph tictac {\n  rankdir=LR;\n";
+  for (const Op& op : graph.ops()) {
+    os << "  n" << op.id << " [label=\"" << op.name;
+    if (op.kind == OpKind::kRecv || op.kind == OpKind::kSend) {
+      os << "\\n" << op.bytes << "B";
+    }
+    if (schedule != nullptr && schedule->HasPriority(op.id)) {
+      os << "\\np" << schedule->priority(op.id);
+    }
+    os << "\"";
+    switch (op.kind) {
+      case OpKind::kRecv: os << ", shape=box, style=filled, fillcolor=lightblue"; break;
+      case OpKind::kSend: os << ", shape=diamond, style=filled, fillcolor=lightsalmon"; break;
+      default: os << ", shape=ellipse"; break;
+    }
+    os << "];\n";
+  }
+  for (const Op& op : graph.ops()) {
+    for (const OpId succ : graph.succs(op.id)) {
+      os << "  n" << op.id << " -> n" << succ << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tictac::core

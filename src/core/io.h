@@ -1,0 +1,46 @@
+// Plain-text serialization for graphs and schedules.
+//
+// The paper's ordering wizard is an offline tool: it consumes the frozen
+// model graph, emits a priority list, and the enforcement module loads
+// that list at runtime (§5). These functions give the same workflow a
+// stable on-disk format:
+//
+//   # tictac-graph v1
+//   op <id> <kind> <bytes> <cost> <param> <name>
+//   edge <from> <to>
+//
+//   # tictac-schedule v1
+//   priority <op-id> <priority>
+//
+// plus Graphviz DOT export for visual inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/graph.h"
+#include "core/schedule.h"
+
+namespace tictac::core {
+
+void WriteGraph(const Graph& graph, std::ostream& os);
+std::string GraphToString(const Graph& graph);
+
+// Parses the format above. Throws std::runtime_error on malformed input
+// (unknown directive, bad kind, out-of-range edge, non-contiguous ids).
+Graph ReadGraph(std::istream& is);
+Graph GraphFromString(const std::string& text);
+
+void WriteSchedule(const Schedule& schedule, const Graph& graph,
+                   std::ostream& os);
+std::string ScheduleToString(const Schedule& schedule, const Graph& graph);
+
+// Requires the graph the schedule refers to (for sizing/validation).
+Schedule ReadSchedule(std::istream& is, const Graph& graph);
+Schedule ScheduleFromString(const std::string& text, const Graph& graph);
+
+// Graphviz DOT rendering: recv ops as boxes (labelled with bytes), sends
+// as diamonds, computes as ellipses; priorities annotated when present.
+std::string ToDot(const Graph& graph, const Schedule* schedule = nullptr);
+
+}  // namespace tictac::core

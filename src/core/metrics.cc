@@ -1,0 +1,35 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace tictac::core {
+
+MakespanBounds ComputeBounds(const Graph& graph, const TimeOracle& oracle) {
+  MakespanBounds bounds;
+  std::unordered_map<int, double> per_resource;
+  for (const Op& op : graph.ops()) {
+    const double t = oracle.Time(graph, op.id);
+    bounds.upper += t;
+    int resource = op.resource;
+    if (resource < 0) resource = IsCommunication(op.kind) ? 1 : 0;
+    per_resource[resource] += t;
+  }
+  for (const auto& [resource, total] : per_resource) {
+    bounds.lower = std::max(bounds.lower, total);
+  }
+  return bounds;
+}
+
+double Efficiency(const MakespanBounds& bounds, double makespan) {
+  const double range = bounds.upper - bounds.lower;
+  if (range <= 0.0) return 1.0;
+  return (bounds.upper - makespan) / range;
+}
+
+double Speedup(const MakespanBounds& bounds) {
+  if (bounds.lower <= 0.0) return 0.0;
+  return (bounds.upper - bounds.lower) / bounds.lower;
+}
+
+}  // namespace tictac::core

@@ -1,0 +1,34 @@
+// Scheduling-efficiency metrics (Section 3.2).
+//
+//   UMakespan (Eq. 1) — serial execution: sum of all op times.
+//   LMakespan (Eq. 2) — perfect overlap: the busiest resource's total.
+//   E (Eq. 3)         — (U - m) / (U - L); 1 = perfect, 0 = worst.
+//   S (Eq. 4)         — (U - L) / L; the best-over-worst speedup headroom.
+//
+// Both bounds ignore DAG dependencies, so E can exceed [0,1] slightly in
+// pathological measurements; callers that need a bounded value clamp.
+#pragma once
+
+#include "core/graph.h"
+#include "core/time_oracle.h"
+
+namespace tictac::core {
+
+struct MakespanBounds {
+  double upper = 0.0;  // Eq. 1
+  double lower = 0.0;  // Eq. 2
+};
+
+// Computes both bounds. Resource grouping for the lower bound uses each
+// op's `resource` tag; untagged ops (-1) default to resource 0 for
+// computation kinds and resource 1 for communication kinds, matching the
+// two-resource device model of Figure 1.
+MakespanBounds ComputeBounds(const Graph& graph, const TimeOracle& oracle);
+
+// Eq. 3. Returns 1 when upper == lower (no scheduling headroom).
+double Efficiency(const MakespanBounds& bounds, double makespan);
+
+// Eq. 4. Returns 0 when lower == 0.
+double Speedup(const MakespanBounds& bounds);
+
+}  // namespace tictac::core

@@ -1,0 +1,60 @@
+// Operation (vertex) types for TicTac computational graphs.
+//
+// The paper's Model-Replica / Parameter-Server decomposition (Section 2.2)
+// uses six op kinds: worker-side compute, the network transfer pair
+// send/recv, and the three lightweight PS-side ops (aggregate, read,
+// update). Every op carries a resource tag: computation ops execute on a
+// computation resource, communication ops on a communication channel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tictac::core {
+
+using OpId = std::int32_t;
+inline constexpr OpId kInvalidOp = -1;
+
+enum class OpKind : std::uint8_t {
+  kCompute,    // forward/backward computation on a worker
+  kRecv,       // network receive (root in the worker partition)
+  kSend,       // network send (leaf in the worker partition)
+  kAggregate,  // PS-side gradient aggregation
+  kRead,       // PS-side parameter read
+  kUpdate,     // PS-side parameter update
+};
+
+const char* ToString(OpKind kind);
+
+// True for ops that occupy a communication channel rather than a
+// computation resource.
+inline bool IsCommunication(OpKind kind) {
+  return kind == OpKind::kRecv || kind == OpKind::kSend;
+}
+
+// A vertex in the partitioned computational graph.
+struct Op {
+  OpId id = kInvalidOp;
+  std::string name;
+  OpKind kind = OpKind::kCompute;
+
+  // Device the op is placed on (assigned by the runtime partitioner;
+  // -1 when the graph is a single-device partition).
+  int device = -1;
+
+  // Resource tag within the device: computation resource or communication
+  // channel index. Used by the L-makespan bound (Eq. 2) and the simulator.
+  int resource = -1;
+
+  // Transfer size for communication ops (bytes). Zero for compute ops.
+  std::int64_t bytes = 0;
+
+  // Analytic cost hint for computation ops, in abstract work units.
+  // Converted to seconds by AnalyticalTimeOracle / the simulator.
+  double cost = 0.0;
+
+  // Index of the model parameter this op moves/updates; -1 if none.
+  int param = -1;
+};
+
+}  // namespace tictac::core

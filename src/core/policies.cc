@@ -1,0 +1,52 @@
+#include "core/policies.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace tictac::core {
+
+Schedule FixedRandomOrder(const Graph& graph, std::uint64_t seed) {
+  std::vector<OpId> recvs = graph.RecvOps();
+  util::Rng rng(seed);
+  rng.Shuffle(recvs);
+  Schedule schedule(graph.size());
+  for (std::size_t i = 0; i < recvs.size(); ++i) {
+    schedule.SetPriority(recvs[i], static_cast<int>(i));
+  }
+  return schedule;
+}
+
+namespace {
+
+Schedule ByBytes(const Graph& graph, bool ascending) {
+  std::vector<OpId> recvs = graph.RecvOps();
+  std::stable_sort(recvs.begin(), recvs.end(), [&](OpId a, OpId b) {
+    const auto ba = graph.op(a).bytes;
+    const auto bb = graph.op(b).bytes;
+    return ascending ? ba < bb : ba > bb;
+  });
+  Schedule schedule(graph.size());
+  for (std::size_t i = 0; i < recvs.size(); ++i) {
+    schedule.SetPriority(recvs[i], static_cast<int>(i));
+  }
+  return schedule;
+}
+
+}  // namespace
+
+Schedule SmallestFirst(const Graph& graph) { return ByBytes(graph, true); }
+
+Schedule LargestFirst(const Graph& graph) { return ByBytes(graph, false); }
+
+Schedule ReverseOrder(const Graph& graph, const Schedule& schedule) {
+  const std::vector<OpId> order = schedule.RecvOrder(graph);
+  Schedule reversed(graph.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    reversed.SetPriority(order[i], static_cast<int>(order.size() - 1 - i));
+  }
+  return reversed;
+}
+
+}  // namespace tictac::core

@@ -1,0 +1,31 @@
+// Alternative transfer-ordering policies.
+//
+// The paper evaluates TIC/TAC against TensorFlow's arbitrary order only.
+// These additional policies bracket the design space for the ordering
+// ablation: a fixed random order isolates *consistency* benefits from
+// *quality* benefits, byte-based orders are the obvious straw men, and
+// the reverse of TIC approximates the worst feasible order.
+#pragma once
+
+#include <cstdint>
+
+#include "core/schedule.h"
+
+namespace tictac::core {
+
+// One random permutation of the recv ops, fixed across iterations.
+// Separates "any enforced order" (which already kills stragglers, §6.3)
+// from "a good order" (which also improves overlap).
+Schedule FixedRandomOrder(const Graph& graph, std::uint64_t seed);
+
+// Transfers sorted by ascending byte size (shortest-job-first intuition).
+Schedule SmallestFirst(const Graph& graph);
+
+// Transfers sorted by descending byte size.
+Schedule LargestFirst(const Graph& graph);
+
+// The exact reverse of another schedule's recv order — applied to TIC
+// this approximates the most blocking feasible order.
+Schedule ReverseOrder(const Graph& graph, const Schedule& schedule);
+
+}  // namespace tictac::core

@@ -1,0 +1,105 @@
+#include "core/properties.h"
+
+#include <cassert>
+
+namespace tictac::core {
+
+std::size_t RecvSet::Count() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+std::size_t RecvSet::IntersectCount(const RecvSet& other) const {
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    n += static_cast<std::size_t>(__builtin_popcountll(words_[w] & other.words_[w]));
+  }
+  return n;
+}
+
+PropertyIndex::PropertyIndex(const Graph& graph) : graph_(&graph) {
+  recvs_ = graph.RecvOps();
+  recv_index_.assign(graph.size(), -1);
+  for (std::size_t i = 0; i < recvs_.size(); ++i) {
+    recv_index_[static_cast<std::size_t>(recvs_[i])] = static_cast<int>(i);
+  }
+  // op.dep: union of predecessors' deps, plus the op itself if it is a
+  // recv. One pass in topological order suffices.
+  dep_.assign(graph.size(), RecvSet(recvs_.size()));
+  const std::vector<OpId> order = graph.TopologicalOrder();
+  assert(order.size() == graph.size() && "graph must be acyclic");
+  for (OpId id : order) {
+    RecvSet& set = dep_[static_cast<std::size_t>(id)];
+    for (OpId pred : graph.preds(id)) {
+      set.UnionWith(dep_[static_cast<std::size_t>(pred)]);
+    }
+    const int ri = recv_index_[static_cast<std::size_t>(id)];
+    if (ri >= 0) set.Set(static_cast<std::size_t>(ri));
+  }
+}
+
+std::vector<RecvProperties> PropertyIndex::UpdateProperties(
+    const TimeOracle& oracle, const std::vector<bool>& outstanding,
+    std::vector<double>* op_M) const {
+  const Graph& g = *graph_;
+  assert(outstanding.size() == recvs_.size());
+
+  // Cache Time(r) for outstanding recvs, indexed by recv index.
+  std::vector<double> recv_time(recvs_.size(), 0.0);
+  for (std::size_t i = 0; i < recvs_.size(); ++i) {
+    if (outstanding[i]) recv_time[i] = oracle.Time(g, recvs_[i]);
+  }
+
+  // op.M = sum of Time(r) over outstanding recv dependencies (Alg. 1 l.3).
+  std::vector<double> M(g.size(), 0.0);
+  for (std::size_t id = 0; id < g.size(); ++id) {
+    double m = 0.0;
+    dep_[id].ForEach([&](std::size_t ri) {
+      if (outstanding[ri]) m += recv_time[ri];
+    });
+    M[id] = m;
+  }
+
+  // Initialize outstanding recv properties (Alg. 1 l.5-8).
+  std::vector<RecvProperties> props(recvs_.size());
+  for (std::size_t i = 0; i < recvs_.size(); ++i) {
+    if (!outstanding[i]) continue;
+    props[i].op = recvs_[i];
+    props[i].M = M[static_cast<std::size_t>(recvs_[i])];
+    props[i].P = 0.0;
+    props[i].Mplus = kInfinity;
+  }
+
+  // Scan non-outstanding ops (G - R): accumulate P for single-dependency
+  // ops, tighten M+ for multi-dependency ops (Alg. 1 l.9-17).
+  for (const Op& op : g.ops()) {
+    const std::size_t id = static_cast<std::size_t>(op.id);
+    const int ri = recv_index_[id];
+    if (ri >= 0 && outstanding[static_cast<std::size_t>(ri)]) continue;  // op in R
+
+    // D = op.dep ∩ R
+    std::size_t d_count = 0;
+    std::size_t only = 0;
+    dep_[id].ForEach([&](std::size_t r) {
+      if (outstanding[r]) {
+        ++d_count;
+        only = r;
+      }
+    });
+    if (d_count == 1) {
+      props[only].P += oracle.Time(g, op.id);
+    } else if (d_count > 1) {
+      dep_[id].ForEach([&](std::size_t r) {
+        if (outstanding[r] && M[id] < props[r].Mplus) {
+          props[r].Mplus = M[id];
+        }
+      });
+    }
+  }
+
+  if (op_M != nullptr) *op_M = std::move(M);
+  return props;
+}
+
+}  // namespace tictac::core

@@ -1,0 +1,106 @@
+// Op properties used by the scheduling heuristics (Section 4.1) and the
+// property-update procedure (Algorithm 1).
+//
+// For every op:
+//   dep  — the set of recv ops it directly or transitively depends on.
+//   M    — communication time: total transfer time of its outstanding
+//          recv dependencies.
+// For every outstanding recv op additionally:
+//   P    — directly-dependent compute load: total compute time of the ops
+//          activated by completing this recv alone.
+//   M+   — impending communication load: the minimum M over computation
+//          ops with more than one outstanding recv dependency that include
+//          this recv (M+ therefore includes this recv's own time).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/time_oracle.h"
+
+namespace tictac::core {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+// Fixed-width bitset over recv indices; dep sets are dense and small
+// (hundreds of recvs), so packed words beat hash sets by a wide margin.
+class RecvSet {
+ public:
+  RecvSet() = default;
+  explicit RecvSet(std::size_t bits) : bits_(bits), words_((bits + 63) / 64) {}
+
+  void Set(std::size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void UnionWith(const RecvSet& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+  std::size_t Count() const;
+  // Number of bits set in both this and `other`.
+  std::size_t IntersectCount(const RecvSet& other) const;
+  std::size_t size_bits() const { return bits_; }
+
+  // Calls fn(bit_index) for every set bit.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word) {
+        const int b = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(b));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+// Per-recv scheduling properties after an UpdateProperties pass.
+struct RecvProperties {
+  OpId op = kInvalidOp;
+  double M = 0.0;             // own outstanding transfer time
+  double P = 0.0;             // directly-dependent compute load
+  double Mplus = kInfinity;   // impending communication load
+};
+
+// Communication-dependency index for a graph. Computed once per graph
+// (FindDependencies in Algorithms 2-3); UpdateProperties is then re-run
+// against shrinking outstanding sets by TAC.
+class PropertyIndex {
+ public:
+  // Builds op.dep for every op via one topological sweep.
+  explicit PropertyIndex(const Graph& graph);
+
+  const Graph& graph() const { return *graph_; }
+
+  // Recv ops in id order; `recv_index(op)` inverts the mapping.
+  const std::vector<OpId>& recvs() const { return recvs_; }
+  int recv_index(OpId op) const { return recv_index_[static_cast<std::size_t>(op)]; }
+
+  // The dep set of `op`, as indices into recvs().
+  const RecvSet& dep(OpId op) const { return dep_[static_cast<std::size_t>(op)]; }
+
+  // Algorithm 1. `outstanding` flags recvs (by recv index) that are still
+  // to be transferred. Returns properties for each outstanding recv, in
+  // recvs() order; entries for completed recvs have op == kInvalidOp.
+  //
+  // Also exposes op.M for every op via `op_M` when non-null (needed by
+  // tests and by M+ computation internally).
+  std::vector<RecvProperties> UpdateProperties(
+      const TimeOracle& oracle, const std::vector<bool>& outstanding,
+      std::vector<double>* op_M = nullptr) const;
+
+ private:
+  const Graph* graph_;
+  std::vector<OpId> recvs_;
+  std::vector<int> recv_index_;   // op id -> recv index or -1
+  std::vector<RecvSet> dep_;      // op id -> recv-index set
+};
+
+}  // namespace tictac::core

@@ -1,0 +1,29 @@
+#include "core/push_schedule.h"
+
+#include <unordered_map>
+
+namespace tictac::core {
+
+Schedule OrderSends(const Graph& graph, const Schedule& recv_schedule) {
+  // Pull rank per parameter: the earliest normalized rank among the
+  // parameter's recvs (chunked graphs have several recvs per parameter).
+  const std::unordered_map<OpId, int> recv_rank =
+      recv_schedule.NormalizedRecvRank(graph);
+  std::unordered_map<int, int> param_rank;
+  for (const auto& [op, rank] : recv_rank) {
+    const int param = graph.op(op).param;
+    if (param < 0) continue;
+    auto [it, inserted] = param_rank.try_emplace(param, rank);
+    if (!inserted && rank < it->second) it->second = rank;
+  }
+
+  Schedule out = recv_schedule;
+  for (const Op& op : graph.ops()) {
+    if (op.kind != OpKind::kSend) continue;
+    const auto it = param_rank.find(op.param);
+    if (it != param_rank.end()) out.SetPriority(op.id, it->second);
+  }
+  return out;
+}
+
+}  // namespace tictac::core

@@ -1,0 +1,24 @@
+// Gradient-push ordering (the P3/ByteScheduler-style counterpart of
+// TicTac's pull ordering).
+//
+// bench_pipeline shows the limitation this addresses: in pipelined
+// execution, iteration k+1's pull of parameter p waits for p's update,
+// which waits for every worker's gradient *push* of p. Backward passes
+// produce last-layer gradients first, so front-layer updates — the ones
+// the next forward pass needs first — land last, and TicTac's pull gate
+// serializes iterations. Prioritizing pushes by the *pull* order (and
+// chunking, so small front-layer gradients can jump half-sent large
+// tensors) moves front-layer updates earlier and re-opens the pipeline.
+#pragma once
+
+#include "core/schedule.h"
+
+namespace tictac::core {
+
+// Returns a copy of `recv_schedule` that additionally assigns every send
+// op the normalized pull rank of its parameter: the earlier a parameter
+// is needed by the next forward pass, the higher its gradient-push
+// priority. Sends whose parameter has no recv keep no priority.
+Schedule OrderSends(const Graph& graph, const Schedule& recv_schedule);
+
+}  // namespace tictac::core

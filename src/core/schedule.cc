@@ -1,0 +1,34 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+
+namespace tictac::core {
+
+std::vector<OpId> Schedule::RecvOrder(const Graph& graph) const {
+  std::vector<OpId> recvs = graph.RecvOps();
+  std::stable_sort(recvs.begin(), recvs.end(), [&](OpId a, OpId b) {
+    if (priority(a) != priority(b)) return priority(a) < priority(b);
+    return a < b;
+  });
+  return recvs;
+}
+
+std::unordered_map<OpId, int> Schedule::NormalizedRecvRank(
+    const Graph& graph) const {
+  std::unordered_map<OpId, int> rank;
+  const std::vector<OpId> order = RecvOrder(graph);
+  rank.reserve(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rank[order[i]] = static_cast<int>(i);
+  }
+  return rank;
+}
+
+bool Schedule::CoversAllRecvs(const Graph& graph) const {
+  for (OpId r : graph.RecvOps()) {
+    if (!HasPriority(r)) return false;
+  }
+  return true;
+}
+
+}  // namespace tictac::core

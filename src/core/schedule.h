@@ -1,0 +1,52 @@
+// Priority schedules (Section 3.1).
+//
+// A schedule assigns positive priority numbers to ops: a *lower* priority
+// number means *higher* priority. Ops may share a number (relative order
+// insignificant) or carry no number (unordered). At runtime a resource
+// picks randomly among ready ops holding the lowest priority number plus
+// those without any number; the result always respects DAG order.
+#pragma once
+
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph.h"
+
+namespace tictac::core {
+
+class Schedule {
+ public:
+  static constexpr int kNoPriority = std::numeric_limits<int>::max();
+
+  Schedule() = default;
+  explicit Schedule(std::size_t num_ops)
+      : priority_(num_ops, kNoPriority) {}
+
+  int priority(OpId op) const {
+    return priority_[static_cast<std::size_t>(op)];
+  }
+  bool HasPriority(OpId op) const { return priority(op) != kNoPriority; }
+  void SetPriority(OpId op, int priority) {
+    priority_[static_cast<std::size_t>(op)] = priority;
+  }
+
+  std::size_t size() const { return priority_.size(); }
+
+  // Recv ops sorted by (priority, op id). Ops without priority sort last.
+  // This is the total order the enforcement module gates transfers with.
+  std::vector<OpId> RecvOrder(const Graph& graph) const;
+
+  // Normalized priorities for enforcement (§5.1): the recv order above
+  // re-numbered sequentially in [0, n). The normalized number of a
+  // transfer equals the count of transfers that must complete before it.
+  std::unordered_map<OpId, int> NormalizedRecvRank(const Graph& graph) const;
+
+  // True if every recv op carries a priority.
+  bool CoversAllRecvs(const Graph& graph) const;
+
+ private:
+  std::vector<int> priority_;
+};
+
+}  // namespace tictac::core

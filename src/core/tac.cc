@@ -1,0 +1,51 @@
+#include "core/tac.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace tictac::core {
+
+bool TacBefore(const RecvProperties& a, const RecvProperties& b) {
+  // Eq. 6: A ≺ B  <=>  min{P_B, M_A} < min{P_A, M_B}.
+  const double lhs = std::min(b.P, a.M);
+  const double rhs = std::min(a.P, b.M);
+  if (lhs != rhs) return lhs < rhs;
+  // Case 2 tie-break: the transfer whose cheapest jointly-dependent
+  // computation needs less total communication goes first.
+  if (a.Mplus != b.Mplus) return a.Mplus < b.Mplus;
+  return a.op < b.op;
+}
+
+Schedule Tac(const Graph& graph, const TimeOracle& oracle) {
+  return Tac(PropertyIndex(graph), oracle);
+}
+
+Schedule Tac(const PropertyIndex& index, const TimeOracle& oracle) {
+  const Graph& graph = index.graph();
+  const auto& recvs = index.recvs();
+
+  Schedule schedule(graph.size());
+  std::vector<bool> outstanding(recvs.size(), true);
+  std::size_t remaining = recvs.size();
+  int count = 0;
+  while (remaining > 0) {
+    const std::vector<RecvProperties> props =
+        index.UpdateProperties(oracle, outstanding);
+    int best = -1;
+    for (std::size_t i = 0; i < recvs.size(); ++i) {
+      if (!outstanding[i]) continue;
+      if (best < 0 ||
+          TacBefore(props[i], props[static_cast<std::size_t>(best)])) {
+        best = static_cast<int>(i);
+      }
+    }
+    assert(best >= 0);
+    schedule.SetPriority(recvs[static_cast<std::size_t>(best)], count++);
+    outstanding[static_cast<std::size_t>(best)] = false;
+    --remaining;
+  }
+  return schedule;
+}
+
+}  // namespace tictac::core

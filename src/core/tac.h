@@ -1,0 +1,34 @@
+// Algorithm 3 — Timing-Aware Communication scheduling (TAC).
+//
+// TAC greedily orders recv ops to maximize computation/communication
+// overlap, combining the pairwise rule of Case 1 (Eq. 6) with the
+// impending-communication-load tie-break of Case 2:
+//
+//   A precedes B  <=>  min{P_B, M_A} < min{P_A, M_B}
+//   ties broken by the smaller M+.
+//
+// Note on the printed Algorithm 3: its comparator computes
+// `min(P_A, M_B) < min(P_B, M_A)`, the reverse of the Case-1 derivation it
+// cites. The derivation is the consistent one (check P_A -> inf, P_B = 0:
+// completing A first unblocks a large compute load, so A must precede B;
+// Eq. 6 yields exactly that). We implement Eq. 6. See DESIGN.md §2.
+#pragma once
+
+#include "core/properties.h"
+#include "core/schedule.h"
+
+namespace tictac::core {
+
+// Pairwise ordering rule: true if `a` should be scheduled before `b`.
+// Final tie-break on op id keeps the result deterministic.
+bool TacBefore(const RecvProperties& a, const RecvProperties& b);
+
+// Computes TAC priorities for all recv ops of `graph`: repeatedly update
+// properties over the outstanding set, emit the minimum recv w.r.t.
+// TacBefore, assign it the next sequential priority number.
+Schedule Tac(const Graph& graph, const TimeOracle& oracle);
+
+// Same, reusing a prebuilt dependency index.
+Schedule Tac(const PropertyIndex& index, const TimeOracle& oracle);
+
+}  // namespace tictac::core

@@ -1,0 +1,45 @@
+#include "core/tic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace tictac::core {
+
+Schedule Tic(const Graph& graph) { return Tic(PropertyIndex(graph)); }
+
+Schedule Tic(const PropertyIndex& index) {
+  const Graph& graph = index.graph();
+  const auto& recvs = index.recvs();
+
+  GeneralTimeOracle oracle;
+  std::vector<bool> outstanding(recvs.size(), true);
+  const std::vector<RecvProperties> props =
+      index.UpdateProperties(oracle, outstanding);
+
+  // Rank-compress M+ so priority numbers are small consecutive integers;
+  // infinite M+ lands after every finite value.
+  std::vector<double> finite;
+  finite.reserve(props.size());
+  for (const RecvProperties& p : props) {
+    if (std::isfinite(p.Mplus)) finite.push_back(p.Mplus);
+  }
+  std::sort(finite.begin(), finite.end());
+  finite.erase(std::unique(finite.begin(), finite.end()), finite.end());
+
+  Schedule schedule(graph.size());
+  for (std::size_t i = 0; i < recvs.size(); ++i) {
+    int rank;
+    if (std::isfinite(props[i].Mplus)) {
+      rank = static_cast<int>(
+          std::lower_bound(finite.begin(), finite.end(), props[i].Mplus) -
+          finite.begin());
+    } else {
+      rank = static_cast<int>(finite.size());
+    }
+    schedule.SetPriority(recvs[i], rank);
+  }
+  return schedule;
+}
+
+}  // namespace tictac::core

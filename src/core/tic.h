@@ -1,0 +1,27 @@
+// Algorithm 2 — Timing-Independent Communication scheduling (TIC).
+//
+// TIC prioritizes the transfers that unblock computation after the least
+// amount of communication, using DAG structure alone: every op is costed
+// with the general time oracle (recv = 1, everything else = 0), and each
+// recv's priority is its impending communication load M+ (the minimum
+// number of outstanding transfers needed to activate some multi-recv
+// computation it participates in).
+#pragma once
+
+#include "core/properties.h"
+#include "core/schedule.h"
+
+namespace tictac::core {
+
+// Computes TIC priorities for all recv ops of `graph`.
+//
+// Recvs whose M+ is infinite (no multi-recv consumer anywhere downstream;
+// only possible in degenerate DAGs without a common sink) are ranked after
+// every finite M+ value. Equal M+ values share a priority number, which the
+// paper permits when relative order is insignificant.
+Schedule Tic(const Graph& graph);
+
+// Same, reusing a prebuilt dependency index.
+Schedule Tic(const PropertyIndex& index);
+
+}  // namespace tictac::core

@@ -1,0 +1,63 @@
+#include "core/time_oracle.h"
+
+#include <cmath>
+
+namespace tictac::core {
+
+double TimeOracle::TotalTime(const Graph& graph) const {
+  double total = 0.0;
+  for (const Op& op : graph.ops()) total += Time(graph, op.id);
+  return total;
+}
+
+double GeneralTimeOracle::Time(const Graph& graph, OpId op) const {
+  return graph.op(op).kind == OpKind::kRecv ? 1.0 : 0.0;
+}
+
+double MapTimeOracle::Time(const Graph&, OpId op) const {
+  auto it = times_.find(op);
+  return it == times_.end() ? default_time_ : it->second;
+}
+
+double AnalyticalTimeOracle::Time(const Graph& graph, OpId op) const {
+  const Op& o = graph.op(op);
+  switch (o.kind) {
+    case OpKind::kCompute:
+      return o.cost / platform_.compute_rate;
+    case OpKind::kRecv:
+    case OpKind::kSend:
+      return platform_.latency_s +
+             static_cast<double>(o.bytes) / platform_.bandwidth_bps;
+    case OpKind::kAggregate:
+    case OpKind::kRead:
+    case OpKind::kUpdate:
+      return platform_.ps_op_time_s;
+  }
+  return 0.0;
+}
+
+NoisyTimeOracle::NoisyTimeOracle(const TimeOracle& base, double sigma,
+                                 std::uint64_t seed)
+    : base_(base), sigma_(sigma), seed_(seed) {}
+
+double NoisyTimeOracle::Time(const Graph& graph, OpId op) const {
+  // SplitMix64 over (seed, op) gives a per-op deterministic draw without
+  // storing state; two uniforms -> one normal via Box-Muller.
+  auto splitmix = [](std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  };
+  const std::uint64_t h1 = splitmix(seed_ ^ static_cast<std::uint64_t>(op));
+  const std::uint64_t h2 = splitmix(h1);
+  const double u1 =
+      (static_cast<double>(h1 >> 11) + 0.5) / 9007199254740992.0;
+  const double u2 =
+      (static_cast<double>(h2 >> 11) + 0.5) / 9007199254740992.0;
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return base_.Time(graph, op) * std::exp(sigma_ * z);
+}
+
+}  // namespace tictac::core

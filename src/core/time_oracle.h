@@ -1,0 +1,88 @@
+// Time oracles (Section 3.1): Time(op) predicts the execution time of an
+// op assuming the resource is dedicated to it. Computation ops report
+// elapsed compute time, communication ops report transfer time.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph.h"
+
+namespace tictac::core {
+
+class TimeOracle {
+ public:
+  virtual ~TimeOracle() = default;
+
+  // Predicted execution time of `op` in `graph`, in seconds (or abstract
+  // units, as long as callers are consistent).
+  virtual double Time(const Graph& graph, OpId op) const = 0;
+
+  // Sum of Time over all ops — the U bound input (Eq. 1).
+  double TotalTime(const Graph& graph) const;
+};
+
+// Eq. 5, the oracle used by TIC: recv ops cost 1, everything else 0.
+// With this oracle, priorities depend only on DAG structure.
+class GeneralTimeOracle final : public TimeOracle {
+ public:
+  double Time(const Graph& graph, OpId op) const override;
+};
+
+// Explicit per-op times, the output of the trace-based estimator (§5).
+// Ops absent from the map fall back to `default_time`.
+class MapTimeOracle final : public TimeOracle {
+ public:
+  explicit MapTimeOracle(std::unordered_map<OpId, double> times,
+                         double default_time = 0.0)
+      : times_(std::move(times)), default_time_(default_time) {}
+
+  double Time(const Graph& graph, OpId op) const override;
+
+  void Set(OpId op, double time) { times_[op] = time; }
+
+ private:
+  std::unordered_map<OpId, double> times_;
+  double default_time_;
+};
+
+// Platform cost model: compute ops take cost/compute_rate, transfers take
+// latency + bytes/bandwidth, PS-side bookkeeping ops take `ps_op_time`.
+// This models the paper's envG/envC hardware parametrically.
+struct PlatformModel {
+  double compute_rate = 1.0;      // abstract work units per second
+  double bandwidth_bps = 1.25e8;  // bytes/second (default: 1 GbE)
+  double latency_s = 100e-6;      // per-transfer setup latency
+  double ps_op_time_s = 1e-6;     // aggregate/read/update ops (lightweight)
+};
+
+class AnalyticalTimeOracle final : public TimeOracle {
+ public:
+  explicit AnalyticalTimeOracle(PlatformModel platform)
+      : platform_(platform) {}
+
+  double Time(const Graph& graph, OpId op) const override;
+
+  const PlatformModel& platform() const { return platform_; }
+
+ private:
+  PlatformModel platform_;
+};
+
+// Wraps another oracle and perturbs each op's time with multiplicative
+// lognormal noise, fixed per op (deterministic in `seed`). Models an
+// imperfect trace-based estimate; used by the oracle-sensitivity ablation.
+class NoisyTimeOracle final : public TimeOracle {
+ public:
+  NoisyTimeOracle(const TimeOracle& base, double sigma, std::uint64_t seed);
+
+  double Time(const Graph& graph, OpId op) const override;
+
+ private:
+  const TimeOracle& base_;
+  double sigma_;
+  std::uint64_t seed_;
+};
+
+}  // namespace tictac::core

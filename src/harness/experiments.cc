@@ -1,0 +1,43 @@
+#include "harness/experiments.h"
+
+namespace tictac::harness {
+
+std::vector<std::string> FigureModels() {
+  return {
+      "AlexNet v2",    "Inception v1", "Inception v2",
+      "Inception v3",  "ResNet-50 v1", "ResNet-101 v1",
+      "ResNet-50 v2",  "VGG-16",       "VGG-19",
+  };
+}
+
+double MeasureThroughput(const models::ModelInfo& model,
+                         const runtime::ClusterConfig& config,
+                         runtime::Method method, std::uint64_t seed,
+                         int iterations) {
+  runtime::Runner runner(model, config);
+  return runner.Run(method, iterations, seed).Throughput();
+}
+
+SpeedupRow MeasureSpeedup(const models::ModelInfo& model,
+                          const runtime::ClusterConfig& config,
+                          runtime::Method method, std::uint64_t seed,
+                          int iterations) {
+  runtime::Runner runner(model, config);
+  SpeedupRow row;
+  row.model = model.name;
+  row.baseline_throughput =
+      runner.Run(runtime::Method::kBaseline, iterations, seed).Throughput();
+  row.scheduled_throughput =
+      runner.Run(method, iterations, seed).Throughput();
+  return row;
+}
+
+runtime::ExperimentResult RunExperiment(const models::ModelInfo& model,
+                                        const runtime::ClusterConfig& config,
+                                        runtime::Method method,
+                                        std::uint64_t seed, int iterations) {
+  runtime::Runner runner(model, config);
+  return runner.Run(method, iterations, seed);
+}
+
+}  // namespace tictac::harness

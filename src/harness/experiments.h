@@ -1,0 +1,54 @@
+// Shared helpers for the benchmark harness: each bench binary regenerates
+// one table or figure from the paper; the common measurement plumbing
+// lives here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/zoo.h"
+#include "runtime/runner.h"
+
+namespace tictac::harness {
+
+// Number of measured iterations per configuration, matching §6 (the paper
+// records 10 iterations after warm-up; our simulator has no warm-up).
+inline constexpr int kIterations = 10;
+
+// The nine models of Figures 7/9/10 (Table 1 minus ResNet-101 v2, which
+// the figures omit), in Table 1 order.
+std::vector<std::string> FigureModels();
+
+// Throughput (samples/s) of `method` on `model` under `config`.
+double MeasureThroughput(const models::ModelInfo& model,
+                         const runtime::ClusterConfig& config,
+                         runtime::Method method, std::uint64_t seed,
+                         int iterations = kIterations);
+
+struct SpeedupRow {
+  std::string model;
+  double baseline_throughput = 0.0;
+  double scheduled_throughput = 0.0;
+  // (scheduled - baseline) / baseline.
+  double speedup() const {
+    return baseline_throughput > 0.0
+               ? scheduled_throughput / baseline_throughput - 1.0
+               : 0.0;
+  }
+};
+
+// Baseline vs `method` under identical seeds.
+SpeedupRow MeasureSpeedup(const models::ModelInfo& model,
+                          const runtime::ClusterConfig& config,
+                          runtime::Method method, std::uint64_t seed,
+                          int iterations = kIterations);
+
+// Full per-iteration results for metric-level experiments (Figs. 11/12).
+runtime::ExperimentResult RunExperiment(const models::ModelInfo& model,
+                                        const runtime::ClusterConfig& config,
+                                        runtime::Method method,
+                                        std::uint64_t seed,
+                                        int iterations = kIterations);
+
+}  // namespace tictac::harness

@@ -1,0 +1,40 @@
+#include "learn/data.h"
+
+namespace tictac::learn {
+
+Dataset Dataset::Batch(std::size_t begin, std::size_t count) const {
+  Dataset batch;
+  batch.features = Matrix(count, features.cols());
+  batch.labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t src = (begin + i) % size();
+    for (std::size_t j = 0; j < features.cols(); ++j) {
+      batch.features.at(i, j) = features.at(src, j);
+    }
+    batch.labels[i] = labels[src];
+  }
+  return batch;
+}
+
+Dataset MakeGaussianMixture(std::size_t examples, std::size_t inputs,
+                            int classes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  // Class centers on a scaled simplex-ish layout.
+  Matrix centers(static_cast<std::size_t>(classes), inputs);
+  centers.RandomNormal(rng, 2.0);
+
+  Dataset data;
+  data.features = Matrix(examples, inputs);
+  data.labels.resize(examples);
+  for (std::size_t i = 0; i < examples; ++i) {
+    const int label = static_cast<int>(rng.Index(static_cast<std::size_t>(classes)));
+    data.labels[i] = label;
+    for (std::size_t j = 0; j < inputs; ++j) {
+      data.features.at(i, j) =
+          centers.at(static_cast<std::size_t>(label), j) + rng.Normal(0.0, 1.0);
+    }
+  }
+  return data;
+}
+
+}  // namespace tictac::learn

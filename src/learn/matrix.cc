@@ -1,0 +1,89 @@
+#include "learn/matrix.h"
+
+#include <cassert>
+
+namespace tictac::learn {
+
+void Matrix::RandomNormal(util::Rng& rng, double stddev) {
+  for (double& x : data_) x = rng.Normal(0.0, stddev);
+}
+
+void Matrix::Zero() {
+  std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+void Matrix::Axpy(double alpha, const Matrix& other) {
+  assert(SameShape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        sum += a.at(i, k) * b.at(j, k);
+      }
+      c.at(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a.at(k, i);
+      if (aki == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aki * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+void AddBiasRow(Matrix& m, const Matrix& bias) {
+  assert(bias.rows() == 1 && bias.cols() == m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      m.at(i, j) += bias.at(0, j);
+    }
+  }
+}
+
+void ReluInPlace(Matrix& m) {
+  for (double& x : m.data()) {
+    if (x < 0.0) x = 0.0;
+  }
+}
+
+void ReluBackward(const Matrix& activation, Matrix& grad) {
+  assert(activation.SameShape(grad));
+  for (std::size_t i = 0; i < grad.data().size(); ++i) {
+    if (activation.data()[i] <= 0.0) grad.data()[i] = 0.0;
+  }
+}
+
+}  // namespace tictac::learn

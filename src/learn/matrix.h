@@ -1,0 +1,60 @@
+// Dense row-major matrix with exactly the operations an MLP needs.
+//
+// The learn module exists to demonstrate the paper's Figure 8 claim:
+// communication *scheduling* changes when parameters arrive, never what
+// values they carry, so training loss is unchanged. The numerics here are
+// real (float64 SGD), deliberately small, and fully deterministic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tictac::learn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  // Fills with N(0, stddev) entries.
+  void RandomNormal(util::Rng& rng, double stddev);
+  void Zero();
+
+  // this += alpha * other. Shapes must match.
+  void Axpy(double alpha, const Matrix& other);
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// c = a * b. Shapes must be compatible.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+// c = a * b^T and c = a^T * b, used by backprop.
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+// Adds row vector `bias` (1 x cols) to every row of `m` in place.
+void AddBiasRow(Matrix& m, const Matrix& bias);
+// ReLU forward in place; Backward masks grad where activation was <= 0.
+void ReluInPlace(Matrix& m);
+void ReluBackward(const Matrix& activation, Matrix& grad);
+
+}  // namespace tictac::learn

@@ -1,0 +1,119 @@
+#include "learn/mlp.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tictac::learn {
+
+Mlp::Mlp(const MlpShape& shape, std::uint64_t seed) : shape_(shape) {
+  util::Rng rng(seed);
+  auto init = [&](std::size_t rows, std::size_t cols, bool weight) {
+    Matrix m(rows, cols);
+    if (weight) {
+      m.RandomNormal(rng, std::sqrt(2.0 / static_cast<double>(rows)));
+    }
+    return m;
+  };
+  params_.push_back(init(shape.inputs, shape.hidden1, true));   // W1
+  params_.push_back(init(1, shape.hidden1, false));             // b1
+  params_.push_back(init(shape.hidden1, shape.hidden2, true));  // W2
+  params_.push_back(init(1, shape.hidden2, false));             // b2
+  params_.push_back(init(shape.hidden2, shape.classes, true));  // W3
+  params_.push_back(init(1, shape.classes, false));             // b3
+}
+
+Gradients Mlp::ZeroGradients() const {
+  Gradients grads;
+  grads.reserve(params_.size());
+  for (const Matrix& p : params_) grads.emplace_back(p.rows(), p.cols());
+  return grads;
+}
+
+Matrix Mlp::Logits(const Matrix& x, Matrix* h1, Matrix* h2) const {
+  Matrix a1 = MatMul(x, params_[0]);
+  AddBiasRow(a1, params_[1]);
+  ReluInPlace(a1);
+  Matrix a2 = MatMul(a1, params_[2]);
+  AddBiasRow(a2, params_[3]);
+  ReluInPlace(a2);
+  Matrix logits = MatMul(a2, params_[4]);
+  AddBiasRow(logits, params_[5]);
+  if (h1 != nullptr) *h1 = std::move(a1);
+  if (h2 != nullptr) *h2 = std::move(a2);
+  return logits;
+}
+
+double Mlp::Loss(const Matrix& x, const std::vector<int>& labels,
+                 Gradients* grads) const {
+  assert(x.rows() == labels.size());
+  const auto batch = x.rows();
+  Matrix h1;
+  Matrix h2;
+  Matrix logits = Logits(x, &h1, &h2);
+
+  // Softmax cross-entropy; dlogits = (softmax - onehot) / batch.
+  double loss = 0.0;
+  Matrix dlogits(batch, shape_.classes);
+  for (std::size_t i = 0; i < batch; ++i) {
+    double max_logit = logits.at(i, 0);
+    for (std::size_t c = 1; c < shape_.classes; ++c) {
+      max_logit = std::max(max_logit, logits.at(i, c));
+    }
+    double denom = 0.0;
+    for (std::size_t c = 0; c < shape_.classes; ++c) {
+      denom += std::exp(logits.at(i, c) - max_logit);
+    }
+    const auto label = static_cast<std::size_t>(labels[i]);
+    loss -= (logits.at(i, label) - max_logit) - std::log(denom);
+    for (std::size_t c = 0; c < shape_.classes; ++c) {
+      const double softmax = std::exp(logits.at(i, c) - max_logit) / denom;
+      dlogits.at(i, c) =
+          (softmax - (c == label ? 1.0 : 0.0)) / static_cast<double>(batch);
+    }
+  }
+  loss /= static_cast<double>(batch);
+  if (grads == nullptr) return loss;
+
+  assert(grads->size() == params_.size());
+  // Layer 3.
+  (*grads)[4] = MatMulTransposeA(h2, dlogits);
+  for (std::size_t c = 0; c < shape_.classes; ++c) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < batch; ++i) sum += dlogits.at(i, c);
+    (*grads)[5].at(0, c) = sum;
+  }
+  // Layer 2.
+  Matrix dh2 = MatMulTransposeB(dlogits, params_[4]);
+  ReluBackward(h2, dh2);
+  (*grads)[2] = MatMulTransposeA(h1, dh2);
+  for (std::size_t c = 0; c < shape_.hidden2; ++c) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < batch; ++i) sum += dh2.at(i, c);
+    (*grads)[3].at(0, c) = sum;
+  }
+  // Layer 1.
+  Matrix dh1 = MatMulTransposeB(dh2, params_[2]);
+  ReluBackward(h1, dh1);
+  (*grads)[0] = MatMulTransposeA(x, dh1);
+  for (std::size_t c = 0; c < shape_.hidden1; ++c) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < batch; ++i) sum += dh1.at(i, c);
+    (*grads)[1].at(0, c) = sum;
+  }
+  return loss;
+}
+
+double Mlp::Accuracy(const Matrix& x, const std::vector<int>& labels) const {
+  Matrix logits = Logits(x, nullptr, nullptr);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < shape_.classes; ++c) {
+      if (logits.at(i, c) > logits.at(i, best)) best = c;
+    }
+    if (static_cast<int>(best) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.rows());
+}
+
+}  // namespace tictac::learn

@@ -1,0 +1,50 @@
+// Two-hidden-layer MLP classifier with softmax cross-entropy loss.
+//
+// Parameters are exposed as an indexed list so the PS trainer can shard,
+// transfer, and update them in an arbitrary order — the point under test.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "learn/matrix.h"
+
+namespace tictac::learn {
+
+struct MlpShape {
+  std::size_t inputs = 8;
+  std::size_t hidden1 = 32;
+  std::size_t hidden2 = 16;
+  std::size_t classes = 3;
+};
+
+// Gradients aligned with Mlp::params() indexing.
+using Gradients = std::vector<Matrix>;
+
+class Mlp {
+ public:
+  Mlp(const MlpShape& shape, std::uint64_t seed);
+
+  // Parameter list: {W1, b1, W2, b2, W3, b3}.
+  std::size_t num_params() const { return params_.size(); }
+  const Matrix& param(std::size_t i) const { return params_[i]; }
+  Matrix& mutable_param(std::size_t i) { return params_[i]; }
+
+  // Mean cross-entropy loss of `x` (batch x inputs) against integer
+  // labels; fills `grads` (same layout as params) when non-null.
+  double Loss(const Matrix& x, const std::vector<int>& labels,
+              Gradients* grads) const;
+
+  // Fraction of correct argmax predictions.
+  double Accuracy(const Matrix& x, const std::vector<int>& labels) const;
+
+  Gradients ZeroGradients() const;
+
+ private:
+  MlpShape shape_;
+  std::vector<Matrix> params_;
+
+  Matrix Logits(const Matrix& x, Matrix* h1, Matrix* h2) const;
+};
+
+}  // namespace tictac::learn

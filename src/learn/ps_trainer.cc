@@ -1,0 +1,56 @@
+#include "learn/ps_trainer.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace tictac::learn {
+
+PsTrainer::PsTrainer(const TrainConfig& config, const Dataset& dataset)
+    : config_(config), dataset_(&dataset), model_({}, config.model_seed) {}
+
+TrainLog PsTrainer::Train(int iterations,
+                          const std::vector<int>& param_order) {
+  std::vector<int> order = param_order;
+  if (order.empty()) {
+    order.resize(model_.num_params());
+    std::iota(order.begin(), order.end(), 0);
+  }
+  assert(order.size() == model_.num_params());
+
+  TrainLog log;
+  log.loss.reserve(static_cast<std::size_t>(iterations));
+  std::size_t cursor = 0;
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Workers: replicate parameters (pull in `order` — a pure copy, so
+    // order is timing-only), compute shard gradients.
+    std::vector<Gradients> worker_grads;
+    double iteration_loss = 0.0;
+    for (int w = 0; w < config_.num_workers; ++w) {
+      const Dataset batch = dataset_->Batch(cursor, config_.batch_per_worker);
+      cursor = (cursor + config_.batch_per_worker) % dataset_->size();
+      Gradients grads = model_.ZeroGradients();
+      iteration_loss += model_.Loss(batch.features, batch.labels, &grads);
+      worker_grads.push_back(std::move(grads));
+    }
+    iteration_loss /= config_.num_workers;
+    log.loss.push_back(iteration_loss);
+
+    // PS: aggregate and apply per parameter, visiting parameters in the
+    // transfer-completion order under test.
+    const double scale =
+        -config_.learning_rate / static_cast<double>(config_.num_workers);
+    for (int p : order) {
+      const auto pi = static_cast<std::size_t>(p);
+      for (const Gradients& grads : worker_grads) {
+        model_.mutable_param(pi).Axpy(scale, grads[pi]);
+      }
+    }
+  }
+
+  const Dataset eval = dataset_->Batch(0, dataset_->size());
+  log.final_accuracy = model_.Accuracy(eval.features, eval.labels);
+  return log;
+}
+
+}  // namespace tictac::learn

@@ -1,0 +1,206 @@
+#include "models/builder.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tictac::models {
+namespace {
+
+using core::Graph;
+using core::OpId;
+
+// Per-layer share of the forward FLOP budget. Chain models (AlexNet/VGG)
+// are front-heavy — early convolutions over large spatial extents dominate
+// — while Inception/ResNet spread work more evenly.
+std::vector<double> LayerWeights(const ModelInfo& info, int layers) {
+  std::vector<double> w(static_cast<std::size_t>(layers));
+  double sum = 0.0;
+  for (int i = 0; i < layers; ++i) {
+    const double frac =
+        layers > 1 ? static_cast<double>(i) / static_cast<double>(layers - 1)
+                   : 0.0;
+    w[static_cast<std::size_t>(i)] =
+        info.family == Family::kChain ? std::exp(-1.5 * frac) + 0.2 : 1.0;
+    sum += w[static_cast<std::size_t>(i)];
+  }
+  for (double& x : w) x /= sum;
+  return w;
+}
+
+// Splits `total` into `bins` integers differing by at most one.
+std::vector<int> SpreadEvenly(int total, int bins) {
+  assert(bins > 0);
+  std::vector<int> out(static_cast<std::size_t>(bins), total / bins);
+  for (int i = 0; i < total % bins; ++i) out[static_cast<std::size_t>(i)]++;
+  return out;
+}
+
+// Appends a chain of `count` auxiliary compute ops after `head`, splitting
+// `total_cost` across them. Returns the new chain tail.
+OpId AppendAuxChain(Graph& graph, OpId head, int count, double total_cost,
+                    const std::string& prefix) {
+  OpId tail = head;
+  for (int i = 0; i < count; ++i) {
+    const OpId aux = graph.AddCompute(prefix + "/aux" + std::to_string(i),
+                                      total_cost / count);
+    graph.AddEdge(tail, aux);
+    tail = aux;
+  }
+  return tail;
+}
+
+}  // namespace
+
+double TotalComputeGflops(const ModelInfo& info, const BuildOptions& options) {
+  const double batch = info.standard_batch * options.batch_factor;
+  const double forward = info.gflops_per_sample * batch;
+  return options.training ? forward * 3.0 : forward;  // backward ~ 2x forward
+}
+
+core::Graph BuildWorkerGraph(const ModelInfo& info,
+                             const BuildOptions& options) {
+  const int P = info.num_params;
+  const int L = (P + 1) / 2;  // two parameters (weight, bias/scale) per layer
+  if (P <= 0) throw std::invalid_argument("model has no parameters");
+
+  const std::vector<std::int64_t> param_bytes = ParamSizes(info);
+  const std::vector<double> weight = LayerWeights(info, L);
+  const double batch = info.standard_batch * options.batch_factor;
+  const double fwd_cost = info.gflops_per_sample * batch;
+
+  // --- skeleton size, then padding budget --------------------------------
+  int joins = 0;  // concat (inception) or residual-add (resnet) ops
+  if (info.family == Family::kInception) joins = (L + 3) / 4;
+  if (info.family == Family::kResNet) joins = (L + 1) / 2;
+  const int base_inference = 1 /*input*/ + L /*cores*/ + joins +
+                             1 /*classifier*/ + P /*recvs*/;
+  const int pad_inference = info.ops_inference - base_inference;
+  if (pad_inference < 0) {
+    throw std::logic_error(info.name + ": inference skeleton exceeds Table 1");
+  }
+  const std::vector<int> aux_fwd = SpreadEvenly(pad_inference, L);
+
+  Graph graph;
+
+  // --- recvs (roots) ------------------------------------------------------
+  std::vector<OpId> recv(static_cast<std::size_t>(P));
+  for (int p = 0; p < P; ++p) {
+    recv[static_cast<std::size_t>(p)] =
+        graph.AddRecv("recv/p" + std::to_string(p),
+                      param_bytes[static_cast<std::size_t>(p)], p);
+  }
+
+  // --- forward pass --------------------------------------------------------
+  const OpId input = graph.AddCompute("input", 0.002 * fwd_cost);
+
+  std::vector<OpId> core(static_cast<std::size_t>(L));
+  std::vector<OpId> layer_out(static_cast<std::size_t>(L));
+  auto build_layer = [&](int layer, OpId upstream) {
+    const std::string prefix = "layer" + std::to_string(layer);
+    const double share = 0.92 * fwd_cost * weight[static_cast<std::size_t>(layer)];
+    const OpId c = graph.AddCompute(prefix + "/core", 0.85 * share);
+    graph.AddEdge(upstream, c);
+    for (int p = 2 * layer; p < std::min(P, 2 * layer + 2); ++p) {
+      graph.AddEdge(recv[static_cast<std::size_t>(p)], c);
+    }
+    core[static_cast<std::size_t>(layer)] = c;
+    layer_out[static_cast<std::size_t>(layer)] = AppendAuxChain(
+        graph, c, aux_fwd[static_cast<std::size_t>(layer)], 0.15 * share,
+        prefix);
+  };
+
+  OpId cursor = input;  // output of the previous structural unit
+  const double join_cost = joins > 0 ? 0.002 * fwd_cost / joins : 0.0;
+  switch (info.family) {
+    case Family::kChain:
+      for (int l = 0; l < L; ++l) {
+        build_layer(l, cursor);
+        cursor = layer_out[static_cast<std::size_t>(l)];
+      }
+      break;
+    case Family::kInception:
+      for (int module = 0; module * 4 < L; ++module) {
+        const int lo = module * 4;
+        const int hi = std::min(L, lo + 4);
+        const OpId concat =
+            graph.AddCompute("module" + std::to_string(module) + "/concat",
+                             join_cost);
+        for (int l = lo; l < hi; ++l) {
+          build_layer(l, cursor);  // branches fan out of the module input
+          graph.AddEdge(layer_out[static_cast<std::size_t>(l)], concat);
+        }
+        cursor = concat;
+      }
+      break;
+    case Family::kResNet:
+      for (int block = 0; block * 2 < L; ++block) {
+        const int lo = block * 2;
+        const int hi = std::min(L, lo + 2);
+        const OpId block_in = cursor;
+        OpId through = block_in;
+        for (int l = lo; l < hi; ++l) {
+          build_layer(l, through);
+          through = layer_out[static_cast<std::size_t>(l)];
+        }
+        const OpId add = graph.AddCompute(
+            "block" + std::to_string(block) + "/add", join_cost);
+        graph.AddEdge(through, add);
+        graph.AddEdge(block_in, add);  // skip connection
+        cursor = add;
+      }
+      break;
+  }
+
+  const OpId classifier = graph.AddCompute("classifier", 0.002 * fwd_cost);
+  graph.AddEdge(cursor, classifier);
+
+  if (!options.training) {
+    assert(static_cast<int>(graph.size()) == info.ops_inference);
+    return graph;
+  }
+
+  // --- backward pass -------------------------------------------------------
+  const int base_backward = 1 /*loss*/ + L /*grad cores*/ + P /*param grads*/ +
+                            P /*sends*/;
+  const int pad_training =
+      info.ops_training - info.ops_inference - base_backward;
+  if (pad_training < 0) {
+    throw std::logic_error(info.name + ": training skeleton exceeds Table 1");
+  }
+  const std::vector<int> aux_bwd = SpreadEvenly(pad_training, L);
+
+  const double bwd_cost = 2.0 * fwd_cost;
+  const OpId loss = graph.AddCompute("loss", 0.002 * bwd_cost);
+  graph.AddEdge(classifier, loss);
+
+  OpId grad_cursor = loss;
+  for (int l = L - 1; l >= 0; --l) {
+    const std::string prefix = "grad" + std::to_string(l);
+    const double share = 0.9 * bwd_cost * weight[static_cast<std::size_t>(l)];
+    const OpId g = graph.AddCompute(prefix + "/core", 0.75 * share);
+    graph.AddEdge(grad_cursor, g);
+    // Gradient needs the layer's forward activation.
+    graph.AddEdge(core[static_cast<std::size_t>(l)], g);
+    grad_cursor = AppendAuxChain(graph, g,
+                                 aux_bwd[static_cast<std::size_t>(l)],
+                                 0.05 * share, prefix);
+    for (int p = 2 * l; p < std::min(P, 2 * l + 2); ++p) {
+      const OpId pg = graph.AddCompute("pgrad/p" + std::to_string(p),
+                                       0.10 * share);
+      graph.mutable_op(pg).param = p;
+      graph.AddEdge(g, pg);
+      const OpId send =
+          graph.AddSend("send/p" + std::to_string(p),
+                        param_bytes[static_cast<std::size_t>(p)], p);
+      graph.AddEdge(pg, send);
+    }
+  }
+
+  assert(static_cast<int>(graph.size()) == info.ops_training);
+  return graph;
+}
+
+}  // namespace tictac::models

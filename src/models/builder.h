@@ -1,0 +1,40 @@
+// Builds worker-partition computational graphs from model specs.
+//
+// The generated graph is the Model-Replica worker partition of §2.2:
+// recv ops are the roots (one per parameter), computation follows the
+// family structure (chain / inception modules / residual blocks), and —
+// in training mode — gradient send ops are the leaves. Op counts match
+// Table 1 exactly: the builder first lays down the structural skeleton
+// (cores, joins, classifier/loss) and then pads each layer with auxiliary
+// chain ops (the BN/ReLU/identity/shape bookkeeping that dominates real
+// TensorFlow graphs) until the Table 1 count is reached.
+#pragma once
+
+#include "core/graph.h"
+#include "models/zoo.h"
+
+namespace tictac::models {
+
+struct BuildOptions {
+  // Training graph (forward + backward + gradient sends) vs inference
+  // (forward only).
+  bool training = false;
+  // Multiplies the standard batch size (the paper sweeps {0.5, 1, 2}).
+  double batch_factor = 1.0;
+};
+
+// Returns the worker partition DAG. Compute costs are in GFLOPs for the
+// whole (scaled) batch; transfer sizes are parameter bytes.
+//
+// Postconditions (covered by tests):
+//   * graph.size() == info.ops_inference or info.ops_training
+//   * number of recv ops == info.num_params, total recv bytes match
+//   * acyclic, single forward sink before loss, sends are leaves
+core::Graph BuildWorkerGraph(const ModelInfo& info,
+                             const BuildOptions& options = {});
+
+// Total forward compute cost (GFLOPs) of one iteration at the scaled
+// batch; training adds the usual 2x backward multiplier.
+double TotalComputeGflops(const ModelInfo& info, const BuildOptions& options);
+
+}  // namespace tictac::models

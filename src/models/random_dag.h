@@ -1,0 +1,32 @@
+// Random layered DAG generator for property-based testing and fuzzing.
+//
+// Produces graphs with the same structural contract as real worker
+// partitions — recv ops are roots, computes form a layered DAG with a
+// common sink, optional sends are leaves — but with randomized shape,
+// fan-in, costs, and transfer sizes. Deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.h"
+
+namespace tictac::models {
+
+struct RandomDagOptions {
+  int num_recvs = 6;
+  int num_computes = 12;
+  int num_layers = 4;          // computes are spread across layers
+  double edge_probability = 0.4;  // extra compute->compute edges
+  bool with_sends = false;     // one send per recv, fed from the last layer
+  double max_cost = 4.0;       // compute cost ~ U(0.1, max_cost)
+  std::int64_t max_bytes = 1 << 20;  // transfer size ~ U(1KiB, max_bytes)
+};
+
+// Invariants of the returned graph (asserted in tests):
+//   * acyclic; recvs are roots; every recv has at least one consumer;
+//   * a single terminal compute (the "sink") every compute can reach;
+//   * if with_sends, exactly num_recvs sends, all leaves.
+core::Graph MakeRandomDag(const RandomDagOptions& options,
+                          std::uint64_t seed);
+
+}  // namespace tictac::models

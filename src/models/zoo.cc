@@ -1,0 +1,95 @@
+#include "models/zoo.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace tictac::models {
+
+const char* ToString(Family family) {
+  switch (family) {
+    case Family::kChain: return "chain";
+    case Family::kInception: return "inception";
+    case Family::kResNet: return "resnet";
+  }
+  return "unknown";
+}
+
+const std::vector<ModelInfo>& ModelZoo() {
+  // #Par / size / op counts / batch are Table 1 of the paper verbatim.
+  // gflops_per_sample is the published forward cost of each architecture
+  // at 224x224 (299x299 for Inception v3), used only to set the relative
+  // computation/communication ratio.
+  static const std::vector<ModelInfo> kZoo = {
+      {"AlexNet v2", Family::kChain, 16, 191.89, 235, 483, 512, 0.7, 4.0},
+      {"Inception v1", Family::kInception, 116, 25.24, 1114, 2246, 128, 1.5,
+       1.2},
+      {"Inception v2", Family::kInception, 141, 42.64, 1369, 2706, 128, 2.0,
+       1.2},
+      {"Inception v3", Family::kInception, 196, 103.54, 1904, 3672, 32, 5.7,
+       1.2},
+      {"ResNet-50 v1", Family::kResNet, 108, 97.39, 1114, 2096, 32, 4.1, 1.5},
+      {"ResNet-101 v1", Family::kResNet, 210, 169.74, 2083, 3898, 64, 7.8,
+       1.5},
+      {"ResNet-50 v2", Family::kResNet, 125, 97.45, 1423, 2813, 64, 4.1, 1.5},
+      {"ResNet-101 v2", Family::kResNet, 244, 169.86, 2749, 5380, 32, 7.8,
+       1.5},
+      {"VGG-16", Family::kChain, 32, 527.79, 388, 758, 32, 15.5, 4.0},
+      {"VGG-19", Family::kChain, 38, 548.05, 442, 857, 32, 19.6, 4.0},
+  };
+  return kZoo;
+}
+
+const ModelInfo& FindModel(std::string_view name) {
+  for (const ModelInfo& info : ModelZoo()) {
+    if (info.name == name) return info;
+  }
+  throw std::out_of_range("unknown model: " + std::string(name));
+}
+
+std::vector<std::int64_t> ParamSizes(const ModelInfo& info) {
+  const int n = info.num_params;
+  assert(n > 0);
+  const std::int64_t total = info.total_param_bytes();
+
+  // Profile weights ((i+1)/n)^alpha, plus a floor so early parameters
+  // (conv kernels, biases) keep realistic non-trivial sizes, and a
+  // deterministic per-parameter modulation: real networks interleave
+  // large kernels with small biases/scales, so sizes must not grow
+  // monotonically with depth (otherwise "smallest transfer first" would
+  // coincide with layer order, which it does not in practice).
+  auto modulation = [](int i) {
+    std::uint64_t x = static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL + 1;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return 0.55 + 0.9 * static_cast<double>((x ^ (x >> 31)) >> 11) /
+                      9007199254740992.0;  // in [0.55, 1.45)
+  };
+  std::vector<double> weight(static_cast<std::size_t>(n));
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double frac = static_cast<double>(i + 1) / static_cast<double>(n);
+    weight[static_cast<std::size_t>(i)] =
+        (std::pow(frac, info.param_profile_alpha) + 0.02) * modulation(i);
+    sum += weight[static_cast<std::size_t>(i)];
+  }
+
+  std::vector<std::int64_t> bytes(static_cast<std::size_t>(n));
+  std::int64_t assigned = 0;
+  for (int i = 0; i < n; ++i) {
+    // Multiples of 4 (float32 elements); at least one element.
+    auto b = static_cast<std::int64_t>(
+        static_cast<double>(total) * weight[static_cast<std::size_t>(i)] /
+        sum);
+    b = std::max<std::int64_t>(4, (b / 4) * 4);
+    bytes[static_cast<std::size_t>(i)] = b;
+    assigned += b;
+  }
+  // Fold the rounding residue into the largest (last) parameter so the
+  // total matches Table 1 exactly.
+  bytes[static_cast<std::size_t>(n - 1)] += total - assigned;
+  assert(bytes[static_cast<std::size_t>(n - 1)] > 0);
+  return bytes;
+}
+
+}  // namespace tictac::models

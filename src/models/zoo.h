@@ -1,0 +1,59 @@
+// Model zoo: the ten DNNs of the paper's Table 1.
+//
+// We regenerate each network as a synthetic architecture whose scheduling-
+// relevant characteristics match the paper exactly: number of parameters,
+// aggregate parameter bytes, op counts in inference and training graphs,
+// and the standard batch size. The DAG shape follows the model family
+// (sequential chain, Inception-style branch-and-concat modules, or ResNet
+// blocks with skip connections), and per-op compute costs follow the
+// model's published per-sample FLOP budget. See DESIGN.md §1 for why this
+// substitution preserves the paper's scheduling behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tictac::models {
+
+enum class Family {
+  kChain,      // AlexNet, VGG: sequential conv/fc stack
+  kInception,  // GoogLeNet family: 4-way branch modules joined by concat
+  kResNet,     // residual blocks with skip connections
+};
+
+const char* ToString(Family family);
+
+// Static characteristics of one model (Table 1 plus a FLOP budget).
+struct ModelInfo {
+  std::string name;
+  Family family = Family::kChain;
+  int num_params = 0;           // Table 1 "#Par"
+  double total_param_mib = 0;   // Table 1 "Total Par Size (MiB)"
+  int ops_inference = 0;        // Table 1 "#Ops Inference"
+  int ops_training = 0;         // Table 1 "#Ops Training"
+  int standard_batch = 0;       // Table 1 "Batch Size"
+  double gflops_per_sample = 0; // forward-pass cost per input sample
+  // Shape of the parameter-size profile: bytes of param i grow like
+  // ((i+1)/n)^alpha. Chain models are back-heavy (fully-connected
+  // classifier dominates); Inception/ResNet are flatter.
+  double param_profile_alpha = 1.5;
+
+  std::int64_t total_param_bytes() const {
+    return static_cast<std::int64_t>(total_param_mib * 1024.0 * 1024.0);
+  }
+};
+
+// All ten models, in Table 1 order.
+const std::vector<ModelInfo>& ModelZoo();
+
+// Lookup by name (exact match, e.g. "ResNet-50 v2"). Throws
+// std::out_of_range for unknown names.
+const ModelInfo& FindModel(std::string_view name);
+
+// Deterministic per-parameter byte sizes: exactly info.num_params entries,
+// each a positive multiple of 4, summing to info.total_param_bytes().
+std::vector<std::int64_t> ParamSizes(const ModelInfo& info);
+
+}  // namespace tictac::models

@@ -1,0 +1,30 @@
+// Ring all-reduce lowering — the decentralized aggregation pattern
+// (Horovod-style) that the paper names as out of scope (§2) and future
+// work (§7). Built here as a comparison substrate so the PS+TicTac
+// results can be put in context.
+//
+// Model: no parameter servers. Weights live on the workers, so the
+// forward pass never waits on the network; after each parameter's
+// gradient is ready on every worker, the gradient is all-reduced around a
+// ring of W unidirectional links in 2(W-1) phases, each moving 1/W of the
+// parameter's bytes per link concurrently.
+//
+// Resource layout:
+//   [0, W)      worker computation resources
+//   [W, 2W)     ring links (worker i -> worker (i+1) mod W)
+#pragma once
+
+#include "core/graph.h"
+#include "runtime/cluster.h"
+#include "runtime/lowering.h"
+
+namespace tictac::runtime {
+
+// `worker_graph` must be a training graph (sends present). Recv ops
+// become zero-cost local weight reads on the worker. The returned
+// Lowering reuses the same stats contract as LowerCluster (worker_tasks,
+// worker_recv_tasks are populated; gates unused).
+Lowering LowerAllReduce(const core::Graph& worker_graph,
+                        const ClusterConfig& config);
+
+}  // namespace tictac::runtime

@@ -1,0 +1,51 @@
+#include "runtime/cluster.h"
+
+namespace tictac::runtime {
+
+const char* ToString(Method method) {
+  switch (method) {
+    case Method::kBaseline: return "baseline";
+    case Method::kTic: return "TIC";
+    case Method::kTac: return "TAC";
+  }
+  return "unknown";
+}
+
+const char* ToString(Enforcement enforcement) {
+  switch (enforcement) {
+    case Enforcement::kPriorityOnly: return "priority-only";
+    case Enforcement::kHandoffGate: return "hand-off gate";
+    case Enforcement::kDagChain: return "DAG chaining";
+  }
+  return "unknown";
+}
+
+ClusterConfig EnvG(int num_workers, int num_ps, bool training) {
+  ClusterConfig config;
+  config.num_workers = num_workers;
+  config.num_ps = num_ps;
+  config.training = training;
+  config.platform.compute_rate = 4000.0;    // K80 fp32, ~4 TFLOP/s effective
+  config.platform.bandwidth_bps = 1.25e9;   // ~10 Gb/s cloud fabric
+  config.platform.latency_s = 200e-6;       // per-transfer RPC setup
+  config.platform.ps_op_time_s = 5e-6;
+  config.sim.jitter_sigma = 0.04;           // cloud timing variation
+  config.sim.out_of_order_probability = 0.005;  // §5.1: ~0.4-0.5%
+  return config;
+}
+
+ClusterConfig EnvC(int num_workers, int num_ps, bool training) {
+  ClusterConfig config;
+  config.num_workers = num_workers;
+  config.num_ps = num_ps;
+  config.training = training;
+  config.platform.compute_rate = 600.0;     // 32-core CPU, ~0.6 TFLOP/s
+  config.platform.bandwidth_bps = 1.25e8;   // 1 GbE
+  config.platform.latency_s = 150e-6;
+  config.platform.ps_op_time_s = 5e-6;
+  config.sim.jitter_sigma = 0.02;
+  config.sim.out_of_order_probability = 0.005;
+  return config;
+}
+
+}  // namespace tictac::runtime

@@ -1,0 +1,70 @@
+// Cluster configuration and the two evaluation environments of Section 6.
+#pragma once
+
+#include "core/time_oracle.h"
+#include "sim/task.h"
+
+namespace tictac::runtime {
+
+// The scheduling method under test.
+enum class Method {
+  kBaseline,  // no priorities, no enforcement — TensorFlow's arbitrary order
+  kTic,       // Algorithm 2
+  kTac,       // Algorithm 3
+};
+
+const char* ToString(Method method);
+
+// How the transfer order is imposed on the runtime (§5.1 discusses the
+// candidate locations; the paper picks the sender-side hand-off gate).
+enum class Enforcement {
+  // Priorities influence ready-queue picks but nothing blocks hand-off.
+  kPriorityOnly,
+  // Sender-side counter gate before the gRPC hand-off (the paper's
+  // choice): transfers enqueue in normalized-priority order, channels
+  // drain concurrently.
+  kHandoffGate,
+  // Direct DAG dependencies between consecutive transfers: conservative,
+  // each transfer waits for the *completion* of the previous one, which
+  // defeats pipelining across channels (§5.1 rejects this).
+  kDagChain,
+};
+
+const char* ToString(Enforcement enforcement);
+
+struct ClusterConfig {
+  int num_workers = 1;
+  int num_ps = 1;
+  // Training (forward+backward+gradient push+PS update) vs inference
+  // (parameter read + forward), per the two workloads of Section 6.
+  bool training = true;
+  // Batch-size multiplier (Figure 10 sweeps {0.5, 1, 2}).
+  double batch_factor = 1.0;
+  // Hardware cost model. compute_rate is in GFLOP/s to match the
+  // GFLOP-denominated op costs produced by the model builder.
+  core::PlatformModel platform;
+  // Execution-time variation and gRPC reordering.
+  sim::SimOptions sim;
+  // Lognormal sigma for the oracle TAC consumes; 0 = exact oracle. Models
+  // trace-estimation error (the ablation of DESIGN.md A2).
+  double tac_oracle_sigma = 0.0;
+  // Order-enforcement mechanism (ablation A1).
+  Enforcement enforcement = Enforcement::kHandoffGate;
+  // Per-worker compute speed multipliers (hardware heterogeneity; 1.0 =
+  // nominal). Empty = homogeneous. Scheduling fixes *schedule-induced*
+  // stragglers, not hardware ones — the straggler ablation separates the
+  // two.
+  std::vector<double> worker_speed_factors;
+  // Split transfers larger than this into chunks before scheduling
+  // (core/chunking.h, the P3/ByteScheduler-style extension). 0 = off.
+  std::int64_t chunk_bytes = 0;
+};
+
+// envG — cloud GPU environment: Standard NC6 workers (1x K80) with
+// CPU-only F64s parameter servers on a ~10 Gb/s cloud fabric.
+ClusterConfig EnvG(int num_workers, int num_ps, bool training);
+
+// envC — high-end CPU commodity cluster on 1 GbE.
+ClusterConfig EnvC(int num_workers, int num_ps, bool training);
+
+}  // namespace tictac::runtime

@@ -1,0 +1,91 @@
+// Lowers a Model-Replica cluster (identical worker partitions + sharded
+// parameter servers) into the simulator's flat task graph.
+//
+// Resource layout (Figure 2's distributed execution), with gRPC's "one
+// channel per worker-PS pair; only one transfer active per channel"
+// semantics (§5.1):
+//   [0, W)                      worker computation resources (GPU/CPU)
+//   [W, W + W*S)                downlink channels (PS s -> worker w):
+//                                 index W + w*S + s
+//   [W + W*S, W + 2*W*S)        uplink channels (worker w -> PS s):
+//                                 index W + W*S + w*S + s
+//   [W + 2*W*S, W + 2*W*S + S)  PS bookkeeping CPUs (aggregate/read/update)
+//
+// A PS NIC is time-shared by its W channels, so each pair-channel gets
+// bandwidth/W — this is how PS communication load grows with worker count
+// (§6.1) while per-worker transfer order remains the worker's own affair.
+#pragma once
+
+#include <vector>
+
+#include "core/graph.h"
+#include "core/schedule.h"
+#include "runtime/cluster.h"
+#include "sim/engine.h"
+
+namespace tictac::runtime {
+
+// Mapping from simulator tasks back to model semantics, for statistics.
+struct Lowering {
+  sim::TaskGraphSim BuildSim() const {
+    return sim::TaskGraphSim(tasks, num_resources);
+  }
+
+  std::vector<sim::Task> tasks;
+  int num_resources = 0;
+  int num_workers = 0;
+
+  // Task ids of each worker's ops (the worker partition), used for the
+  // per-worker makespan and the U/L bounds of Section 3.2.
+  std::vector<std::vector<sim::TaskId>> worker_tasks;
+  // Task ids of each worker's parameter transfers, aligned with
+  // `transfer_param[w]` giving the parameter index of each.
+  std::vector<std::vector<sim::TaskId>> worker_recv_tasks;
+  std::vector<std::vector<int>> transfer_param;
+  // PS-side update task per parameter (-1 when absent, e.g. inference);
+  // and each worker's final forward compute — the hooks the pipelined
+  // lowering stitches consecutive iterations with.
+  std::vector<sim::TaskId> update_task;
+  std::vector<sim::TaskId> worker_sink;
+};
+
+// Builds the iteration task graph.
+//
+// `worker_graph` is the per-worker partition (identical on every worker,
+// Model-Replica). `schedule` supplies recv priorities; pass an empty
+// schedule (no priorities) for the baseline. `ps_of_param` maps parameter
+// index -> PS. Durations come from config.platform.
+Lowering LowerCluster(const core::Graph& worker_graph,
+                      const core::Schedule& schedule,
+                      const std::vector<int>& ps_of_param,
+                      const ClusterConfig& config);
+
+// Pipelined execution of consecutive iterations. Dataflow runtimes do not
+// erect a global barrier between steps: a parameter can be pulled for
+// iteration k+1 the moment its PS update from iteration k lands (training)
+// — so transfers of the next step overlap the tail of the current one. In
+// inference (serving loop) iteration k+1 starts once the worker's forward
+// pass k completes.
+struct PipelineLowering {
+  Lowering lowering;
+  std::vector<int> task_iteration;  // per task: which iteration it belongs to
+  int iterations = 0;
+};
+
+PipelineLowering LowerPipeline(const core::Graph& worker_graph,
+                               const core::Schedule& schedule,
+                               const std::vector<int>& ps_of_param,
+                               const ClusterConfig& config, int iterations);
+
+// Per-iteration completion times (max end over the iteration's tasks) and
+// the steady-state per-iteration time, estimated over iterations [1, n).
+struct PipelineTiming {
+  std::vector<double> iteration_finish;
+  double first_iteration = 0.0;
+  double steady_state = 0.0;
+};
+
+PipelineTiming ComputePipelineTiming(const PipelineLowering& pipeline,
+                                     const sim::SimResult& result);
+
+}  // namespace tictac::runtime

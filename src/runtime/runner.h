@@ -1,0 +1,68 @@
+// Experiment runner: builds a model's worker partition, schedules it with
+// the requested method, lowers the cluster, and simulates iterations,
+// collecting the paper's metrics (throughput, scheduling efficiency E,
+// straggler share, transfer orders).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/schedule.h"
+#include "models/builder.h"
+#include "runtime/lowering.h"
+
+namespace tictac::runtime {
+
+struct IterationStats {
+  double makespan = 0.0;                // cluster iteration time (seconds)
+  std::vector<double> worker_finish;    // per-worker partition makespan
+  double straggler_pct = 0.0;           // max worker wait / iteration time
+  double mean_efficiency = 0.0;         // E (Eq. 3) averaged over workers
+  std::vector<int> recv_order;          // worker 0 transfer completion order
+  // Fraction of the smaller of (communication busy time, computation busy
+  // time) during which both proceeded concurrently, averaged over
+  // workers. 1 = perfect overlap of the shorter side, 0 = fully serial.
+  double overlap_fraction = 0.0;
+};
+
+struct ExperimentResult {
+  std::vector<IterationStats> iterations;
+  double samples_per_iteration = 0.0;
+
+  double MeanIterationTime() const;
+  double Throughput() const;  // samples / second
+  // The paper reports the max across iterations for stragglers and E.
+  double MaxStragglerPct() const;
+  double MeanStragglerPct() const;
+  double MaxEfficiency() const;
+  double MeanEfficiency() const;
+  double MeanOverlap() const;
+  // Distinct worker-0 parameter arrival orders across iterations (§2.2).
+  int UniqueRecvOrders() const;
+};
+
+class Runner {
+ public:
+  Runner(const models::ModelInfo& model, ClusterConfig config);
+
+  // The priority schedule the given method produces for this model
+  // (empty — no priorities — for the baseline).
+  core::Schedule MakeSchedule(Method method) const;
+
+  // Simulates `iterations` iterations; deterministic in `seed`.
+  ExperimentResult Run(Method method, int iterations,
+                       std::uint64_t seed) const;
+
+  const core::Graph& worker_graph() const { return graph_; }
+  const ClusterConfig& config() const { return config_; }
+  const std::vector<int>& ps_of_param() const { return ps_of_param_; }
+
+ private:
+  models::ModelInfo model_;
+  ClusterConfig config_;
+  core::Graph graph_;
+  std::vector<int> ps_of_param_;
+};
+
+}  // namespace tictac::runtime

@@ -1,0 +1,41 @@
+#include "runtime/sharding.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace tictac::runtime {
+
+std::vector<int> ShardParams(const std::vector<std::int64_t>& param_bytes,
+                             int num_ps) {
+  assert(num_ps >= 1);
+  std::vector<int> assignment(param_bytes.size(), 0);
+  if (num_ps == 1) return assignment;
+
+  // Largest-first greedy onto the least-loaded server.
+  std::vector<std::size_t> order(param_bytes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return param_bytes[a] > param_bytes[b];
+  });
+  std::vector<std::int64_t> load(static_cast<std::size_t>(num_ps), 0);
+  for (std::size_t p : order) {
+    const int target = static_cast<int>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    assignment[p] = target;
+    load[static_cast<std::size_t>(target)] += param_bytes[p];
+  }
+  return assignment;
+}
+
+std::vector<std::int64_t> ShardLoads(
+    const std::vector<std::int64_t>& param_bytes,
+    const std::vector<int>& assignment, int num_ps) {
+  std::vector<std::int64_t> load(static_cast<std::size_t>(num_ps), 0);
+  for (std::size_t p = 0; p < param_bytes.size(); ++p) {
+    load[static_cast<std::size_t>(assignment[p])] += param_bytes[p];
+  }
+  return load;
+}
+
+}  // namespace tictac::runtime

@@ -1,0 +1,23 @@
+// Parameter -> parameter-server assignment.
+//
+// Distributed TensorFlow shards variables across parameter servers; we use
+// greedy balanced-bytes placement (largest parameter first onto the least
+// loaded PS), which keeps per-PS transfer volume near-equal — the property
+// the multi-PS experiments (Figure 9) depend on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tictac::runtime {
+
+// Returns ps index per parameter, in [0, num_ps). num_ps must be >= 1.
+std::vector<int> ShardParams(const std::vector<std::int64_t>& param_bytes,
+                             int num_ps);
+
+// Total bytes per PS under `assignment`.
+std::vector<std::int64_t> ShardLoads(
+    const std::vector<std::int64_t>& param_bytes,
+    const std::vector<int>& assignment, int num_ps);
+
+}  // namespace tictac::runtime

@@ -1,0 +1,78 @@
+#include "sim/reference.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tictac::sim {
+
+SimResult ReferenceRun(const std::vector<Task>& tasks, int num_resources) {
+  const std::size_t n = tasks.size();
+  SimResult result;
+  result.start.assign(n, 0.0);
+  result.end.assign(n, 0.0);
+
+  std::vector<int> missing(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    missing[t] = static_cast<int>(tasks[t].preds.size());
+  }
+  std::vector<bool> started(n, false);
+  std::vector<bool> done(n, false);
+  // Per-resource: id of the in-flight task, or -1.
+  std::vector<int> running(static_cast<std::size_t>(num_resources), -1);
+
+  double now = 0.0;
+  std::size_t completed = 0;
+  while (completed < n) {
+    // Start everything startable at `now`, deterministically.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int r = 0; r < num_resources; ++r) {
+        if (running[static_cast<std::size_t>(r)] >= 0) continue;
+        int best = -1;
+        for (std::size_t t = 0; t < n; ++t) {
+          if (started[t] || missing[t] > 0 || tasks[t].resource != r) {
+            continue;
+          }
+          if (best < 0 ||
+              tasks[t].priority < tasks[static_cast<std::size_t>(best)].priority) {
+            best = static_cast<int>(t);
+          }
+        }
+        if (best >= 0) {
+          started[static_cast<std::size_t>(best)] = true;
+          running[static_cast<std::size_t>(r)] = best;
+          result.start[static_cast<std::size_t>(best)] = now;
+          result.end[static_cast<std::size_t>(best)] =
+              now + tasks[static_cast<std::size_t>(best)].duration;
+          result.start_order.push_back(best);
+          progress = true;
+        }
+      }
+    }
+    // Advance to the earliest in-flight completion.
+    double next = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < num_resources; ++r) {
+      const int t = running[static_cast<std::size_t>(r)];
+      if (t >= 0) next = std::min(next, result.end[static_cast<std::size_t>(t)]);
+    }
+    now = next;
+    for (int r = 0; r < num_resources; ++r) {
+      const int t = running[static_cast<std::size_t>(r)];
+      if (t >= 0 && result.end[static_cast<std::size_t>(t)] <= now) {
+        running[static_cast<std::size_t>(r)] = -1;
+        done[static_cast<std::size_t>(t)] = true;
+        ++completed;
+        result.makespan = std::max(result.makespan, now);
+        for (std::size_t s = 0; s < n; ++s) {
+          for (const TaskId p : tasks[s].preds) {
+            if (p == t) --missing[s];
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tictac::sim

@@ -1,0 +1,21 @@
+// Reference executor for differential testing.
+//
+// An independent, deliberately naive implementation of the execution
+// semantics: time-stepped list scheduling with deterministic selection
+// (lowest priority number, then lowest task id) and no randomness. On
+// task graphs where the engine's tie-breaks never fire (unique priorities
+// per resource, no jitter, no gates), TaskGraphSim must produce exactly
+// the same start/end times. Divergence in either direction is a bug in
+// one of the two executors.
+#pragma once
+
+#include "sim/task.h"
+
+namespace tictac::sim {
+
+// Executes the task graph with deterministic greedy list scheduling.
+// Ignores gates and SimOptions entirely; priorities kNoPriority sort
+// after all numbered priorities (ties by task id).
+SimResult ReferenceRun(const std::vector<Task>& tasks, int num_resources);
+
+}  // namespace tictac::sim

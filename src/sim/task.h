@@ -1,0 +1,68 @@
+// Task-level execution model consumed by the discrete-event simulator.
+//
+// The runtime lowers a cluster (worker partitions + PS partitions +
+// transfers) into a flat task graph: every task occupies exactly one
+// resource for its duration, starts only after its predecessors complete,
+// and — for network transfers under TicTac enforcement — only after its
+// per-worker hand-off gate opens (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/op.h"
+
+namespace tictac::sim {
+
+using TaskId = std::int32_t;
+
+inline constexpr int kNoPriority = std::numeric_limits<int>::max();
+
+struct Task {
+  // Service time on `resource`, in seconds, before jitter.
+  double duration = 0.0;
+  // Resource index in [0, num_resources).
+  int resource = 0;
+
+  // Ready-queue priority number: a resource picks uniformly among ready
+  // tasks holding the lowest number together with tasks holding no number
+  // (Section 3.1 semantics).
+  int priority = kNoPriority;
+
+  // Enforcement gate (§5.1). A task with gate_group >= 0 may start only
+  // when its group's hand-off counter equals gate_rank; the counter
+  // increments when the task starts (is "handed to gRPC"), so transfers
+  // pipeline while their initiation order stays fixed.
+  int gate_group = -1;
+  int gate_rank = -1;
+
+  // Dependencies: indices of tasks that must complete first.
+  std::vector<TaskId> preds;
+
+  // Provenance, for statistics (not used by the engine itself).
+  core::OpId op = core::kInvalidOp;
+  core::OpKind kind = core::OpKind::kCompute;
+  int worker = -1;  // worker this task belongs to; -1 for PS-side tasks
+};
+
+struct SimOptions {
+  // Honor gate_group/gate_rank. Off = the unscheduled baseline.
+  bool enforce_gates = true;
+  // Probability that a gated task is exempted from its gate, modeling
+  // gRPC hand-off reordering (the paper measures 0.4-0.5%).
+  double out_of_order_probability = 0.0;
+  // Multiplicative lognormal jitter (shape sigma) on every task duration,
+  // modeling platform timing variation. 0 = deterministic durations.
+  double jitter_sigma = 0.0;
+};
+
+struct SimResult {
+  double makespan = 0.0;
+  std::vector<double> start;  // per task
+  std::vector<double> end;    // per task
+  // Tasks in the order they started, useful for schedule forensics.
+  std::vector<TaskId> start_order;
+};
+
+}  // namespace tictac::sim

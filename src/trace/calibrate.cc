@@ -1,0 +1,57 @@
+#include "trace/calibrate.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace tictac::trace {
+
+Calibration CalibratePlatform(const runtime::Lowering& lowering,
+                              const sim::SimResult& result,
+                              const core::Graph& worker_graph,
+                              int num_workers) {
+  if (num_workers < 1) throw std::invalid_argument("num_workers must be >= 1");
+  std::vector<double> bytes;
+  std::vector<double> transfer_time;
+  double total_cost = 0.0;
+  double total_compute_time = 0.0;
+  int compute_samples = 0;
+
+  for (sim::TaskId t : lowering.worker_tasks[0]) {
+    const auto ti = static_cast<std::size_t>(t);
+    const sim::Task& task = lowering.tasks[ti];
+    const double duration = result.end[ti] - result.start[ti];
+    const core::Op& op = worker_graph.op(task.op);
+    if (core::IsCommunication(task.kind)) {
+      bytes.push_back(static_cast<double>(op.bytes));
+      transfer_time.push_back(duration);
+    } else if (task.kind == core::OpKind::kCompute && op.cost > 0.0 &&
+               duration > 0.0) {
+      total_cost += op.cost;
+      total_compute_time += duration;
+      ++compute_samples;
+    }
+  }
+  if (bytes.size() < 2 || compute_samples == 0) {
+    throw std::runtime_error("not enough samples to calibrate");
+  }
+
+  const util::LinearFit fit = util::FitLine(bytes, transfer_time);
+  if (fit.slope <= 0.0) {
+    throw std::runtime_error("transfer fit has non-positive slope");
+  }
+
+  Calibration calibration;
+  // slope = 1 / (bandwidth / W)  =>  bandwidth = W / slope.
+  calibration.platform.bandwidth_bps =
+      static_cast<double>(num_workers) / fit.slope;
+  calibration.platform.latency_s = std::max(0.0, fit.intercept);
+  calibration.platform.compute_rate = total_cost / total_compute_time;
+  calibration.transfer_fit_r2 = fit.r2;
+  calibration.transfer_samples = static_cast<int>(bytes.size());
+  calibration.compute_samples = compute_samples;
+  return calibration;
+}
+
+}  // namespace tictac::trace

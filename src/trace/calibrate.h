@@ -1,0 +1,32 @@
+// Platform calibration from traces: recovers an AnalyticalTimeOracle's
+// PlatformModel (bandwidth, latency, compute rate) from one measured
+// execution. Closes the profiling loop: trace an unknown cluster once,
+// calibrate, then schedule *other* models on it with TAC without
+// re-profiling them op by op.
+#pragma once
+
+#include "core/graph.h"
+#include "core/time_oracle.h"
+#include "runtime/lowering.h"
+
+namespace tictac::trace {
+
+struct Calibration {
+  core::PlatformModel platform;
+  double transfer_fit_r2 = 0.0;  // quality of the bytes -> duration fit
+  int transfer_samples = 0;
+  int compute_samples = 0;
+};
+
+// Fits, over worker-0's tasks:
+//   transfer duration = latency + bytes / (bandwidth / num_workers)
+//     (ordinary least squares; the NIC time-sharing factor is divided
+//      back out so the returned bandwidth is the full-NIC figure), and
+//   compute duration = cost / compute_rate (through-origin fit).
+// `num_workers` must match the traced cluster's worker count.
+Calibration CalibratePlatform(const runtime::Lowering& lowering,
+                              const sim::SimResult& result,
+                              const core::Graph& worker_graph,
+                              int num_workers);
+
+}  // namespace tictac::trace

@@ -1,0 +1,24 @@
+// Time-oracle estimator (§5): profiles a few iterations and takes the
+// minimum measured runtime per op, exactly the paper's "execute each
+// operation 5 times and choose the minimum" rule.
+#pragma once
+
+#include <cstdint>
+
+#include "core/time_oracle.h"
+#include "runtime/lowering.h"
+
+namespace tictac::trace {
+
+inline constexpr int kDefaultProfilingRuns = 5;
+
+// Runs `runs` profiling iterations of the lowered cluster (with the given
+// simulation options, typically including jitter) and returns a
+// MapTimeOracle over the *worker-0 partition* ops: each op's time is the
+// minimum across runs. This is the oracle TAC consumes in a realistic
+// deployment, as opposed to the exact analytical oracle.
+core::MapTimeOracle EstimateWorkerOracle(const runtime::Lowering& lowering,
+                                         const sim::SimOptions& options,
+                                         int runs, std::uint64_t seed);
+
+}  // namespace tictac::trace

@@ -1,0 +1,58 @@
+#include "trace/tracer.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tictac::trace {
+
+std::vector<Span> CollectSpans(const runtime::Lowering& lowering,
+                               const sim::SimResult& result,
+                               const core::Graph& worker_graph) {
+  std::vector<Span> spans;
+  spans.reserve(lowering.tasks.size());
+  for (std::size_t t = 0; t < lowering.tasks.size(); ++t) {
+    const sim::Task& task = lowering.tasks[t];
+    Span span;
+    span.resource = task.resource;
+    span.worker = task.worker;
+    span.kind = task.kind;
+    span.start = result.start[t];
+    span.end = result.end[t];
+    if (task.op != core::kInvalidOp) {
+      span.name = worker_graph.op(task.op).name;
+      if (task.worker >= 0) {
+        span.name = "w" + std::to_string(task.worker) + "/" + span.name;
+      }
+    } else {
+      span.name = std::string("ps/") + core::ToString(task.kind);
+    }
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+std::string ToChromeTraceJson(const std::vector<Span>& spans) {
+  std::ostringstream os;
+  os << "[\n";
+  bool first = true;
+  for (const Span& span : spans) {
+    if (!first) os << ",\n";
+    first = false;
+    os << R"({"name":")" << span.name << R"(","ph":"X","pid":0,"tid":)"
+       << span.resource << R"(,"ts":)" << span.start * 1e6 << R"(,"dur":)"
+       << (span.end - span.start) * 1e6 << R"(,"cat":")"
+       << core::ToString(span.kind) << R"("})";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+void WriteChromeTrace(const std::vector<Span>& spans,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file " + path);
+  out << ToChromeTraceJson(spans);
+}
+
+}  // namespace tictac::trace

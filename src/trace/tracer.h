@@ -1,0 +1,38 @@
+// Tracing module (§5): converts simulator executions into per-op spans
+// and exports them in the Chrome trace-event format (chrome://tracing,
+// Perfetto) for visual inspection of computation/communication overlap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "runtime/lowering.h"
+#include "sim/task.h"
+
+namespace tictac::trace {
+
+struct Span {
+  std::string name;
+  int resource = 0;
+  int worker = -1;
+  core::OpKind kind = core::OpKind::kCompute;
+  double start = 0.0;  // seconds
+  double end = 0.0;
+};
+
+// One span per task. `worker_graph` supplies op names; PS-side tasks are
+// named after their kind.
+std::vector<Span> CollectSpans(const runtime::Lowering& lowering,
+                               const sim::SimResult& result,
+                               const core::Graph& worker_graph);
+
+// Serializes spans as a Chrome trace-event JSON array ("X" complete
+// events, microsecond timestamps, one tid per resource).
+std::string ToChromeTraceJson(const std::vector<Span>& spans);
+
+// Writes ToChromeTraceJson to `path`. Throws std::runtime_error on I/O
+// failure.
+void WriteChromeTrace(const std::vector<Span>& spans, const std::string& path);
+
+}  // namespace tictac::trace

@@ -1,0 +1,42 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace tictac::util {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  EmitRow(header);
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& row) {
+  if (row.size() != columns_) {
+    throw std::runtime_error("CsvWriter: row width mismatch");
+  }
+  EmitRow(row);
+}
+
+void CsvWriter::EmitRow(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << CsvEscape(row[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace tictac::util

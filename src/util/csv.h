@@ -1,0 +1,28 @@
+// Minimal CSV writer so experiment series can be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tictac::util {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row.
+  // Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void AddRow(const std::vector<std::string>& row);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+
+  void EmitRow(const std::vector<std::string>& row);
+};
+
+// Quotes a CSV field if it contains separators or quotes.
+std::string CsvEscape(const std::string& field);
+
+}  // namespace tictac::util

@@ -1,0 +1,5 @@
+#include "util/rng.h"
+
+// Header-only; this translation unit exists so the target has a stable
+// archive even if all inline definitions are absorbed by callers.
+namespace tictac::util {}

@@ -1,0 +1,104 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace tictac::util {
+
+void RunningStat::Add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  std::sort(sample.begin(), sample.end());
+  const double idx = p * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+double Mean(const std::vector<double>& sample) {
+  if (sample.empty()) return 0.0;
+  return std::accumulate(sample.begin(), sample.end(), 0.0) /
+         static_cast<double>(sample.size());
+}
+
+double Stddev(const std::vector<double>& sample) {
+  RunningStat s;
+  for (double x : sample) s.Add(x);
+  return s.stddev();
+}
+
+double Min(const std::vector<double>& sample) {
+  if (sample.empty()) return 0.0;
+  return *std::min_element(sample.begin(), sample.end());
+}
+
+double Max(const std::vector<double>& sample) {
+  if (sample.empty()) return 0.0;
+  return *std::max_element(sample.begin(), sample.end());
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf(std::vector<double> sample,
+                                                    std::size_t points) {
+  std::vector<std::pair<double, double>> cdf;
+  if (sample.empty() || points == 0) return cdf;
+  std::sort(sample.begin(), sample.end());
+  cdf.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p =
+        (points == 1) ? 1.0
+                      : static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sample.size() - 1) + 0.5);
+    cdf.emplace_back(sample[idx], static_cast<double>(idx + 1) /
+                                      static_cast<double>(sample.size()));
+  }
+  return cdf;
+}
+
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y) {
+  LinearFit fit;
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return fit;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace tictac::util

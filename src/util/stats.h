@@ -1,0 +1,54 @@
+// Summary statistics used by the experiment harness: running moments,
+// percentiles, empirical CDFs, and simple least-squares regression
+// (Figure 12a reports an R^2 between scheduling efficiency and step time).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tictac::util {
+
+// Accumulates mean / variance online (Welford).
+class RunningStat {
+ public:
+  void Add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Linear interpolation percentile of a sample, p in [0, 1].
+// Returns 0 for an empty sample.
+double Percentile(std::vector<double> sample, double p);
+
+double Mean(const std::vector<double>& sample);
+double Stddev(const std::vector<double>& sample);
+double Min(const std::vector<double>& sample);
+double Max(const std::vector<double>& sample);
+
+// Empirical CDF evaluated at `points` many equally spaced quantiles.
+// Returns (value, cumulative probability) pairs sorted by value.
+std::vector<std::pair<double, double>> EmpiricalCdf(
+    std::vector<double> sample, std::size_t points);
+
+// Ordinary least squares fit y = a + b x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+};
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace tictac::util

@@ -1,0 +1,59 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace tictac::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(width[c]))
+         << row[c] << ' ';
+    }
+    os << "|\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << "|" << std::string(width[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::Print(std::ostream& os) const { os << ToString(); }
+
+std::string Fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string FmtPct(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::showpos << std::fixed << std::setprecision(precision)
+     << fraction * 100.0 << '%';
+  return os.str();
+}
+
+}  // namespace tictac::util

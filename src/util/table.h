@@ -1,0 +1,36 @@
+// Aligned-column table printing for benchmark harness output.
+//
+// Every bench binary reports the rows/series of the paper table or figure
+// it regenerates; Table gives them a uniform, diffable text format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tictac::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with a header separator and right-padded columns.
+  std::string ToString() const;
+  void Print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision (default 2).
+std::string Fmt(double v, int precision = 2);
+// Formats a percentage with a leading sign, e.g. "+12.3%".
+std::string FmtPct(double fraction, int precision = 1);
+
+}  // namespace tictac::util

@@ -1,0 +1,97 @@
+#include "runtime/allreduce.h"
+
+#include <gtest/gtest.h>
+
+#include "models/builder.h"
+#include "models/zoo.h"
+
+namespace tictac::runtime {
+namespace {
+
+struct Fixture {
+  explicit Fixture(int workers = 4)
+      : info(models::FindModel("Inception v1")),
+        config(EnvG(workers, /*num_ps=*/1, /*training=*/true)),
+        graph(models::BuildWorkerGraph(info, {.training = true})) {}
+
+  const models::ModelInfo& info;
+  ClusterConfig config;
+  core::Graph graph;
+};
+
+TEST(AllReduce, ResourceAndTaskCounts) {
+  Fixture f(4);
+  const Lowering low = LowerAllReduce(f.graph, f.config);
+  EXPECT_EQ(low.num_resources, 8);  // 4 workers + 4 ring links
+  // Worker tasks: one per op per worker; ring: P * 2(W-1) rounds * W.
+  const std::size_t ring_tasks =
+      static_cast<std::size_t>(f.info.num_params) * 2 * 3 * 4;
+  EXPECT_EQ(low.tasks.size(), f.graph.size() * 4 + ring_tasks);
+}
+
+TEST(AllReduce, ValidatesAndRuns) {
+  Fixture f;
+  const Lowering low = LowerAllReduce(f.graph, f.config);
+  sim::TaskGraphSim sim = low.BuildSim();
+  EXPECT_NO_THROW(sim.Validate());
+  const sim::SimResult result = sim.Run(f.config.sim, 1);
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+TEST(AllReduce, LocalWeightReadsAreFree) {
+  Fixture f;
+  const Lowering low = LowerAllReduce(f.graph, f.config);
+  for (const sim::Task& t : low.tasks) {
+    if (t.kind == core::OpKind::kRecv) {
+      EXPECT_EQ(t.duration, 0.0);
+      EXPECT_EQ(t.resource, t.worker);  // on the worker, not a channel
+    }
+  }
+}
+
+TEST(AllReduce, ComputeNeverWaitsOnNetworkAtIterationStart) {
+  // Without parameter pulls, the forward pass starts immediately: the
+  // first compute op must start at t = 0.
+  Fixture f;
+  const Lowering low = LowerAllReduce(f.graph, f.config);
+  sim::TaskGraphSim sim = low.BuildSim();
+  sim::SimOptions options;  // no jitter
+  const sim::SimResult result = sim.Run(options, 1);
+  double first_compute_start = 1e100;
+  for (sim::TaskId t : low.worker_tasks[0]) {
+    const auto ti = static_cast<std::size_t>(t);
+    if (low.tasks[ti].kind == core::OpKind::kCompute) {
+      first_compute_start = std::min(first_compute_start, result.start[ti]);
+    }
+  }
+  EXPECT_EQ(first_compute_start, 0.0);
+}
+
+TEST(AllReduce, RejectsInvalidConfigs) {
+  Fixture f;
+  EXPECT_THROW(LowerAllReduce(f.graph, EnvG(1, 1, true)),
+               std::invalid_argument);
+  EXPECT_THROW(LowerAllReduce(f.graph, EnvG(4, 1, false)),
+               std::invalid_argument);
+}
+
+TEST(AllReduce, MoreWorkersShrinkPerLinkChunks) {
+  // Ring all-reduce is bandwidth-optimal: per-link bytes ~ 2 * size, and
+  // the chunk duration falls with W.
+  Fixture f4(4);
+  Fixture f8(8);
+  const Lowering low4 = LowerAllReduce(f4.graph, f4.config);
+  const Lowering low8 = LowerAllReduce(f8.graph, f8.config);
+  double max_chunk4 = 0.0;
+  double max_chunk8 = 0.0;
+  for (const sim::Task& t : low4.tasks) {
+    if (t.op == core::kInvalidOp) max_chunk4 = std::max(max_chunk4, t.duration);
+  }
+  for (const sim::Task& t : low8.tasks) {
+    if (t.op == core::kInvalidOp) max_chunk8 = std::max(max_chunk8, t.duration);
+  }
+  EXPECT_LT(max_chunk8, max_chunk4);
+}
+
+}  // namespace
+}  // namespace tictac::runtime

@@ -1,0 +1,89 @@
+#include "trace/calibrate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tac.h"
+#include "models/builder.h"
+#include "models/zoo.h"
+#include "runtime/sharding.h"
+
+namespace tictac::trace {
+namespace {
+
+struct Fixture {
+  explicit Fixture(double jitter = 0.0)
+      : info(models::FindModel("Inception v2")),
+        config(runtime::EnvG(4, 2, /*training=*/true)),
+        graph(models::BuildWorkerGraph(info, {.training = true})) {
+    config.sim.jitter_sigma = jitter;
+    config.sim.out_of_order_probability = 0.0;
+    lowering = runtime::LowerCluster(
+        graph, core::Schedule(),
+        runtime::ShardParams(models::ParamSizes(info), config.num_ps),
+        config);
+  }
+
+  const models::ModelInfo& info;
+  runtime::ClusterConfig config;
+  core::Graph graph;
+  runtime::Lowering lowering;
+};
+
+TEST(Calibrate, RecoversPlatformExactlyWithoutJitter) {
+  Fixture f(/*jitter=*/0.0);
+  sim::TaskGraphSim sim = f.lowering.BuildSim();
+  const sim::SimResult result = sim.Run(f.config.sim, 1);
+  const Calibration cal =
+      CalibratePlatform(f.lowering, result, f.graph, f.config.num_workers);
+
+  EXPECT_NEAR(cal.platform.bandwidth_bps / f.config.platform.bandwidth_bps,
+              1.0, 1e-6);
+  EXPECT_NEAR(cal.platform.latency_s, f.config.platform.latency_s, 1e-9);
+  EXPECT_NEAR(cal.platform.compute_rate / f.config.platform.compute_rate,
+              1.0, 1e-6);
+  EXPECT_GT(cal.transfer_fit_r2, 0.999999);
+  EXPECT_EQ(cal.transfer_samples,
+            f.info.num_params * 2);  // recvs + sends on worker 0
+  EXPECT_GT(cal.compute_samples, 0);
+}
+
+TEST(Calibrate, RobustToModerateJitter) {
+  Fixture f(/*jitter=*/0.05);
+  sim::TaskGraphSim sim = f.lowering.BuildSim();
+  const sim::SimResult result = sim.Run(f.config.sim, 3);
+  const Calibration cal =
+      CalibratePlatform(f.lowering, result, f.graph, f.config.num_workers);
+  EXPECT_NEAR(cal.platform.bandwidth_bps / f.config.platform.bandwidth_bps,
+              1.0, 0.1);
+  EXPECT_NEAR(cal.platform.compute_rate / f.config.platform.compute_rate,
+              1.0, 0.1);
+  EXPECT_GT(cal.transfer_fit_r2, 0.95);
+}
+
+TEST(Calibrate, CalibratedOracleSchedulesAnotherModel) {
+  // The transfer-learning loop: calibrate on Inception v2 traces, then
+  // schedule ResNet-50 v1 with TAC using the recovered platform.
+  Fixture f;
+  sim::TaskGraphSim sim = f.lowering.BuildSim();
+  const sim::SimResult result = sim.Run(f.config.sim, 1);
+  const Calibration cal =
+      CalibratePlatform(f.lowering, result, f.graph, f.config.num_workers);
+
+  const auto& other = models::FindModel("ResNet-50 v1");
+  const core::Graph other_graph =
+      models::BuildWorkerGraph(other, {.training = true});
+  core::AnalyticalTimeOracle oracle(cal.platform);
+  const core::Schedule schedule = core::Tac(other_graph, oracle);
+  EXPECT_TRUE(schedule.CoversAllRecvs(other_graph));
+}
+
+TEST(Calibrate, RejectsBadArguments) {
+  Fixture f;
+  sim::TaskGraphSim sim = f.lowering.BuildSim();
+  const sim::SimResult result = sim.Run(f.config.sim, 1);
+  EXPECT_THROW(CalibratePlatform(f.lowering, result, f.graph, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tictac::trace

@@ -1,0 +1,137 @@
+#include "core/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tictac::core {
+namespace {
+
+Graph Diamond() {
+  // r -> a -> c, r -> b -> c
+  Graph g;
+  const OpId r = g.AddRecv("r", 100);
+  const OpId a = g.AddCompute("a", 1.0);
+  const OpId b = g.AddCompute("b", 2.0);
+  const OpId c = g.AddCompute("c", 3.0);
+  g.AddEdge(r, a);
+  g.AddEdge(r, b);
+  g.AddEdge(a, c);
+  g.AddEdge(b, c);
+  return g;
+}
+
+TEST(Graph, AddOpAssignsSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.AddCompute("a", 1.0), 0);
+  EXPECT_EQ(g.AddRecv("b", 10), 1);
+  EXPECT_EQ(g.AddSend("c", 20), 2);
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.op(0).name, "a");
+  EXPECT_EQ(g.op(1).kind, OpKind::kRecv);
+  EXPECT_EQ(g.op(2).bytes, 20);
+}
+
+TEST(Graph, EdgesPopulateAdjacency) {
+  const Graph g = Diamond();
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.succs(0).size(), 2u);
+  EXPECT_EQ(g.preds(3).size(), 2u);
+  EXPECT_TRUE(g.preds(0).empty());
+  EXPECT_TRUE(g.succs(3).empty());
+}
+
+TEST(Graph, DuplicateEdgesIgnored) {
+  Graph g;
+  const OpId a = g.AddCompute("a", 1);
+  const OpId b = g.AddCompute("b", 1);
+  g.AddEdge(a, b);
+  g.AddEdge(a, b);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.succs(a).size(), 1u);
+}
+
+TEST(Graph, TopologicalOrderRespectsEdges) {
+  const Graph g = Diamond();
+  const auto order = g.TopologicalOrder();
+  ASSERT_EQ(order.size(), g.size());
+  EXPECT_TRUE(g.IsTopologicalOrder(order));
+  // Root first, sink last.
+  EXPECT_EQ(order.front(), 0);
+  EXPECT_EQ(order.back(), 3);
+}
+
+TEST(Graph, TopologicalOrderIsDeterministic) {
+  const Graph g = Diamond();
+  EXPECT_EQ(g.TopologicalOrder(), g.TopologicalOrder());
+}
+
+TEST(Graph, DetectsCycle) {
+  Graph g;
+  const OpId a = g.AddCompute("a", 1);
+  const OpId b = g.AddCompute("b", 1);
+  const OpId c = g.AddCompute("c", 1);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  EXPECT_TRUE(g.IsAcyclic());
+  g.AddEdge(c, a);
+  EXPECT_FALSE(g.IsAcyclic());
+  EXPECT_LT(g.TopologicalOrder().size(), g.size());
+}
+
+TEST(Graph, IsTopologicalOrderRejectsBadInputs) {
+  const Graph g = Diamond();
+  EXPECT_FALSE(g.IsTopologicalOrder({0, 1, 2}));           // wrong size
+  EXPECT_FALSE(g.IsTopologicalOrder({0, 0, 1, 2}));        // duplicate
+  EXPECT_FALSE(g.IsTopologicalOrder({3, 1, 2, 0}));        // violates edges
+  EXPECT_FALSE(g.IsTopologicalOrder({0, 1, 2, 99}));       // out of range
+  EXPECT_TRUE(g.IsTopologicalOrder({0, 2, 1, 3}));         // valid variant
+}
+
+TEST(Graph, RecvOpsAndKindFilter) {
+  Graph g;
+  g.AddRecv("r0", 8);
+  g.AddCompute("c", 1);
+  g.AddRecv("r1", 16);
+  g.AddSend("s", 4);
+  const auto recvs = g.RecvOps();
+  ASSERT_EQ(recvs.size(), 2u);
+  EXPECT_EQ(recvs[0], 0);
+  EXPECT_EQ(recvs[1], 2);
+  EXPECT_EQ(g.OpsOfKind(OpKind::kSend).size(), 1u);
+  EXPECT_EQ(g.TotalRecvBytes(), 24);
+}
+
+TEST(Graph, EmptyGraphIsAcyclic) {
+  Graph g;
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_TRUE(g.TopologicalOrder().empty());
+  EXPECT_TRUE(g.IsTopologicalOrder({}));
+}
+
+TEST(Graph, DebugSummaryCountsKinds) {
+  const Graph g = Diamond();
+  const std::string s = g.DebugSummary();
+  EXPECT_NE(s.find("4 ops"), std::string::npos);
+  EXPECT_NE(s.find("recv: 1"), std::string::npos);
+  EXPECT_NE(s.find("compute: 3"), std::string::npos);
+}
+
+TEST(Graph, IsCommunicationHelper) {
+  EXPECT_TRUE(IsCommunication(OpKind::kRecv));
+  EXPECT_TRUE(IsCommunication(OpKind::kSend));
+  EXPECT_FALSE(IsCommunication(OpKind::kCompute));
+  EXPECT_FALSE(IsCommunication(OpKind::kAggregate));
+}
+
+TEST(Graph, ToStringNamesAllKinds) {
+  EXPECT_STREQ(ToString(OpKind::kCompute), "compute");
+  EXPECT_STREQ(ToString(OpKind::kRecv), "recv");
+  EXPECT_STREQ(ToString(OpKind::kSend), "send");
+  EXPECT_STREQ(ToString(OpKind::kAggregate), "aggregate");
+  EXPECT_STREQ(ToString(OpKind::kRead), "read");
+  EXPECT_STREQ(ToString(OpKind::kUpdate), "update");
+}
+
+}  // namespace
+}  // namespace tictac::core

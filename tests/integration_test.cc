@@ -1,0 +1,122 @@
+// End-to-end behavioural tests mirroring the paper's headline claims.
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+#include "models/zoo.h"
+#include "util/stats.h"
+
+namespace tictac {
+namespace {
+
+using runtime::EnvC;
+using runtime::EnvG;
+using runtime::Method;
+
+TEST(Integration, FigureModelListMatchesFigures) {
+  const auto names = harness::FigureModels();
+  EXPECT_EQ(names.size(), 9u);
+  for (const auto& name : names) {
+    EXPECT_NO_THROW(models::FindModel(name));
+  }
+}
+
+TEST(Integration, SpeedupRowArithmetic) {
+  harness::SpeedupRow row;
+  row.baseline_throughput = 100.0;
+  row.scheduled_throughput = 120.0;
+  EXPECT_NEAR(row.speedup(), 0.2, 1e-12);
+  harness::SpeedupRow zero;
+  EXPECT_EQ(zero.speedup(), 0.0);
+}
+
+TEST(Integration, TicImprovesMostModelsInference) {
+  // Figure 7's qualitative claim: scheduling helps, and large branchy
+  // models gain more than small chain models.
+  double inception_gain = 0.0;
+  double alexnet_gain = 0.0;
+  for (const char* name : {"Inception v2", "AlexNet v2"}) {
+    const auto row = harness::MeasureSpeedup(
+        models::FindModel(name), EnvG(4, 1, false), Method::kTic, 42, 6);
+    if (std::string(name) == "Inception v2") inception_gain = row.speedup();
+    if (std::string(name) == "AlexNet v2") alexnet_gain = row.speedup();
+  }
+  EXPECT_GT(inception_gain, 0.15);
+  EXPECT_GT(inception_gain, alexnet_gain);
+}
+
+TEST(Integration, InferenceGainsExceedTrainingGains) {
+  // §6.1: "we obtain higher gains in the inference phase than training."
+  const auto& info = models::FindModel("Inception v2");
+  const auto inference = harness::MeasureSpeedup(
+      info, EnvG(4, 1, false), Method::kTic, 11, 6);
+  const auto training = harness::MeasureSpeedup(
+      info, EnvG(4, 1, true), Method::kTic, 11, 6);
+  EXPECT_GT(inference.speedup(), training.speedup());
+}
+
+TEST(Integration, TacMatchesOrBeatsTicOnEnvC) {
+  // Appendix B: TIC is comparable to TAC; neither should collapse.
+  const auto& info = models::FindModel("Inception v2");
+  const auto tic = harness::MeasureSpeedup(
+      info, EnvC(4, 1, false), Method::kTic, 23, 6);
+  const auto tac = harness::MeasureSpeedup(
+      info, EnvC(4, 1, false), Method::kTac, 23, 6);
+  EXPECT_GT(tic.speedup(), 0.0);
+  EXPECT_GT(tac.speedup(), 0.0);
+  EXPECT_NEAR(tic.speedup(), tac.speedup(), 0.10);
+}
+
+TEST(Integration, EfficiencyPredictsStepTime) {
+  // Figure 12a: scheduling efficiency regresses strongly against
+  // normalized step time across runs with and without scheduling.
+  const auto& info = models::FindModel("Inception v2");
+  runtime::Runner runner(info, EnvC(2, 1, true));
+  std::vector<double> efficiency;
+  std::vector<double> step_time;
+  for (const Method method : {Method::kBaseline, Method::kTac}) {
+    const auto result = runner.Run(method, 30, 5);
+    for (const auto& it : result.iterations) {
+      efficiency.push_back(it.mean_efficiency);
+      step_time.push_back(it.makespan);
+    }
+  }
+  const auto fit = util::FitLine(efficiency, step_time);
+  EXPECT_LT(fit.slope, 0.0);  // higher efficiency => lower step time
+  EXPECT_GT(fit.r2, 0.85);
+}
+
+TEST(Integration, BaselineStepTimeSpreadExceedsTac) {
+  // Figure 12b: the baseline CDF is wide, TAC's is sharp.
+  const auto& info = models::FindModel("Inception v2");
+  runtime::Runner runner(info, EnvC(2, 1, false));
+  std::vector<double> base_times;
+  std::vector<double> tac_times;
+  const auto base = runner.Run(Method::kBaseline, 30, 7);
+  const auto tac = runner.Run(Method::kTac, 30, 7);
+  for (const auto& it : base.iterations) base_times.push_back(it.makespan);
+  for (const auto& it : tac.iterations) tac_times.push_back(it.makespan);
+  EXPECT_GT(util::Stddev(base_times) / util::Mean(base_times),
+            2.0 * util::Stddev(tac_times) / util::Mean(tac_times));
+}
+
+TEST(Integration, MoreWorkersIncreaseAggregateThroughput) {
+  const auto& info = models::FindModel("ResNet-50 v1");
+  const double t2 = harness::MeasureThroughput(
+      info, EnvG(2, 1, false), Method::kTic, 3, 5);
+  const double t8 = harness::MeasureThroughput(
+      info, EnvG(8, 2, false), Method::kTic, 3, 5);
+  EXPECT_GT(t8, t2);
+}
+
+TEST(Integration, MorePsImprovesCommBoundThroughput) {
+  // Figure 9: spreading parameters over more PS parallelizes transfers.
+  const auto& info = models::FindModel("VGG-16");
+  const double ps1 = harness::MeasureThroughput(
+      info, EnvG(8, 1, false), Method::kTic, 3, 5);
+  const double ps4 = harness::MeasureThroughput(
+      info, EnvG(8, 4, false), Method::kTic, 3, 5);
+  EXPECT_GT(ps4, ps1 * 1.5);
+}
+
+}  // namespace
+}  // namespace tictac

@@ -1,0 +1,129 @@
+#include "core/io.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/tac.h"
+#include "core/tic.h"
+#include "models/builder.h"
+#include "models/zoo.h"
+
+namespace tictac::core {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesEverything) {
+  const auto& info = models::FindModel("Inception v1");
+  const Graph g = models::BuildWorkerGraph(info, {.training = true});
+  const Graph parsed = GraphFromString(GraphToString(g));
+  ASSERT_EQ(parsed.size(), g.size());
+  ASSERT_EQ(parsed.num_edges(), g.num_edges());
+  for (const Op& op : g.ops()) {
+    const Op& copy = parsed.op(op.id);
+    EXPECT_EQ(copy.name, op.name);
+    EXPECT_EQ(copy.kind, op.kind);
+    EXPECT_EQ(copy.bytes, op.bytes);
+    EXPECT_EQ(copy.cost, op.cost);
+    EXPECT_EQ(copy.param, op.param);
+    // Edge multiset is preserved; adjacency order is not canonical.
+    auto a = parsed.preds(op.id);
+    auto b = g.preds(op.id);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  EXPECT_THROW(GraphFromString("op nonsense"), std::runtime_error);
+  EXPECT_THROW(GraphFromString("op 0 warble 0 0 -1 x"), std::runtime_error);
+  EXPECT_THROW(GraphFromString("frobnicate 1 2"), std::runtime_error);
+  EXPECT_THROW(GraphFromString("op 5 compute 0 1.0 -1 x"),
+               std::runtime_error);  // non-contiguous id
+  EXPECT_THROW(GraphFromString("op 0 compute 0 1.0 -1 x\nedge 0 7"),
+               std::runtime_error);  // dangling edge
+}
+
+TEST(GraphIo, RejectsCycles) {
+  const std::string text =
+      "op 0 compute 0 1 -1 a\n"
+      "op 1 compute 0 1 -1 b\n"
+      "edge 0 1\n"
+      "edge 1 0\n";
+  EXPECT_THROW(GraphFromString(text), std::runtime_error);
+}
+
+TEST(GraphIo, IgnoresCommentsAndBlankLines) {
+  const std::string text =
+      "# header\n"
+      "\n"
+      "op 0 recv 128 0 3 r0\n"
+      "# trailing comment\n";
+  const Graph g = GraphFromString(text);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.op(0).kind, OpKind::kRecv);
+  EXPECT_EQ(g.op(0).bytes, 128);
+  EXPECT_EQ(g.op(0).param, 3);
+  EXPECT_EQ(g.op(0).name, "r0");
+}
+
+TEST(ScheduleIo, RoundTripMatchesTic) {
+  const auto& info = models::FindModel("AlexNet v2");
+  const Graph g = models::BuildWorkerGraph(info, {});
+  const Schedule tic = Tic(g);
+  const Schedule parsed =
+      ScheduleFromString(ScheduleToString(tic, g), g);
+  for (const Op& op : g.ops()) {
+    EXPECT_EQ(parsed.priority(op.id), tic.priority(op.id));
+  }
+  EXPECT_EQ(parsed.RecvOrder(g), tic.RecvOrder(g));
+}
+
+TEST(ScheduleIo, RejectsBadLines) {
+  Graph g;
+  g.AddRecv("r", 0, 0);
+  EXPECT_THROW(ScheduleFromString("priority 5 0", g), std::runtime_error);
+  EXPECT_THROW(ScheduleFromString("prio 0 0", g), std::runtime_error);
+}
+
+TEST(Dot, ContainsNodesEdgesAndPriorities) {
+  Graph g;
+  const OpId r = g.AddRecv("r0", 256, 0);
+  const OpId c = g.AddCompute("work", 1.0);
+  g.AddEdge(r, c);
+  Schedule s(g.size());
+  s.SetPriority(r, 4);
+  const std::string dot = ToDot(g, &s);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("256B"), std::string::npos);
+  EXPECT_NE(dot.find("p4"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+}
+
+TEST(Dot, WorksWithoutSchedule) {
+  Graph g;
+  g.AddSend("out", 64, 0);
+  const std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+}
+
+TEST(GraphIo, OfflineWizardWorkflow) {
+  // The §5 pipeline on disk: serialize model graph, compute TAC offline,
+  // serialize the priority list, load both back, verify the order.
+  const auto& info = models::FindModel("ResNet-50 v1");
+  const Graph original = models::BuildWorkerGraph(info, {});
+  const std::string graph_text = GraphToString(original);
+
+  const Graph loaded = GraphFromString(graph_text);
+  AnalyticalTimeOracle oracle{PlatformModel{}};
+  const Schedule schedule = Tac(loaded, oracle);
+  const std::string schedule_text = ScheduleToString(schedule, loaded);
+
+  const Schedule reloaded = ScheduleFromString(schedule_text, loaded);
+  EXPECT_TRUE(reloaded.CoversAllRecvs(loaded));
+  EXPECT_EQ(reloaded.RecvOrder(loaded), schedule.RecvOrder(loaded));
+}
+
+}  // namespace
+}  // namespace tictac::core

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "learn/data.h"
+#include "learn/matrix.h"
+#include "learn/mlp.h"
+#include "learn/ps_trainer.h"
+#include "util/rng.h"
+
+namespace tictac::learn {
+namespace {
+
+TEST(Matrix, MatMulKnownValues) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double va[] = {1, 2, 3, 4, 5, 6};
+  double vb[] = {7, 8, 9, 10, 11, 12};
+  std::copy(std::begin(va), std::end(va), a.data().begin());
+  std::copy(std::begin(vb), std::end(vb), b.data().begin());
+  const Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposedMultipliesAgreeWithExplicit) {
+  util::Rng rng(5);
+  Matrix a(4, 3);
+  Matrix b(4, 3);
+  a.RandomNormal(rng, 1.0);
+  b.RandomNormal(rng, 1.0);
+  // a^T * b == MatMulTransposeA(a, b)
+  const Matrix ta = MatMulTransposeA(a, b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double expected = 0.0;
+      for (std::size_t k = 0; k < 4; ++k) expected += a.at(k, i) * b.at(k, j);
+      EXPECT_NEAR(ta.at(i, j), expected, 1e-12);
+    }
+  }
+  // a * b^T == MatMulTransposeB(a, b)
+  const Matrix tb = MatMulTransposeB(a, b);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      double expected = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) expected += a.at(i, k) * b.at(j, k);
+      EXPECT_NEAR(tb.at(i, j), expected, 1e-12);
+    }
+  }
+}
+
+TEST(Matrix, ReluAndBias) {
+  Matrix m(1, 4);
+  double v[] = {-1.0, 0.0, 2.0, -3.0};
+  std::copy(std::begin(v), std::end(v), m.data().begin());
+  Matrix bias(1, 4);
+  bias.at(0, 0) = 0.5;
+  AddBiasRow(m, bias);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), -0.5);
+  ReluInPlace(m);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 2.0);
+
+  Matrix grad(1, 4);
+  std::fill(grad.data().begin(), grad.data().end(), 1.0);
+  ReluBackward(m, grad);
+  EXPECT_DOUBLE_EQ(grad.at(0, 0), 0.0);  // masked where activation <= 0
+  EXPECT_DOUBLE_EQ(grad.at(0, 2), 1.0);
+}
+
+TEST(Matrix, AxpyAccumulates) {
+  Matrix a(2, 2);
+  Matrix b(2, 2);
+  std::fill(b.data().begin(), b.data().end(), 2.0);
+  a.Axpy(-0.5, b);
+  for (double x : a.data()) EXPECT_DOUBLE_EQ(x, -1.0);
+}
+
+TEST(Mlp, GradientMatchesFiniteDifferences) {
+  // Property check of the whole backward pass.
+  const MlpShape shape{.inputs = 4, .hidden1 = 6, .hidden2 = 5, .classes = 3};
+  Mlp mlp(shape, 123);
+  const Dataset data = MakeGaussianMixture(8, 4, 3, 99);
+
+  Gradients grads = mlp.ZeroGradients();
+  mlp.Loss(data.features, data.labels, &grads);
+
+  const double eps = 1e-6;
+  util::Rng rng(7);
+  for (std::size_t p = 0; p < mlp.num_params(); ++p) {
+    // Spot-check a few entries per parameter.
+    for (int probe = 0; probe < 3; ++probe) {
+      const std::size_t idx = rng.Index(mlp.param(p).size());
+      Mlp plus = mlp;
+      plus.mutable_param(p).data()[idx] += eps;
+      Mlp minus = mlp;
+      minus.mutable_param(p).data()[idx] -= eps;
+      const double numeric =
+          (plus.Loss(data.features, data.labels, nullptr) -
+           minus.Loss(data.features, data.labels, nullptr)) /
+          (2 * eps);
+      EXPECT_NEAR(grads[p].data()[idx], numeric, 1e-5)
+          << "param " << p << " idx " << idx;
+    }
+  }
+}
+
+TEST(Mlp, LossDecreasesUnderSgd) {
+  const Dataset data = MakeGaussianMixture(128, 8, 3, 11);
+  TrainConfig config;
+  PsTrainer trainer(config, data);
+  const TrainLog log = trainer.Train(120, {});
+  ASSERT_EQ(log.loss.size(), 120u);
+  const double early =
+      std::accumulate(log.loss.begin(), log.loss.begin() + 10, 0.0) / 10;
+  const double late =
+      std::accumulate(log.loss.end() - 10, log.loss.end(), 0.0) / 10;
+  EXPECT_LT(late, early * 0.5);
+  EXPECT_GT(log.final_accuracy, 0.8);
+}
+
+TEST(PsTrainer, TransferOrderDoesNotChangeLoss) {
+  // The Figure 8 invariant: scheduling only reorders transfers; the
+  // arithmetic is identical, so losses match bit-for-bit.
+  const Dataset data = MakeGaussianMixture(96, 8, 3, 21);
+  TrainConfig config;
+
+  PsTrainer natural(config, data);
+  const TrainLog log_natural = natural.Train(60, {});
+
+  std::vector<int> reversed(6);
+  std::iota(reversed.begin(), reversed.end(), 0);
+  std::reverse(reversed.begin(), reversed.end());
+  PsTrainer scheduled(config, data);
+  const TrainLog log_scheduled = scheduled.Train(60, reversed);
+
+  ASSERT_EQ(log_natural.loss.size(), log_scheduled.loss.size());
+  for (std::size_t i = 0; i < log_natural.loss.size(); ++i) {
+    EXPECT_EQ(log_natural.loss[i], log_scheduled.loss[i]) << "iter " << i;
+  }
+  EXPECT_EQ(log_natural.final_accuracy, log_scheduled.final_accuracy);
+}
+
+TEST(PsTrainer, ShuffledOrdersAllMatch) {
+  const Dataset data = MakeGaussianMixture(64, 8, 3, 33);
+  TrainConfig config;
+  PsTrainer reference(config, data);
+  const TrainLog ref = reference.Train(20, {});
+
+  util::Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<int> order(6);
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(order);
+    PsTrainer t(config, data);
+    const TrainLog log = t.Train(20, order);
+    EXPECT_EQ(log.loss.back(), ref.loss.back()) << "trial " << trial;
+  }
+}
+
+TEST(Dataset, DeterministicAndWellFormed) {
+  const Dataset a = MakeGaussianMixture(50, 6, 4, 77);
+  const Dataset b = MakeGaussianMixture(50, 6, 4, 77);
+  EXPECT_EQ(a.features.data(), b.features.data());
+  EXPECT_EQ(a.labels, b.labels);
+  for (int label : a.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+}
+
+TEST(Dataset, BatchWrapsAround) {
+  const Dataset data = MakeGaussianMixture(10, 3, 2, 1);
+  const Dataset batch = data.Batch(8, 5);
+  ASSERT_EQ(batch.size(), 5u);
+  // Entries 8, 9, 0, 1, 2.
+  EXPECT_EQ(batch.labels[0], data.labels[8]);
+  EXPECT_EQ(batch.labels[2], data.labels[0]);
+  EXPECT_DOUBLE_EQ(batch.features.at(3, 0), data.features.at(1, 0));
+}
+
+TEST(Dataset, ClassesAreSeparable) {
+  // Sanity: a trained model should beat chance by a wide margin, meaning
+  // the mixture actually carries class signal.
+  const Dataset data = MakeGaussianMixture(200, 8, 3, 5);
+  TrainConfig config;
+  PsTrainer trainer(config, data);
+  const TrainLog log = trainer.Train(150, {});
+  EXPECT_GT(log.final_accuracy, 0.75);
+}
+
+}  // namespace
+}  // namespace tictac::learn

@@ -1,0 +1,174 @@
+#include "runtime/lowering.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tic.h"
+#include "models/builder.h"
+#include "models/zoo.h"
+#include "runtime/sharding.h"
+
+namespace tictac::runtime {
+namespace {
+
+struct Fixture {
+  explicit Fixture(const char* name = "Inception v1", bool training = true,
+                   int workers = 4, int ps = 2)
+      : info(models::FindModel(name)),
+        config(EnvG(workers, ps, training)),
+        graph(models::BuildWorkerGraph(info, {.training = training})),
+        ps_of(ShardParams(models::ParamSizes(info), ps)) {}
+
+  const models::ModelInfo& info;
+  ClusterConfig config;
+  core::Graph graph;
+  std::vector<int> ps_of;
+};
+
+TEST(Lowering, ResourceLayoutAndCounts) {
+  Fixture f;
+  const Lowering low =
+      LowerCluster(f.graph, core::Schedule(), f.ps_of, f.config);
+  const int W = 4;
+  const int S = 2;
+  EXPECT_EQ(low.num_resources, W + 2 * W * S + S);
+  EXPECT_EQ(low.num_workers, W);
+
+  // Per worker: one task per worker-graph op.
+  for (int w = 0; w < W; ++w) {
+    EXPECT_EQ(low.worker_tasks[static_cast<std::size_t>(w)].size(),
+              f.graph.size());
+    EXPECT_EQ(low.worker_recv_tasks[static_cast<std::size_t>(w)].size(),
+              static_cast<std::size_t>(f.info.num_params));
+  }
+  // Training PS tasks: P reads + P aggregates + P updates.
+  const std::size_t expected =
+      static_cast<std::size_t>(f.info.num_params) * 3 +
+      f.graph.size() * static_cast<std::size_t>(W);
+  EXPECT_EQ(low.tasks.size(), expected);
+}
+
+TEST(Lowering, InferenceHasNoAggregateOrUpdate) {
+  Fixture f("Inception v1", /*training=*/false);
+  const Lowering low =
+      LowerCluster(f.graph, core::Schedule(), f.ps_of, f.config);
+  for (const sim::Task& t : low.tasks) {
+    EXPECT_NE(t.kind, core::OpKind::kAggregate);
+    EXPECT_NE(t.kind, core::OpKind::kUpdate);
+  }
+  const std::size_t expected = static_cast<std::size_t>(f.info.num_params) +
+                               f.graph.size() * 4u;
+  EXPECT_EQ(low.tasks.size(), expected);
+}
+
+TEST(Lowering, BaselineHasNoGatesOrPriorities) {
+  Fixture f;
+  const Lowering low =
+      LowerCluster(f.graph, core::Schedule(), f.ps_of, f.config);
+  for (const sim::Task& t : low.tasks) {
+    EXPECT_EQ(t.gate_group, -1);
+    EXPECT_EQ(t.priority, sim::kNoPriority);
+  }
+}
+
+TEST(Lowering, ScheduledRecvsCarryGatesAndPriorities) {
+  Fixture f;
+  const core::Schedule schedule = core::Tic(f.graph);
+  const Lowering low = LowerCluster(f.graph, schedule, f.ps_of, f.config);
+  for (int w = 0; w < 4; ++w) {
+    std::vector<int> ranks;
+    for (sim::TaskId t : low.worker_recv_tasks[static_cast<std::size_t>(w)]) {
+      const sim::Task& task = low.tasks[static_cast<std::size_t>(t)];
+      EXPECT_EQ(task.gate_group, w);
+      EXPECT_NE(task.priority, sim::kNoPriority);
+      ranks.push_back(task.gate_rank);
+    }
+    std::sort(ranks.begin(), ranks.end());
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      EXPECT_EQ(ranks[i], static_cast<int>(i));
+    }
+  }
+  // Non-recv tasks are never gated.
+  for (const sim::Task& t : low.tasks) {
+    if (t.kind != core::OpKind::kRecv) {
+      EXPECT_EQ(t.gate_group, -1);
+    }
+  }
+}
+
+TEST(Lowering, TransfersLandOnCorrectChannels) {
+  Fixture f;
+  const Lowering low =
+      LowerCluster(f.graph, core::Schedule(), f.ps_of, f.config);
+  const int W = 4;
+  const int S = 2;
+  for (const sim::Task& t : low.tasks) {
+    if (t.kind == core::OpKind::kRecv) {
+      const int param = f.graph.op(t.op).param;
+      const int expected = W + t.worker * S + f.ps_of[static_cast<std::size_t>(param)];
+      EXPECT_EQ(t.resource, expected);
+    } else if (t.kind == core::OpKind::kSend) {
+      const int param = f.graph.op(t.op).param;
+      const int expected =
+          W + W * S + t.worker * S + f.ps_of[static_cast<std::size_t>(param)];
+      EXPECT_EQ(t.resource, expected);
+    } else if (t.kind == core::OpKind::kCompute) {
+      EXPECT_EQ(t.resource, t.worker);
+    } else {
+      EXPECT_GE(t.resource, W + 2 * W * S);  // PS cpu
+    }
+  }
+}
+
+TEST(Lowering, TransferDurationsUseSharedNicBandwidth) {
+  Fixture f;
+  const Lowering low =
+      LowerCluster(f.graph, core::Schedule(), f.ps_of, f.config);
+  const auto& hw = f.config.platform;
+  for (const sim::Task& t : low.tasks) {
+    if (t.kind != core::OpKind::kRecv) continue;
+    const auto bytes = f.graph.op(t.op).bytes;
+    const double expected =
+        hw.latency_s + static_cast<double>(bytes) * 4 / hw.bandwidth_bps;
+    EXPECT_NEAR(t.duration, expected, 1e-12);
+  }
+}
+
+TEST(Lowering, ValidatesCleanly) {
+  for (const bool training : {false, true}) {
+    Fixture f("ResNet-50 v2", training);
+    for (const auto& method : {core::Schedule(), core::Tic(f.graph)}) {
+      const Lowering low = LowerCluster(f.graph, method, f.ps_of, f.config);
+      sim::TaskGraphSim sim = low.BuildSim();
+      EXPECT_NO_THROW(sim.Validate());
+    }
+  }
+}
+
+TEST(Lowering, AggregateWaitsForAllWorkers) {
+  Fixture f("AlexNet v2", /*training=*/true, /*workers=*/3, /*ps=*/1);
+  const Lowering low =
+      LowerCluster(f.graph, core::Schedule(), f.ps_of, f.config);
+  int aggregates = 0;
+  for (const sim::Task& t : low.tasks) {
+    if (t.kind == core::OpKind::kAggregate) {
+      ++aggregates;
+      EXPECT_EQ(t.preds.size(), 3u);  // one gradient push per worker
+    }
+  }
+  EXPECT_EQ(aggregates, f.info.num_params);
+}
+
+TEST(Lowering, RejectsBadInputs) {
+  Fixture f;
+  EXPECT_THROW(LowerCluster(f.graph, core::Schedule(), f.ps_of,
+                            EnvG(0, 1, true)),
+               std::invalid_argument);
+  // Param index out of range in sharding map.
+  std::vector<int> short_map(3, 0);
+  EXPECT_THROW(
+      LowerCluster(f.graph, core::Schedule(), short_map, f.config),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tictac::runtime

@@ -1,0 +1,229 @@
+#include "models/builder.h"
+#include "models/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tictac::models {
+namespace {
+
+using core::Graph;
+using core::OpId;
+using core::OpKind;
+
+TEST(Zoo, HasAllTenTable1Models) {
+  const auto& zoo = ModelZoo();
+  ASSERT_EQ(zoo.size(), 10u);
+  EXPECT_EQ(zoo.front().name, "AlexNet v2");
+  EXPECT_EQ(zoo.back().name, "VGG-19");
+}
+
+TEST(Zoo, FindModelByNameAndUnknownThrows) {
+  EXPECT_EQ(FindModel("VGG-16").num_params, 32);
+  EXPECT_THROW(FindModel("LeNet"), std::out_of_range);
+}
+
+TEST(Zoo, Table1CharacteristicsMatchPaper) {
+  struct Row {
+    const char* name;
+    int params;
+    double mib;
+    int inf;
+    int train;
+    int batch;
+  };
+  // Table 1 of the paper, verbatim.
+  const Row rows[] = {
+      {"AlexNet v2", 16, 191.89, 235, 483, 512},
+      {"Inception v1", 116, 25.24, 1114, 2246, 128},
+      {"Inception v2", 141, 42.64, 1369, 2706, 128},
+      {"Inception v3", 196, 103.54, 1904, 3672, 32},
+      {"ResNet-50 v1", 108, 97.39, 1114, 2096, 32},
+      {"ResNet-101 v1", 210, 169.74, 2083, 3898, 64},
+      {"ResNet-50 v2", 125, 97.45, 1423, 2813, 64},
+      {"ResNet-101 v2", 244, 169.86, 2749, 5380, 32},
+      {"VGG-16", 32, 527.79, 388, 758, 32},
+      {"VGG-19", 38, 548.05, 442, 857, 32},
+  };
+  for (const Row& row : rows) {
+    const ModelInfo& info = FindModel(row.name);
+    EXPECT_EQ(info.num_params, row.params) << row.name;
+    EXPECT_DOUBLE_EQ(info.total_param_mib, row.mib) << row.name;
+    EXPECT_EQ(info.ops_inference, row.inf) << row.name;
+    EXPECT_EQ(info.ops_training, row.train) << row.name;
+    EXPECT_EQ(info.standard_batch, row.batch) << row.name;
+  }
+}
+
+TEST(ParamSizes, ExactCountAndTotal) {
+  for (const ModelInfo& info : ModelZoo()) {
+    const auto sizes = ParamSizes(info);
+    ASSERT_EQ(sizes.size(), static_cast<std::size_t>(info.num_params))
+        << info.name;
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+      EXPECT_GT(sizes[i], 0) << info.name;
+      EXPECT_EQ(sizes[i] % 4, 0) << info.name;
+      total += sizes[i];
+    }
+    total += sizes.back();
+    EXPECT_EQ(total, info.total_param_bytes()) << info.name;
+  }
+}
+
+TEST(ParamSizes, ProfileIsNonDecreasingTail) {
+  // Back-heavy chain models: the classifier parameters dominate.
+  const auto sizes = ParamSizes(FindModel("VGG-16"));
+  EXPECT_GT(sizes.back(), sizes.front() * 10);
+}
+
+TEST(ParamSizes, Deterministic) {
+  const auto& info = FindModel("ResNet-50 v2");
+  EXPECT_EQ(ParamSizes(info), ParamSizes(info));
+}
+
+class BuilderTest : public ::testing::TestWithParam<
+                        std::tuple<std::string, bool>> {};
+
+TEST_P(BuilderTest, MatchesTable1AndStructuralInvariants) {
+  const auto& [name, training] = GetParam();
+  const ModelInfo& info = FindModel(name);
+  const Graph g = BuildWorkerGraph(info, {.training = training});
+
+  // Op count matches Table 1 exactly.
+  EXPECT_EQ(static_cast<int>(g.size()),
+            training ? info.ops_training : info.ops_inference);
+
+  // One recv per parameter, with exact byte totals.
+  const auto recvs = g.RecvOps();
+  EXPECT_EQ(static_cast<int>(recvs.size()), info.num_params);
+  EXPECT_EQ(g.TotalRecvBytes(), info.total_param_bytes());
+
+  // Sends exist only in training, one per parameter.
+  const auto sends = g.OpsOfKind(OpKind::kSend);
+  EXPECT_EQ(sends.size(), training ? recvs.size() : 0u);
+
+  // DAG sanity.
+  EXPECT_TRUE(g.IsAcyclic());
+
+  // Recvs are roots; sends are leaves (§2.2).
+  for (OpId r : recvs) EXPECT_TRUE(g.preds(r).empty());
+  for (OpId s : sends) EXPECT_TRUE(g.succs(s).empty());
+
+  // Every recv is consumed by some compute.
+  for (OpId r : recvs) EXPECT_FALSE(g.succs(r).empty());
+
+  // Positive compute cost overall.
+  double cost = 0.0;
+  for (const core::Op& op : g.ops()) cost += op.cost;
+  EXPECT_GT(cost, 0.0);
+
+  // Distinct param indices on recvs.
+  std::set<int> params;
+  for (OpId r : recvs) params.insert(g.op(r).param);
+  EXPECT_EQ(params.size(), recvs.size());
+}
+
+std::vector<std::tuple<std::string, bool>> AllModelModes() {
+  std::vector<std::tuple<std::string, bool>> out;
+  for (const ModelInfo& info : ModelZoo()) {
+    out.emplace_back(info.name, false);
+    out.emplace_back(info.name, true);
+  }
+  return out;
+}
+
+std::string ModeTestName(
+    const ::testing::TestParamInfo<std::tuple<std::string, bool>>& info) {
+  std::string name = std::get<0>(info.param);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name + (std::get<1>(info.param) ? "_train" : "_inference");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, BuilderTest,
+                         ::testing::ValuesIn(AllModelModes()), ModeTestName);
+
+TEST(Builder, BatchFactorScalesComputeLinearly) {
+  const ModelInfo& info = FindModel("Inception v1");
+  const Graph half = BuildWorkerGraph(info, {.batch_factor = 0.5});
+  const Graph full = BuildWorkerGraph(info, {.batch_factor = 1.0});
+  double cost_half = 0.0;
+  double cost_full = 0.0;
+  for (const core::Op& op : half.ops()) cost_half += op.cost;
+  for (const core::Op& op : full.ops()) cost_full += op.cost;
+  EXPECT_NEAR(cost_full / cost_half, 2.0, 1e-9);
+  // Structure does not change with batch size.
+  EXPECT_EQ(half.size(), full.size());
+  EXPECT_EQ(half.num_edges(), full.num_edges());
+}
+
+TEST(Builder, TrainingGraphContainsInferencePrefix) {
+  const ModelInfo& info = FindModel("ResNet-50 v1");
+  const Graph inf = BuildWorkerGraph(info, {.training = false});
+  const Graph train = BuildWorkerGraph(info, {.training = true});
+  EXPECT_GT(train.size(), inf.size());
+  // Total compute cost in training ~ 3x inference (backward = 2x forward).
+  double cost_inf = 0.0;
+  double cost_train = 0.0;
+  for (const core::Op& op : inf.ops()) cost_inf += op.cost;
+  for (const core::Op& op : train.ops()) cost_train += op.cost;
+  EXPECT_NEAR(cost_train / cost_inf, 3.0, 0.15);
+}
+
+TEST(Builder, TotalComputeGflopsHelper) {
+  const ModelInfo& info = FindModel("VGG-16");
+  EXPECT_NEAR(TotalComputeGflops(info, {.training = false}),
+              15.5 * 32, 1e-9);
+  EXPECT_NEAR(TotalComputeGflops(info, {.training = true}),
+              3 * 15.5 * 32, 1e-9);
+  EXPECT_NEAR(
+      TotalComputeGflops(info, {.training = false, .batch_factor = 2.0}),
+      2 * 15.5 * 32, 1e-9);
+}
+
+TEST(Builder, InceptionHasBranchingResNetHasSkips) {
+  // Inception: some op has >= 4 predecessors (module concat).
+  const Graph inception =
+      BuildWorkerGraph(FindModel("Inception v3"), {});
+  bool has_concat = false;
+  for (const core::Op& op : inception.ops()) {
+    if (op.kind == OpKind::kCompute && inception.preds(op.id).size() >= 4) {
+      has_concat = true;
+    }
+  }
+  EXPECT_TRUE(has_concat);
+
+  // ResNet: some compute has two compute predecessors (residual add).
+  const Graph resnet = BuildWorkerGraph(FindModel("ResNet-50 v2"), {});
+  bool has_add = false;
+  for (const core::Op& op : resnet.ops()) {
+    if (op.kind != OpKind::kCompute) continue;
+    const auto& preds = resnet.preds(op.id);
+    int compute_preds = 0;
+    for (OpId p : preds) {
+      if (resnet.op(p).kind == OpKind::kCompute) ++compute_preds;
+    }
+    if (compute_preds >= 2) has_add = true;
+  }
+  EXPECT_TRUE(has_add);
+}
+
+TEST(Builder, DeterministicAcrossCalls) {
+  const ModelInfo& info = FindModel("VGG-19");
+  const Graph a = BuildWorkerGraph(info, {.training = true});
+  const Graph b = BuildWorkerGraph(info, {.training = true});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto id = static_cast<OpId>(i);
+    EXPECT_EQ(a.op(id).name, b.op(id).name);
+    EXPECT_EQ(a.op(id).bytes, b.op(id).bytes);
+    EXPECT_EQ(a.op(id).cost, b.op(id).cost);
+    EXPECT_EQ(a.preds(id), b.preds(id));
+  }
+}
+
+}  // namespace
+}  // namespace tictac::models

@@ -1,0 +1,107 @@
+#include "core/time_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tictac::core {
+namespace {
+
+Graph MixedGraph() {
+  Graph g;
+  g.AddRecv("r", 1000);     // 0
+  g.AddCompute("c", 8.0);   // 1
+  g.AddSend("s", 500);      // 2
+  Op agg;
+  agg.name = "agg";
+  agg.kind = OpKind::kAggregate;
+  g.AddOp(agg);             // 3
+  return g;
+}
+
+TEST(GeneralTimeOracle, RecvIsOneEverythingElseZero) {
+  const Graph g = MixedGraph();
+  GeneralTimeOracle oracle;
+  EXPECT_EQ(oracle.Time(g, 0), 1.0);
+  EXPECT_EQ(oracle.Time(g, 1), 0.0);
+  EXPECT_EQ(oracle.Time(g, 2), 0.0);
+  EXPECT_EQ(oracle.Time(g, 3), 0.0);
+  EXPECT_EQ(oracle.TotalTime(g), 1.0);
+}
+
+TEST(MapTimeOracle, LookupAndDefault) {
+  const Graph g = MixedGraph();
+  MapTimeOracle oracle({{0, 2.5}, {1, 0.5}}, /*default_time=*/9.0);
+  EXPECT_EQ(oracle.Time(g, 0), 2.5);
+  EXPECT_EQ(oracle.Time(g, 1), 0.5);
+  EXPECT_EQ(oracle.Time(g, 2), 9.0);
+  oracle.Set(2, 1.0);
+  EXPECT_EQ(oracle.Time(g, 2), 1.0);
+}
+
+TEST(AnalyticalTimeOracle, PerKindCosts) {
+  const Graph g = MixedGraph();
+  PlatformModel hw;
+  hw.compute_rate = 4.0;
+  hw.bandwidth_bps = 1e6;
+  hw.latency_s = 1e-3;
+  hw.ps_op_time_s = 1e-5;
+  AnalyticalTimeOracle oracle(hw);
+  EXPECT_DOUBLE_EQ(oracle.Time(g, 0), 1e-3 + 1000 / 1e6);  // recv
+  EXPECT_DOUBLE_EQ(oracle.Time(g, 1), 2.0);                // compute 8/4
+  EXPECT_DOUBLE_EQ(oracle.Time(g, 2), 1e-3 + 500 / 1e6);   // send
+  EXPECT_DOUBLE_EQ(oracle.Time(g, 3), 1e-5);               // ps op
+}
+
+TEST(AnalyticalTimeOracle, TotalTimeSums) {
+  const Graph g = MixedGraph();
+  PlatformModel hw;
+  AnalyticalTimeOracle oracle(hw);
+  double sum = 0.0;
+  for (const Op& op : g.ops()) sum += oracle.Time(g, op.id);
+  EXPECT_DOUBLE_EQ(oracle.TotalTime(g), sum);
+}
+
+TEST(NoisyTimeOracle, DeterministicPerSeedAndOp) {
+  const Graph g = MixedGraph();
+  PlatformModel hw;
+  AnalyticalTimeOracle base(hw);
+  NoisyTimeOracle a(base, 0.2, 123);
+  NoisyTimeOracle b(base, 0.2, 123);
+  NoisyTimeOracle c(base, 0.2, 999);
+  for (const Op& op : g.ops()) {
+    EXPECT_EQ(a.Time(g, op.id), b.Time(g, op.id));
+  }
+  EXPECT_NE(a.Time(g, 1), c.Time(g, 1));
+}
+
+TEST(NoisyTimeOracle, PreservesSignAndScale) {
+  const Graph g = MixedGraph();
+  PlatformModel hw;
+  AnalyticalTimeOracle base(hw);
+  NoisyTimeOracle noisy(base, 0.1, 77);
+  for (const Op& op : g.ops()) {
+    const double t0 = base.Time(g, op.id);
+    const double t1 = noisy.Time(g, op.id);
+    EXPECT_GE(t1, 0.0);
+    if (t0 > 0.0) {
+      EXPECT_GT(t1, t0 * 0.5);
+      EXPECT_LT(t1, t0 * 2.0);
+    } else {
+      EXPECT_EQ(t1, 0.0);
+    }
+  }
+}
+
+TEST(NoisyTimeOracle, ZeroSigmaIsIdentity) {
+  const Graph g = MixedGraph();
+  PlatformModel hw;
+  AnalyticalTimeOracle base(hw);
+  NoisyTimeOracle noisy(base, 0.0, 42);
+  for (const Op& op : g.ops()) {
+    EXPECT_DOUBLE_EQ(noisy.Time(g, op.id), base.Time(g, op.id));
+  }
+}
+
+}  // namespace
+}  // namespace tictac::core

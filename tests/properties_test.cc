@@ -1,0 +1,170 @@
+#include "core/properties.h"
+
+#include <gtest/gtest.h>
+
+namespace tictac::core {
+namespace {
+
+// Figure 1a: recv1 -> op1 -> op2, recv2 -> op2.
+struct Fig1a {
+  Graph g;
+  OpId recv1, recv2, op1, op2;
+  Fig1a(double t_r1 = 1.0, double t_r2 = 1.0, double t_o1 = 1.0,
+        double t_o2 = 1.0) {
+    recv1 = g.AddRecv("recv1", 0);
+    recv2 = g.AddRecv("recv2", 0);
+    op1 = g.AddCompute("op1", t_o1);
+    op2 = g.AddCompute("op2", t_o2);
+    g.AddEdge(recv1, op1);
+    g.AddEdge(op1, op2);
+    g.AddEdge(recv2, op2);
+    oracle.Set(recv1, t_r1);
+    oracle.Set(recv2, t_r2);
+    oracle.Set(op1, t_o1);
+    oracle.Set(op2, t_o2);
+  }
+  MapTimeOracle oracle{{}};
+};
+
+TEST(RecvSet, BasicOperations) {
+  RecvSet a(130);
+  a.Set(0);
+  a.Set(64);
+  a.Set(129);
+  EXPECT_TRUE(a.Test(0));
+  EXPECT_TRUE(a.Test(64));
+  EXPECT_TRUE(a.Test(129));
+  EXPECT_FALSE(a.Test(1));
+  EXPECT_EQ(a.Count(), 3u);
+
+  RecvSet b(130);
+  b.Set(64);
+  b.Set(100);
+  EXPECT_EQ(a.IntersectCount(b), 1u);
+  a.UnionWith(b);
+  EXPECT_EQ(a.Count(), 4u);
+
+  std::vector<std::size_t> bits;
+  a.ForEach([&](std::size_t i) { bits.push_back(i); });
+  EXPECT_EQ(bits, (std::vector<std::size_t>{0, 64, 100, 129}));
+}
+
+TEST(PropertyIndex, CommunicationDependenciesFig1a) {
+  Fig1a f;
+  PropertyIndex index(f.g);
+  ASSERT_EQ(index.recvs().size(), 2u);
+  // op1.dep = {recv1}; op2.dep = {recv1, recv2} (transitive through op1).
+  EXPECT_EQ(index.dep(f.op1).Count(), 1u);
+  EXPECT_TRUE(index.dep(f.op1).Test(0));
+  EXPECT_EQ(index.dep(f.op2).Count(), 2u);
+  // A recv depends on itself.
+  EXPECT_TRUE(index.dep(f.recv1).Test(0));
+  EXPECT_EQ(index.dep(f.recv1).Count(), 1u);
+}
+
+TEST(PropertyIndex, TransitiveDependenciesOnChain) {
+  // recv0 -> c0 -> c1 -> c2, recv1 -> c1, recv2 -> c2.
+  Graph g;
+  const OpId r0 = g.AddRecv("r0", 0);
+  const OpId r1 = g.AddRecv("r1", 0);
+  const OpId r2 = g.AddRecv("r2", 0);
+  const OpId c0 = g.AddCompute("c0", 1);
+  const OpId c1 = g.AddCompute("c1", 1);
+  const OpId c2 = g.AddCompute("c2", 1);
+  g.AddEdge(r0, c0);
+  g.AddEdge(c0, c1);
+  g.AddEdge(r1, c1);
+  g.AddEdge(c1, c2);
+  g.AddEdge(r2, c2);
+  PropertyIndex index(g);
+  EXPECT_EQ(index.dep(c0).Count(), 1u);
+  EXPECT_EQ(index.dep(c1).Count(), 2u);
+  EXPECT_EQ(index.dep(c2).Count(), 3u);
+}
+
+TEST(UpdateProperties, Fig1aPaperValues) {
+  // The paper's worked example: op1.M = Time(recv1), op2.M = Time(recv1)
+  // + Time(recv2), recv1.P = Time(op1), recv2.P = 0, and both recvs' M+
+  // equal op2.M.
+  Fig1a f(/*t_r1=*/2.0, /*t_r2=*/3.0, /*t_o1=*/5.0, /*t_o2=*/7.0);
+  PropertyIndex index(f.g);
+  std::vector<double> op_M;
+  const auto props =
+      index.UpdateProperties(f.oracle, {true, true}, &op_M);
+
+  EXPECT_DOUBLE_EQ(op_M[static_cast<std::size_t>(f.op1)], 2.0);
+  EXPECT_DOUBLE_EQ(op_M[static_cast<std::size_t>(f.op2)], 5.0);
+
+  const auto& p1 = props[0];
+  const auto& p2 = props[1];
+  EXPECT_EQ(p1.op, f.recv1);
+  EXPECT_DOUBLE_EQ(p1.M, 2.0);
+  EXPECT_DOUBLE_EQ(p1.P, 5.0);      // only op1 activates with recv1 alone
+  EXPECT_DOUBLE_EQ(p2.P, 0.0);      // nothing runs with recv2 alone
+  EXPECT_DOUBLE_EQ(p1.Mplus, 5.0);  // op2.M, includes recv1's own time
+  EXPECT_DOUBLE_EQ(p2.Mplus, 5.0);
+}
+
+TEST(UpdateProperties, CompletedRecvShiftsProperties) {
+  Fig1a f(2.0, 3.0, 5.0, 7.0);
+  PropertyIndex index(f.g);
+  // recv1 already transferred: only recv2 outstanding.
+  const auto props = index.UpdateProperties(f.oracle, {false, true});
+  EXPECT_EQ(props[0].op, kInvalidOp);  // completed recvs carry no props
+  const auto& p2 = props[1];
+  EXPECT_DOUBLE_EQ(p2.M, 3.0);
+  // op2 now depends only on recv2, so it contributes to P, not M+.
+  EXPECT_DOUBLE_EQ(p2.P, 7.0);
+  EXPECT_EQ(p2.Mplus, kInfinity);
+}
+
+TEST(UpdateProperties, GeneralOracleCountsTransfers) {
+  Fig1a f;
+  PropertyIndex index(f.g);
+  GeneralTimeOracle oracle;
+  std::vector<double> op_M;
+  const auto props = index.UpdateProperties(oracle, {true, true}, &op_M);
+  // Under Eq. 5, M counts outstanding recv dependencies.
+  EXPECT_DOUBLE_EQ(op_M[static_cast<std::size_t>(f.op2)], 2.0);
+  EXPECT_DOUBLE_EQ(props[0].P, 0.0);  // compute ops cost 0
+  EXPECT_DOUBLE_EQ(props[0].Mplus, 2.0);
+}
+
+TEST(UpdateProperties, Case2MplusOrdering) {
+  // Constructed per §4.3 Case 2: with every P = 0, M+ must order
+  // A = B < C < D.
+  Graph g;
+  const OpId a = g.AddRecv("A", 0);
+  const OpId b = g.AddRecv("B", 0);
+  const OpId c = g.AddRecv("C", 0);
+  const OpId d = g.AddRecv("D", 0);
+  const OpId opX = g.AddCompute("opX", 1);  // needs A, B
+  const OpId opY = g.AddCompute("opY", 1);  // needs B, C
+  const OpId opZ = g.AddCompute("opZ", 1);  // needs C, D
+  g.AddEdge(a, opX);
+  g.AddEdge(b, opX);
+  g.AddEdge(b, opY);
+  g.AddEdge(c, opY);
+  g.AddEdge(c, opZ);
+  g.AddEdge(d, opZ);
+  MapTimeOracle oracle({{a, 1.0}, {b, 1.0}, {c, 3.0}, {d, 5.0}});
+  PropertyIndex index(g);
+  const auto props =
+      index.UpdateProperties(oracle, {true, true, true, true});
+  EXPECT_DOUBLE_EQ(props[0].Mplus, 2.0);  // A: opX needs A+B
+  EXPECT_DOUBLE_EQ(props[1].Mplus, 2.0);  // B: min(opX, opY) = 2
+  EXPECT_DOUBLE_EQ(props[2].Mplus, 4.0);  // C: min(opY=4, opZ=8)
+  EXPECT_DOUBLE_EQ(props[3].Mplus, 8.0);  // D: opZ
+  for (const auto& p : props) EXPECT_DOUBLE_EQ(p.P, 0.0);
+}
+
+TEST(UpdateProperties, RecvOwnMIsItsTransferTime) {
+  Fig1a f(2.0, 3.0, 5.0, 7.0);
+  PropertyIndex index(f.g);
+  const auto props = index.UpdateProperties(f.oracle, {true, true});
+  EXPECT_DOUBLE_EQ(props[0].M, 2.0);
+  EXPECT_DOUBLE_EQ(props[1].M, 3.0);
+}
+
+}  // namespace
+}  // namespace tictac::core

@@ -1,0 +1,79 @@
+#include "core/push_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "core/chunking.h"
+#include "core/tic.h"
+#include "models/builder.h"
+#include "models/zoo.h"
+
+namespace tictac::core {
+namespace {
+
+TEST(OrderSends, SendPriorityMatchesPullRank) {
+  const auto& info = models::FindModel("ResNet-50 v1");
+  const Graph g = models::BuildWorkerGraph(info, {.training = true});
+  const Schedule tic = Tic(g);
+  const Schedule with_push = OrderSends(g, tic);
+
+  const auto rank = tic.NormalizedRecvRank(g);
+  std::unordered_map<int, int> param_rank;
+  for (OpId r : g.RecvOps()) param_rank[g.op(r).param] = rank.at(r);
+
+  for (OpId s : g.OpsOfKind(OpKind::kSend)) {
+    ASSERT_TRUE(with_push.HasPriority(s));
+    EXPECT_EQ(with_push.priority(s), param_rank.at(g.op(s).param));
+  }
+}
+
+TEST(OrderSends, RecvPrioritiesUntouched) {
+  const auto& info = models::FindModel("AlexNet v2");
+  const Graph g = models::BuildWorkerGraph(info, {.training = true});
+  const Schedule tic = Tic(g);
+  const Schedule with_push = OrderSends(g, tic);
+  for (OpId r : g.RecvOps()) {
+    EXPECT_EQ(with_push.priority(r), tic.priority(r));
+  }
+  EXPECT_EQ(with_push.RecvOrder(g), tic.RecvOrder(g));
+}
+
+TEST(OrderSends, ComputeOpsStayUnprioritized) {
+  const auto& info = models::FindModel("Inception v1");
+  const Graph g = models::BuildWorkerGraph(info, {.training = true});
+  const Schedule with_push = OrderSends(g, Tic(g));
+  for (const Op& op : g.ops()) {
+    if (op.kind == OpKind::kCompute) {
+      EXPECT_FALSE(with_push.HasPriority(op.id)) << op.name;
+    }
+  }
+}
+
+TEST(OrderSends, WorksOnChunkedGraphs) {
+  // Chunked graphs carry several recvs and sends per parameter; every
+  // send chunk must inherit the parameter's earliest pull rank.
+  const auto& info = models::FindModel("VGG-16");
+  Graph g = models::BuildWorkerGraph(info, {.training = true});
+  g = ChunkTransfers(g, {.max_chunk_bytes = 8 << 20});
+  const Schedule with_push = OrderSends(g, Tic(g));
+  std::unordered_map<int, int> seen;
+  for (OpId s : g.OpsOfKind(OpKind::kSend)) {
+    ASSERT_TRUE(with_push.HasPriority(s));
+    const int param = g.op(s).param;
+    auto [it, inserted] = seen.try_emplace(param, with_push.priority(s));
+    // All chunks of one parameter share the same push priority.
+    EXPECT_EQ(it->second, with_push.priority(s));
+  }
+}
+
+TEST(OrderSends, InferenceGraphIsNoOp) {
+  const auto& info = models::FindModel("Inception v2");
+  const Graph g = models::BuildWorkerGraph(info, {.training = false});
+  const Schedule tic = Tic(g);
+  const Schedule with_push = OrderSends(g, tic);
+  for (const Op& op : g.ops()) {
+    EXPECT_EQ(with_push.priority(op.id), tic.priority(op.id));
+  }
+}
+
+}  // namespace
+}  // namespace tictac::core

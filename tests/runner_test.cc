@@ -1,0 +1,152 @@
+#include "runtime/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace tictac::runtime {
+namespace {
+
+TEST(Runner, DeterministicForSameSeed) {
+  Runner runner(models::FindModel("Inception v1"), EnvG(4, 1, true));
+  const auto a = runner.Run(Method::kTic, 3, 42);
+  const auto b = runner.Run(Method::kTic, 3, 42);
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_EQ(a.iterations[i].makespan, b.iterations[i].makespan);
+    EXPECT_EQ(a.iterations[i].recv_order, b.iterations[i].recv_order);
+  }
+}
+
+TEST(Runner, SchedulingBeatsBaselineOnBranchyModels) {
+  // The headline claim on a model with real scheduling headroom.
+  for (const char* name : {"Inception v2", "ResNet-50 v2"}) {
+    Runner runner(models::FindModel(name), EnvG(4, 1, false));
+    const double base =
+        runner.Run(Method::kBaseline, 5, 7).Throughput();
+    const double tic = runner.Run(Method::kTic, 5, 7).Throughput();
+    const double tac = runner.Run(Method::kTac, 5, 7).Throughput();
+    EXPECT_GT(tic, base * 1.02) << name;
+    EXPECT_GT(tac, base * 1.02) << name;
+  }
+}
+
+TEST(Runner, EfficiencyInUnitIntervalAndImprovedByScheduling) {
+  Runner runner(models::FindModel("Inception v1"), EnvG(4, 2, false));
+  const auto base = runner.Run(Method::kBaseline, 5, 3);
+  const auto tic = runner.Run(Method::kTic, 5, 3);
+  for (const auto& it : base.iterations) {
+    EXPECT_GE(it.mean_efficiency, 0.0);
+    EXPECT_LE(it.mean_efficiency, 1.0 + 1e-9);
+  }
+  EXPECT_GT(tic.MeanEfficiency(), base.MeanEfficiency());
+  EXPECT_GT(tic.MeanEfficiency(), 0.9);
+}
+
+TEST(Runner, SchedulingReducesStragglers) {
+  Runner runner(models::FindModel("Inception v2"), EnvG(8, 2, false));
+  const auto base = runner.Run(Method::kBaseline, 8, 11);
+  const auto tic = runner.Run(Method::kTic, 8, 11);
+  EXPECT_LT(tic.MeanStragglerPct(), base.MeanStragglerPct());
+}
+
+TEST(Runner, EnforcedOrderIsConsistentOnSinglePs) {
+  // §2.2: without enforcement every iteration sees a fresh order; with
+  // TIC on a single PS channel the wire order is identical every time.
+  ClusterConfig config = EnvG(2, 1, false);
+  config.sim.out_of_order_probability = 0.0;
+  Runner runner(models::FindModel("Inception v1"), config);
+  const auto base = runner.Run(Method::kBaseline, 10, 17);
+  const auto tic = runner.Run(Method::kTic, 10, 17);
+  EXPECT_EQ(base.UniqueRecvOrders(), 10);
+  EXPECT_EQ(tic.UniqueRecvOrders(), 1);
+}
+
+TEST(Runner, WorkerFinishTimesPopulated) {
+  Runner runner(models::FindModel("AlexNet v2"), EnvG(3, 1, true));
+  const auto result = runner.Run(Method::kTac, 2, 5);
+  for (const auto& it : result.iterations) {
+    ASSERT_EQ(it.worker_finish.size(), 3u);
+    for (double t : it.worker_finish) {
+      EXPECT_GT(t, 0.0);
+      EXPECT_LE(t, it.makespan + 1e-12);
+    }
+    EXPECT_GE(it.straggler_pct, 0.0);
+    EXPECT_LE(it.straggler_pct, 100.0);
+  }
+}
+
+TEST(Runner, ThroughputAccountsForWorkersAndBatch) {
+  const auto& info = models::FindModel("Inception v1");
+  ClusterConfig config = EnvG(4, 1, true);
+  config.batch_factor = 2.0;
+  Runner runner(info, config);
+  const auto result = runner.Run(Method::kTic, 2, 1);
+  EXPECT_DOUBLE_EQ(result.samples_per_iteration,
+                   info.standard_batch * 2.0 * 4);
+  EXPECT_NEAR(result.Throughput(),
+              result.samples_per_iteration / result.MeanIterationTime(),
+              1e-9);
+}
+
+TEST(Runner, MakeScheduleShapes) {
+  Runner runner(models::FindModel("VGG-16"), EnvG(2, 1, true));
+  const auto base = runner.MakeSchedule(Method::kBaseline);
+  EXPECT_EQ(base.size(), 0u);
+  const auto tic = runner.MakeSchedule(Method::kTic);
+  EXPECT_TRUE(tic.CoversAllRecvs(runner.worker_graph()));
+  const auto tac = runner.MakeSchedule(Method::kTac);
+  EXPECT_TRUE(tac.CoversAllRecvs(runner.worker_graph()));
+}
+
+TEST(Runner, NoisyOracleTacStillValid) {
+  ClusterConfig config = EnvG(2, 1, true);
+  config.tac_oracle_sigma = 0.3;
+  Runner runner(models::FindModel("Inception v1"), config);
+  const auto schedule = runner.MakeSchedule(Method::kTac);
+  EXPECT_TRUE(schedule.CoversAllRecvs(runner.worker_graph()));
+  const auto result = runner.Run(Method::kTac, 2, 9);
+  EXPECT_GT(result.Throughput(), 0.0);
+}
+
+TEST(Runner, EmptyResultAccessorsAreSafe) {
+  ExperimentResult empty;
+  EXPECT_EQ(empty.MeanIterationTime(), 0.0);
+  EXPECT_EQ(empty.Throughput(), 0.0);
+  EXPECT_EQ(empty.MaxStragglerPct(), 0.0);
+  EXPECT_EQ(empty.MeanEfficiency(), 0.0);
+  EXPECT_EQ(empty.UniqueRecvOrders(), 0);
+}
+
+class AllModelsRunnerTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllModelsRunnerTest, EndToEndInvariants) {
+  const auto& info = models::FindModel(GetParam());
+  for (const bool training : {false, true}) {
+    Runner runner(info, EnvG(2, 1, training));
+    const auto tic = runner.Run(Method::kTic, 2, 13);
+    EXPECT_GT(tic.Throughput(), 0.0) << info.name;
+    for (const auto& it : tic.iterations) {
+      EXPECT_GE(it.mean_efficiency, 0.0) << info.name;
+      EXPECT_LE(it.mean_efficiency, 1.0 + 1e-9) << info.name;
+      EXPECT_EQ(it.recv_order.size(),
+                static_cast<std::size_t>(info.num_params));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, AllModelsRunnerTest,
+    ::testing::Values("AlexNet v2", "Inception v1", "Inception v3",
+                      "ResNet-50 v1", "ResNet-101 v2", "VGG-19"),
+    [](const auto& param) {
+      std::string name = param.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace tictac::runtime

@@ -1,0 +1,76 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace tictac::core {
+namespace {
+
+Graph ThreeRecvGraph() {
+  Graph g;
+  g.AddRecv("r0", 0);
+  g.AddRecv("r1", 0);
+  g.AddRecv("r2", 0);
+  g.AddCompute("c", 1);
+  g.AddEdge(0, 3);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  return g;
+}
+
+TEST(Schedule, DefaultHasNoPriorities) {
+  const Graph g = ThreeRecvGraph();
+  Schedule s(g.size());
+  for (const Op& op : g.ops()) EXPECT_FALSE(s.HasPriority(op.id));
+  EXPECT_FALSE(s.CoversAllRecvs(g));
+}
+
+TEST(Schedule, RecvOrderSortsByPriorityThenId) {
+  const Graph g = ThreeRecvGraph();
+  Schedule s(g.size());
+  s.SetPriority(0, 5);
+  s.SetPriority(1, 5);
+  s.SetPriority(2, 1);
+  const auto order = s.RecvOrder(g);
+  EXPECT_EQ(order, (std::vector<OpId>{2, 0, 1}));
+}
+
+TEST(Schedule, UnprioritizedRecvsSortLast) {
+  const Graph g = ThreeRecvGraph();
+  Schedule s(g.size());
+  s.SetPriority(2, 0);
+  const auto order = s.RecvOrder(g);
+  EXPECT_EQ(order.front(), 2);
+}
+
+TEST(Schedule, NormalizedRanksAreDense) {
+  const Graph g = ThreeRecvGraph();
+  Schedule s(g.size());
+  s.SetPriority(0, 100);
+  s.SetPriority(1, 7);
+  s.SetPriority(2, 100);
+  const auto rank = s.NormalizedRecvRank(g);
+  ASSERT_EQ(rank.size(), 3u);
+  EXPECT_EQ(rank.at(1), 0);
+  EXPECT_EQ(rank.at(0), 1);  // tie at 100 broken by id
+  EXPECT_EQ(rank.at(2), 2);
+}
+
+TEST(Schedule, CoversAllRecvsRequiresEveryRecv) {
+  const Graph g = ThreeRecvGraph();
+  Schedule s(g.size());
+  s.SetPriority(0, 0);
+  s.SetPriority(1, 1);
+  EXPECT_FALSE(s.CoversAllRecvs(g));
+  s.SetPriority(2, 2);
+  EXPECT_TRUE(s.CoversAllRecvs(g));
+}
+
+TEST(Schedule, ComputePriorityDoesNotAffectRecvCoverage) {
+  const Graph g = ThreeRecvGraph();
+  Schedule s(g.size());
+  s.SetPriority(3, 0);  // the compute op
+  EXPECT_FALSE(s.CoversAllRecvs(g));
+}
+
+}  // namespace
+}  // namespace tictac::core

@@ -1,0 +1,60 @@
+#include "runtime/sharding.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "models/zoo.h"
+
+namespace tictac::runtime {
+namespace {
+
+TEST(Sharding, SinglePsGetsEverything) {
+  const std::vector<std::int64_t> bytes{10, 20, 30};
+  const auto assignment = ShardParams(bytes, 1);
+  for (int ps : assignment) EXPECT_EQ(ps, 0);
+}
+
+TEST(Sharding, AssignmentsInRange) {
+  const std::vector<std::int64_t> bytes{5, 1, 9, 3, 7, 2};
+  const auto assignment = ShardParams(bytes, 3);
+  ASSERT_EQ(assignment.size(), bytes.size());
+  for (int ps : assignment) {
+    EXPECT_GE(ps, 0);
+    EXPECT_LT(ps, 3);
+  }
+}
+
+TEST(Sharding, LoadsBalancedWithinLargestParam) {
+  // Greedy largest-first guarantees max-min spread <= max param size.
+  for (const auto& info : models::ModelZoo()) {
+    const auto bytes = models::ParamSizes(info);
+    for (int ps : {2, 4}) {
+      const auto assignment = ShardParams(bytes, ps);
+      const auto loads = ShardLoads(bytes, assignment, ps);
+      const auto max_param = *std::max_element(bytes.begin(), bytes.end());
+      const auto max_load = *std::max_element(loads.begin(), loads.end());
+      const auto min_load = *std::min_element(loads.begin(), loads.end());
+      EXPECT_LE(max_load - min_load, max_param)
+          << info.name << " ps=" << ps;
+      EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), std::int64_t{0}),
+                std::accumulate(bytes.begin(), bytes.end(), std::int64_t{0}));
+    }
+  }
+}
+
+TEST(Sharding, EveryPsUsedWhenEnoughParams) {
+  const std::vector<std::int64_t> bytes(16, 100);
+  const auto assignment = ShardParams(bytes, 4);
+  std::vector<int> counts(4, 0);
+  for (int ps : assignment) counts[static_cast<std::size_t>(ps)]++;
+  for (int c : counts) EXPECT_EQ(c, 4);
+}
+
+TEST(Sharding, Deterministic) {
+  const auto bytes = models::ParamSizes(models::FindModel("Inception v3"));
+  EXPECT_EQ(ShardParams(bytes, 4), ShardParams(bytes, 4));
+}
+
+}  // namespace
+}  // namespace tictac::runtime

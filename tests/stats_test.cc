@@ -1,0 +1,67 @@
+// Tests for the runner's derived statistics: overlap fraction and the
+// hardware-straggler injection knob.
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+#include "runtime/runner.h"
+
+namespace tictac::runtime {
+namespace {
+
+TEST(Overlap, InUnitInterval) {
+  Runner runner(models::FindModel("Inception v1"), EnvG(2, 1, true));
+  for (const auto method : {Method::kBaseline, Method::kTic}) {
+    const auto result = runner.Run(method, 4, 3);
+    for (const auto& it : result.iterations) {
+      EXPECT_GE(it.overlap_fraction, 0.0);
+      EXPECT_LE(it.overlap_fraction, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Overlap, SchedulingImprovesOverlap) {
+  // The whole point of TicTac: better orders overlap communication with
+  // computation.
+  Runner runner(models::FindModel("Inception v2"), EnvG(4, 1, false));
+  const auto base = runner.Run(Method::kBaseline, 6, 5);
+  const auto tic = runner.Run(Method::kTic, 6, 5);
+  EXPECT_GT(tic.MeanOverlap(), base.MeanOverlap());
+  EXPECT_GT(tic.MeanOverlap(), 0.5);
+}
+
+TEST(Stragglers, SlowWorkerDominatesIterationTime) {
+  auto config = EnvG(4, 1, true);
+  Runner uniform(models::FindModel("Inception v1"), config);
+  config.worker_speed_factors = {1.0, 1.0, 1.0, 0.5};  // one 2x-slow worker
+  Runner skewed(models::FindModel("Inception v1"), config);
+  const auto fast = uniform.Run(Method::kTic, 4, 9);
+  const auto slow = skewed.Run(Method::kTic, 4, 9);
+  EXPECT_GT(slow.MeanIterationTime(), fast.MeanIterationTime() * 1.1);
+  // The slow worker finishes last in (almost) every iteration.
+  for (const auto& it : slow.iterations) {
+    const auto slowest = std::max_element(it.worker_finish.begin(),
+                                          it.worker_finish.end()) -
+                         it.worker_finish.begin();
+    EXPECT_EQ(slowest, 3);
+  }
+}
+
+TEST(Stragglers, SchedulingCannotFixHardwareStragglers) {
+  // Enforced ordering removes schedule-induced stragglers but a slow
+  // device still drags the barrier: straggler% stays high under TIC.
+  auto config = EnvG(4, 1, true);
+  config.worker_speed_factors = {1.0, 1.0, 1.0, 0.6};
+  Runner runner(models::FindModel("Inception v2"), config);
+  const auto tic = runner.Run(Method::kTic, 5, 11);
+  EXPECT_GT(tic.MeanStragglerPct(), 5.0);
+}
+
+TEST(Stragglers, RejectsNonPositiveSpeed) {
+  auto config = EnvG(2, 1, true);
+  config.worker_speed_factors = {1.0, 0.0};
+  Runner runner(models::FindModel("AlexNet v2"), config);
+  EXPECT_THROW(runner.Run(Method::kTic, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tictac::runtime

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/tac.h"
+#include "core/tic.h"
+#include "models/builder.h"
+#include "models/zoo.h"
+#include "runtime/sharding.h"
+#include "trace/estimator.h"
+#include "trace/tracer.h"
+
+namespace tictac::trace {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : info(models::FindModel("Inception v1")),
+        config(runtime::EnvG(2, 1, true)),
+        graph(models::BuildWorkerGraph(info, {.training = true})),
+        lowering(runtime::LowerCluster(
+            graph, core::Tic(graph),
+            runtime::ShardParams(models::ParamSizes(info), 1), config)) {}
+
+  const models::ModelInfo& info;
+  runtime::ClusterConfig config;
+  core::Graph graph;
+  runtime::Lowering lowering;
+};
+
+TEST(Tracer, OneSpanPerTask) {
+  Fixture f;
+  sim::TaskGraphSim sim = f.lowering.BuildSim();
+  const sim::SimResult result = sim.Run(f.config.sim, 1);
+  const auto spans = CollectSpans(f.lowering, result, f.graph);
+  EXPECT_EQ(spans.size(), f.lowering.tasks.size());
+  for (const Span& span : spans) {
+    EXPECT_GE(span.end, span.start);
+    EXPECT_FALSE(span.name.empty());
+  }
+}
+
+TEST(Tracer, WorkerSpansArePrefixed) {
+  Fixture f;
+  sim::TaskGraphSim sim = f.lowering.BuildSim();
+  const sim::SimResult result = sim.Run(f.config.sim, 1);
+  const auto spans = CollectSpans(f.lowering, result, f.graph);
+  int worker_spans = 0;
+  int ps_spans = 0;
+  for (const Span& span : spans) {
+    if (span.worker >= 0) {
+      EXPECT_EQ(span.name.rfind("w", 0), 0u) << span.name;
+      ++worker_spans;
+    } else {
+      EXPECT_EQ(span.name.rfind("ps/", 0), 0u) << span.name;
+      ++ps_spans;
+    }
+  }
+  EXPECT_EQ(worker_spans, static_cast<int>(f.graph.size()) * 2);
+  EXPECT_EQ(ps_spans, f.info.num_params * 3);
+}
+
+TEST(Tracer, ChromeJsonShape) {
+  Fixture f;
+  sim::TaskGraphSim sim = f.lowering.BuildSim();
+  const sim::SimResult result = sim.Run(f.config.sim, 1);
+  const auto spans = CollectSpans(f.lowering, result, f.graph);
+  const std::string json = ToChromeTraceJson(spans);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(json.find(R"("cat":"recv")"), std::string::npos);
+  EXPECT_NE(json.find(R"("tid":)"), std::string::npos);
+}
+
+TEST(Tracer, WritesFile) {
+  Fixture f;
+  sim::TaskGraphSim sim = f.lowering.BuildSim();
+  const sim::SimResult result = sim.Run(f.config.sim, 1);
+  const auto spans = CollectSpans(f.lowering, result, f.graph);
+  const std::string path = ::testing::TempDir() + "/tictac_trace.json";
+  WriteChromeTrace(spans, path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "[");
+}
+
+TEST(Estimator, MinOfRunsLowerBoundsEachRun) {
+  Fixture f;
+  sim::SimOptions options = f.config.sim;
+  options.jitter_sigma = 0.1;
+  const core::MapTimeOracle oracle =
+      EstimateWorkerOracle(f.lowering, options, kDefaultProfilingRuns, 3);
+
+  sim::TaskGraphSim sim = f.lowering.BuildSim();
+  for (int run = 0; run < kDefaultProfilingRuns; ++run) {
+    const sim::SimResult result =
+        sim.Run(options, 3 + static_cast<std::uint64_t>(run));
+    for (sim::TaskId t : f.lowering.worker_tasks[0]) {
+      const auto ti = static_cast<std::size_t>(t);
+      const core::OpId op = f.lowering.tasks[ti].op;
+      EXPECT_LE(oracle.Time(f.graph, op),
+                result.end[ti] - result.start[ti] + 1e-12);
+    }
+  }
+}
+
+TEST(Estimator, ExactWithoutJitter) {
+  Fixture f;
+  sim::SimOptions options = f.config.sim;
+  options.jitter_sigma = 0.0;
+  const core::MapTimeOracle oracle =
+      EstimateWorkerOracle(f.lowering, options, 2, 5);
+  for (sim::TaskId t : f.lowering.worker_tasks[0]) {
+    const auto ti = static_cast<std::size_t>(t);
+    EXPECT_NEAR(oracle.Time(f.graph, f.lowering.tasks[ti].op),
+                f.lowering.tasks[ti].duration, 1e-12);
+  }
+}
+
+TEST(Estimator, OracleDrivesTacEndToEnd) {
+  // A TAC schedule built from estimated times must still cover all recvs.
+  Fixture f;
+  const core::MapTimeOracle oracle =
+      EstimateWorkerOracle(f.lowering, f.config.sim, 5, 7);
+  const core::Schedule schedule = core::Tac(f.graph, oracle);
+  EXPECT_TRUE(schedule.CoversAllRecvs(f.graph));
+}
+
+}  // namespace
+}  // namespace tictac::trace

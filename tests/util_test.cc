@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace tictac::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1 << 20) != b.UniformInt(0, 1 << 20)) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.UniformInt(-3, 5);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(Rng, IndexCoversAllBuckets) {
+  Rng rng(11);
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 5000; ++i) hits[rng.Index(5)]++;
+  for (int h : hits) EXPECT_GT(h, 800);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(Rng, LognormalMedianApprox) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.Lognormal(2.0, 0.25));
+  EXPECT_NEAR(Percentile(xs, 0.5), 2.0, 0.05);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.Fork();
+  EXPECT_NE(a.UniformInt(0, 1 << 30), child.UniformInt(0, 1 << 30));
+}
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance) {
+  RunningStat s;
+  s.Add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Percentile, KnownQuantiles) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.25), 2.0);
+}
+
+TEST(Percentile, EmptySampleReturnsZero) {
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(Percentile, InterpolatesBetweenValues) {
+  EXPECT_DOUBLE_EQ(Percentile({0.0, 10.0}, 0.5), 5.0);
+}
+
+TEST(Stats, MeanStddevMinMax) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_NEAR(Stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Min(xs), 1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 4.0);
+  EXPECT_EQ(Mean({}), 0.0);
+}
+
+TEST(EmpiricalCdf, MonotoneAndBounded) {
+  std::vector<double> xs;
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.Uniform(0, 1));
+  const auto cdf = EmpiricalCdf(xs, 20);
+  ASSERT_EQ(cdf.size(), 20u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(FitLine, ExactLineHasR2One) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineHasHighR2) {
+  std::vector<double> x;
+  std::vector<double> y;
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const double xi = rng.Uniform(0, 10);
+    x.push_back(xi);
+    y.push_back(2.0 * xi + rng.Normal(0.0, 0.1));
+  }
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_GT(fit.r2, 0.99);
+  EXPECT_NEAR(fit.slope, 2.0, 0.05);
+}
+
+TEST(FitLine, DegenerateInputs) {
+  EXPECT_EQ(FitLine({1.0}, {2.0}).r2, 0.0);
+  EXPECT_EQ(FitLine({2.0, 2.0}, {1.0, 3.0}).slope, 0.0);  // vertical data
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"model", "speedup"});
+  t.AddRow({"VGG-16", "+12.3%"});
+  t.AddRow({"AlexNet v2", "+4.0%"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| model"), std::string::npos);
+  EXPECT_NE(s.find("VGG-16"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_NE(t.ToString().find("only"), std::string::npos);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(2.0, 0), "2");
+  EXPECT_EQ(FmtPct(0.123, 1), "+12.3%");
+  EXPECT_EQ(FmtPct(-0.042, 1), "-4.2%");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRowsToFile) {
+  const std::string path = ::testing::TempDir() + "/tictac_csv_test.csv";
+  {
+    CsvWriter w(path, {"x", "y"});
+    w.AddRow({"1", "2"});
+    EXPECT_THROW(w.AddRow({"only one"}), std::runtime_error);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+}  // namespace
+}  // namespace tictac::util
