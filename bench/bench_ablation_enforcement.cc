@@ -26,8 +26,7 @@ int main() {
             Enforcement::kDagChain}) {
         auto config = runtime::EnvG(8, 2, training);
         config.enforcement = e;
-        const auto speedup = harness::MeasureSpeedup(
-            info, config, runtime::Method::kTic, 7);
+        const auto speedup = harness::MeasureSpeedup(info, config, "tic", 7);
         row.push_back(util::FmtPct(speedup.speedup()));
       }
       table.AddRow(std::move(row));

@@ -20,12 +20,11 @@ int main() {
     for (const double sigma : {0.0, 0.1, 0.3, 1.0}) {
       auto config = runtime::EnvG(8, 2, /*training=*/false);
       config.tac_oracle_sigma = sigma;
-      const auto speedup = harness::MeasureSpeedup(
-          info, config, runtime::Method::kTac, 11);
+      const auto speedup = harness::MeasureSpeedup(info, config, "tac", 11);
       row.push_back(util::FmtPct(speedup.speedup()));
     }
-    const auto tic = harness::MeasureSpeedup(
-        info, runtime::EnvG(8, 2, false), runtime::Method::kTic, 11);
+    const auto tic =
+        harness::MeasureSpeedup(info, runtime::EnvG(8, 2, false), "tic", 11);
     row.push_back(util::FmtPct(tic.speedup()));
     table.AddRow(std::move(row));
   }

@@ -41,10 +41,8 @@ int main() {
     const auto& info = models::FindModel(name);
     const auto config = runtime::EnvG(8, 2, /*training=*/true);
     runtime::Runner runner(info, config);
-    const double base =
-        runner.Run(runtime::Method::kBaseline, 10, 17).Throughput();
-    const double tic =
-        runner.Run(runtime::Method::kTic, 10, 17).Throughput();
+    const double base = runner.Run("baseline", 10, 17).Throughput();
+    const double tic = runner.Run("tic", 10, 17).Throughput();
     const double ar = AllReduceThroughput(info, config, 17);
     table.AddRow({name, util::Fmt(base, 1), util::Fmt(tic, 1),
                   util::Fmt(ar, 1), util::FmtPct(tic / ar - 1.0)});

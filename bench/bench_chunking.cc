@@ -24,16 +24,14 @@ int main() {
 
     runtime::Runner plain_runner(info, plain);
     runtime::Runner chunked_runner(info, chunked);
-    const double base =
-        plain_runner.Run(runtime::Method::kBaseline, 10, 13).Throughput();
-    const double tic =
-        plain_runner.Run(runtime::Method::kTic, 10, 13).Throughput();
+    const double base = plain_runner.Run("baseline", 10, 13).Throughput();
+    const double tic = plain_runner.Run("tic", 10, 13).Throughput();
     const double tic_chunked =
-        chunked_runner.Run(runtime::Method::kTic, 10, 13).Throughput();
+        chunked_runner.Run("tic", 10, 13).Throughput();
     const double tac_chunked =
-        chunked_runner.Run(runtime::Method::kTac, 10, 13).Throughput();
+        chunked_runner.Run("tac", 10, 13).Throughput();
     const double base_chunked =
-        chunked_runner.Run(runtime::Method::kBaseline, 10, 13).Throughput();
+        chunked_runner.Run("baseline", 10, 13).Throughput();
     table.AddRow({name, util::FmtPct(tic / base - 1.0),
                   util::FmtPct(tic_chunked / base - 1.0),
                   util::FmtPct(tac_chunked / base - 1.0),

@@ -18,7 +18,7 @@ int main() {
       auto config = runtime::EnvG(4, 1, /*training=*/false);
       config.batch_factor = factor;
       const auto speedup = harness::MeasureSpeedup(
-          info, config, runtime::Method::kTic,
+          info, config, "tic",
           /*seed=*/static_cast<std::uint64_t>(factor * 100));
       row.push_back(util::FmtPct(speedup.speedup()));
     }

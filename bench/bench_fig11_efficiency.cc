@@ -18,10 +18,8 @@ int main() {
     const auto& info = models::FindModel(name);
     for (const bool training : {false, true}) {
       const auto config = runtime::EnvG(4, 2, training);
-      const auto base = harness::RunExperiment(
-          info, config, runtime::Method::kBaseline, 55);
-      const auto tic =
-          harness::RunExperiment(info, config, runtime::Method::kTic, 55);
+      const auto base = harness::RunExperiment(info, config, "baseline", 55);
+      const auto tic = harness::RunExperiment(info, config, "tic", 55);
       const int ops = training ? info.ops_training : info.ops_inference;
       table.AddRow({name, training ? "train" : "inference",
                     std::to_string(ops), util::Fmt(base.MeanEfficiency(), 3),

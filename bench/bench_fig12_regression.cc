@@ -28,12 +28,10 @@ int main() {
   std::vector<double> step_tac;
   std::vector<double> eff_all;
   std::vector<double> step_all;
-  for (const auto method :
-       {runtime::Method::kBaseline, runtime::Method::kTac}) {
-    const auto result = runner.Run(method, kRuns, 31337);
+  for (const std::string policy : {"baseline", "tac"}) {
+    const auto result = runner.Run(policy, kRuns, 31337);
     for (const auto& it : result.iterations) {
-      (method == runtime::Method::kBaseline ? step_base : step_tac)
-          .push_back(it.makespan);
+      (policy == "baseline" ? step_base : step_tac).push_back(it.makespan);
       eff_all.push_back(it.mean_efficiency);
       step_all.push_back(it.makespan);
     }

@@ -16,10 +16,8 @@ int main() {
     for (const char* name : {"Inception v2", "VGG-16", "AlexNet v2"}) {
       const auto& info = models::FindModel(name);
       const auto config = runtime::EnvC(4, 1, training);
-      const auto tic = harness::MeasureSpeedup(info, config,
-                                               runtime::Method::kTic, 5);
-      const auto tac = harness::MeasureSpeedup(info, config,
-                                               runtime::Method::kTac, 5);
+      const auto tic = harness::MeasureSpeedup(info, config, "tic", 5);
+      const auto tac = harness::MeasureSpeedup(info, config, "tac", 5);
       table.AddRow({name, util::FmtPct(tic.speedup()),
                     util::FmtPct(tac.speedup())});
     }

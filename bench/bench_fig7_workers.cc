@@ -23,8 +23,8 @@ int main() {
       for (const int w : workers) {
         const int ps = std::max(1, w / 4);
         const auto config = runtime::EnvG(w, ps, training);
-        const auto speedup = harness::MeasureSpeedup(
-            info, config, runtime::Method::kTic, /*seed=*/1234 + w);
+        const auto speedup =
+            harness::MeasureSpeedup(info, config, "tic", /*seed=*/1234 + w);
         row.push_back(util::FmtPct(speedup.speedup()));
       }
       table.AddRow(std::move(row));

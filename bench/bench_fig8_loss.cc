@@ -30,10 +30,8 @@ int main() {
   // the paper trains in this figure).
   runtime::Runner runner(models::FindModel("Inception v3"),
                          runtime::EnvG(4, 1, true));
-  const double t_base =
-      runner.Run(runtime::Method::kBaseline, 10, 99).MeanIterationTime();
-  const double t_tic =
-      runner.Run(runtime::Method::kTic, 10, 99).MeanIterationTime();
+  const double t_base = runner.Run("baseline", 10, 99).MeanIterationTime();
+  const double t_tic = runner.Run("tic", 10, 99).MeanIterationTime();
 
   util::Table table({"Iteration", "Loss (No Ordering)", "Loss (TIC)",
                      "|difference|"});

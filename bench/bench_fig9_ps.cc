@@ -18,8 +18,8 @@ int main() {
       std::vector<std::string> row{name};
       for (const int ps : {1, 2, 4}) {
         const auto config = runtime::EnvG(8, ps, training);
-        const auto speedup = harness::MeasureSpeedup(
-            info, config, runtime::Method::kTic, /*seed=*/77 + ps);
+        const auto speedup =
+            harness::MeasureSpeedup(info, config, "tic", /*seed=*/77 + ps);
         row.push_back(util::FmtPct(speedup.speedup()));
       }
       table.AddRow(std::move(row));

@@ -4,6 +4,7 @@
 // and TAC end-to-end: dependency analysis + priority assignment.
 #include <benchmark/benchmark.h>
 
+#include "core/policy_registry.h"
 #include "core/tac.h"
 #include "core/tic.h"
 #include "models/builder.h"
@@ -44,6 +45,22 @@ void BM_DependencyAnalysis(benchmark::State& state, const char* model) {
   }
 }
 
+// Every registered policy through the polymorphic interface, including
+// lookup + construction — bounds the cost of registry-driven dispatch
+// over calling the free functions directly.
+void BM_RegistryPolicy(benchmark::State& state, const char* spec) {
+  const auto& info = tictac::models::FindModel("Inception v3");
+  const auto graph =
+      tictac::models::BuildWorkerGraph(info, {.training = true});
+  const tictac::core::PropertyIndex index(graph);
+  const AnalyticalTimeOracle oracle{PlatformModel{}};
+  for (auto _ : state) {
+    const auto policy = tictac::core::PolicyRegistry::Global().Create(spec);
+    benchmark::DoNotOptimize(policy->Compute(index, oracle));
+  }
+  state.SetLabel(std::to_string(graph.size()) + " ops");
+}
+
 BENCHMARK_CAPTURE(BM_Tic, alexnet, "AlexNet v2");
 BENCHMARK_CAPTURE(BM_Tic, inception_v3, "Inception v3");
 BENCHMARK_CAPTURE(BM_Tic, resnet101_v2, "ResNet-101 v2");
@@ -51,6 +68,10 @@ BENCHMARK_CAPTURE(BM_Tac, alexnet, "AlexNet v2");
 BENCHMARK_CAPTURE(BM_Tac, inception_v3, "Inception v3");
 BENCHMARK_CAPTURE(BM_Tac, resnet101_v2, "ResNet-101 v2");
 BENCHMARK_CAPTURE(BM_DependencyAnalysis, resnet101_v2, "ResNet-101 v2");
+BENCHMARK_CAPTURE(BM_RegistryPolicy, tic, "tic");
+BENCHMARK_CAPTURE(BM_RegistryPolicy, tac, "tac");
+BENCHMARK_CAPTURE(BM_RegistryPolicy, reverse_tic, "reverse:tic");
+BENCHMARK_CAPTURE(BM_RegistryPolicy, random, "random:99");
 
 }  // namespace
 

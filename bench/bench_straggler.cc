@@ -13,7 +13,7 @@ int main() {
   std::cout << "Straggler decomposition (envG, 8 workers, 2 PS, training, "
                "Inception v2)\n\n";
   const auto& info = models::FindModel("Inception v2");
-  util::Table table({"Cluster", "Method", "Iteration (ms)",
+  util::Table table({"Cluster", "Policy", "Iteration (ms)",
                      "Mean straggler %", "Max straggler %"});
   for (const bool slow_worker : {false, true}) {
     auto config = runtime::EnvG(8, 2, /*training=*/true);
@@ -22,11 +22,10 @@ int main() {
       config.worker_speed_factors[7] = 0.7;  // one 30%-slower device
     }
     runtime::Runner runner(info, config);
-    for (const auto method :
-         {runtime::Method::kBaseline, runtime::Method::kTic}) {
-      const auto result = runner.Run(method, 10, 21);
+    for (const std::string policy : {"baseline", "tic"}) {
+      const auto result = runner.Run(policy, 10, 21);
       table.AddRow({slow_worker ? "1 slow worker" : "homogeneous",
-                    ToString(method),
+                    policy,
                     util::Fmt(result.MeanIterationTime() * 1e3, 1),
                     util::Fmt(result.MeanStragglerPct(), 1),
                     util::Fmt(result.MaxStragglerPct(), 1)});

@@ -21,9 +21,8 @@ int main() {
     auto config = runtime::EnvG(2, 1, /*training=*/true);
     config.sim.out_of_order_probability = 0.0;  // isolate scheduling
     runtime::Runner runner(info, config);
-    const auto base =
-        runner.Run(runtime::Method::kBaseline, kIterations, 424242);
-    const auto tic = runner.Run(runtime::Method::kTic, kIterations, 424242);
+    const auto base = runner.Run("baseline", kIterations, 424242);
+    const auto tic = runner.Run("tic", kIterations, 424242);
     table.AddRow({name, std::to_string(info.num_params),
                   std::to_string(base.UniqueRecvOrders()),
                   std::to_string(tic.UniqueRecvOrders())});

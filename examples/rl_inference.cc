@@ -21,8 +21,8 @@ int main() {
                                 /*training=*/false);
     config.sim.out_of_order_probability = 0.0;
     runtime::Runner runner(model, config);
-    const auto base = runner.Run(runtime::Method::kBaseline, 10, 7);
-    const auto tic = runner.Run(runtime::Method::kTic, 10, 7);
+    const auto base = runner.Run("baseline", 10, 7);
+    const auto tic = runner.Run("tic", 10, 7);
     table.AddRow({name, util::Fmt(base.Throughput(), 1),
                   util::Fmt(tic.Throughput(), 1),
                   util::FmtPct(tic.Throughput() / base.Throughput() - 1.0),

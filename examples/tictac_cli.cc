@@ -2,23 +2,29 @@
 //
 //   tictac_cli models
 //       List the model zoo with Table 1 characteristics.
-//   tictac_cli schedule <model> [--method tic|tac] [--training]
+//   tictac_cli policies        (also: tictac_cli --list-policies)
+//       List the registered scheduling policies.
+//   tictac_cli schedule <model> [--policy <name>] [--training]
 //       Print the priority list (the ordering wizard's output, §5).
 //   tictac_cli simulate <model> [--workers N] [--ps N] [--training]
-//                       [--method baseline|tic|tac] [--iterations N]
+//                       [--policy <name>] [--iterations N]
 //       Simulate a cluster and report throughput / E / stragglers.
 //   tictac_cli compare <model> [--workers N] [--ps N] [--training]
-//       Baseline vs TIC vs TAC side by side.
+//       Every registered policy side by side against the baseline.
 //   tictac_cli export-graph <model> [--training]
 //       Serialize the worker partition (core/io.h text format).
 //   tictac_cli export-dot <model> [--training]
 //       Graphviz DOT of the worker partition with TIC priorities.
+//
+// Policy names are core::PolicyRegistry specs ("tic", "tac", "random:7",
+// "reverse:tac", ...); `--method` is accepted as a deprecated alias of
+// `--policy`.
 #include <cstring>
 #include <iostream>
 #include <string>
 
 #include "core/io.h"
-#include "core/tac.h"
+#include "core/policy_registry.h"
 #include "core/tic.h"
 #include "models/builder.h"
 #include "models/zoo.h"
@@ -35,7 +41,7 @@ struct Args {
   int workers = 4;
   int ps = 1;
   bool training = false;
-  std::string method = "tic";
+  std::string policy = "tic";
   int iterations = 10;
 };
 
@@ -43,19 +49,45 @@ int Usage() {
   std::cerr
       << "usage:\n"
          "  tictac_cli models\n"
-         "  tictac_cli schedule <model> [--method tic|tac] [--training]\n"
+         "  tictac_cli policies\n"
+         "  tictac_cli schedule <model> [--policy <name>] [--training]\n"
          "  tictac_cli simulate <model> [--workers N] [--ps N] "
-         "[--training] [--method baseline|tic|tac] [--iterations N]\n"
+         "[--training] [--policy <name>] [--iterations N]\n"
          "  tictac_cli compare <model> [--workers N] [--ps N] "
-         "[--training]\n";
+         "[--training]\n"
+         "  tictac_cli export-graph <model> [--training]\n"
+         "  tictac_cli export-dot <model> [--training]\n"
+         "policies (see `tictac_cli policies`): ";
+  bool first = true;
+  for (const auto& name : core::PolicyRegistry::Global().List()) {
+    std::cerr << (first ? "" : ", ") << name;
+    first = false;
+  }
+  std::cerr << "\n";
   return 2;
+}
+
+int CmdListPolicies() {
+  util::Table table({"Policy", "Needs oracle", "Example spec"});
+  const auto& registry = core::PolicyRegistry::Global();
+  for (const auto& name : registry.List()) {
+    const auto policy = registry.Create(name);
+    table.AddRow({name, policy->RequiresOracle() ? "yes" : "no",
+                  policy->name()});
+  }
+  table.Print(std::cout);
+  return 0;
 }
 
 bool Parse(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.command = argv[1];
+  if (args.command == "--list-policies") {
+    args.command = "policies";
+    return true;
+  }
   int i = 2;
-  if (args.command != "models") {
+  if (args.command != "models" && args.command != "policies") {
     if (i >= argc) return false;
     args.model = argv[i++];
   }
@@ -74,26 +106,22 @@ bool Parse(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.ps = std::stoi(v);
-    } else if (flag == "--method") {
+    } else if (flag == "--policy" || flag == "--method") {
       const char* v = next();
       if (!v) return false;
-      args.method = v;
+      args.policy = v;
     } else if (flag == "--iterations") {
       const char* v = next();
       if (!v) return false;
       args.iterations = std::stoi(v);
+    } else if (flag == "--list-policies") {
+      args.command = "policies";
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
       return false;
     }
   }
   return true;
-}
-
-runtime::Method ParseMethod(const std::string& name) {
-  if (name == "baseline") return runtime::Method::kBaseline;
-  if (name == "tac") return runtime::Method::kTac;
-  return runtime::Method::kTic;
 }
 
 int CmdModels() {
@@ -115,22 +143,24 @@ int CmdSchedule(const Args& args) {
   const auto& info = models::FindModel(args.model);
   const core::Graph graph =
       models::BuildWorkerGraph(info, {.training = args.training});
-  core::Schedule schedule;
-  if (args.method == "tac") {
-    core::AnalyticalTimeOracle oracle{core::PlatformModel{}};
-    schedule = core::Tac(graph, oracle);
-  } else {
-    schedule = core::Tic(graph);
-  }
+  const auto policy = core::PolicyRegistry::Global().Create(args.policy);
+  const core::PropertyIndex index(graph);
+  const core::AnalyticalTimeOracle oracle{core::PlatformModel{}};
+  const core::Schedule schedule = policy->Compute(index, oracle);
   std::cout << "# priority list for " << info.name << " ("
             << (args.training ? "training" : "inference") << ", "
-            << args.method << ")\n"
+            << policy->name() << ")\n"
             << "# rank param bytes priority op\n";
   int rank = 0;
   for (const core::OpId r : schedule.RecvOrder(graph)) {
     const core::Op& op = graph.op(r);
-    std::cout << rank++ << " " << op.param << " " << op.bytes << " "
-              << schedule.priority(r) << " " << op.name << "\n";
+    std::cout << rank++ << " " << op.param << " " << op.bytes << " ";
+    if (schedule.HasPriority(r)) {
+      std::cout << schedule.priority(r);
+    } else {
+      std::cout << "-";  // the policy assigns no priority to this recv
+    }
+    std::cout << " " << op.name << "\n";
   }
   return 0;
 }
@@ -139,11 +169,10 @@ int CmdSimulate(const Args& args) {
   const auto& info = models::FindModel(args.model);
   const auto config = runtime::EnvG(args.workers, args.ps, args.training);
   runtime::Runner runner(info, config);
-  const auto result =
-      runner.Run(ParseMethod(args.method), args.iterations, 1);
+  const auto result = runner.Run(args.policy, args.iterations, 1);
   std::cout << info.name << ": " << args.workers << " workers, " << args.ps
             << " PS, " << (args.training ? "training" : "inference")
-            << ", method=" << args.method << "\n";
+            << ", policy=" << args.policy << "\n";
   std::cout << "  mean iteration time: "
             << util::Fmt(result.MeanIterationTime() * 1e3, 2) << " ms\n";
   std::cout << "  throughput:          " << util::Fmt(result.Throughput(), 1)
@@ -161,15 +190,15 @@ int CmdCompare(const Args& args) {
   const auto& info = models::FindModel(args.model);
   const auto config = runtime::EnvG(args.workers, args.ps, args.training);
   runtime::Runner runner(info, config);
-  util::Table table({"Method", "Iteration (ms)", "Throughput", "Speedup",
+  util::Table table({"Policy", "Iteration (ms)", "Throughput", "Speedup",
                      "E", "Overlap", "Max straggler %"});
   double base = 0.0;
-  for (const auto method : {runtime::Method::kBaseline, runtime::Method::kTic,
-                            runtime::Method::kTac}) {
-    const auto result = runner.Run(method, args.iterations, 1);
-    if (method == runtime::Method::kBaseline) base = result.Throughput();
-    table.AddRow({ToString(method),
-                  util::Fmt(result.MeanIterationTime() * 1e3, 1),
+  // Registration order puts "baseline" first, so `base` is set before any
+  // speedup is computed.
+  for (const auto& name : core::PolicyRegistry::Global().List()) {
+    const auto result = runner.Run(name, args.iterations, 1);
+    if (name == "baseline") base = result.Throughput();
+    table.AddRow({name, util::Fmt(result.MeanIterationTime() * 1e3, 1),
                   util::Fmt(result.Throughput(), 1),
                   util::FmtPct(result.Throughput() / base - 1.0),
                   util::Fmt(result.MeanEfficiency(), 3),
@@ -187,6 +216,7 @@ int main(int argc, char** argv) {
   if (!Parse(argc, argv, args)) return Usage();
   try {
     if (args.command == "models") return CmdModels();
+    if (args.command == "policies") return CmdListPolicies();
     if (args.command == "schedule") return CmdSchedule(args);
     if (args.command == "simulate") return CmdSimulate(args);
     if (args.command == "compare") return CmdCompare(args);

@@ -22,17 +22,16 @@ int main() {
             << " ops, " << model.num_params << " parameter transfers ("
             << util::Fmt(model.total_param_mib, 1) << " MiB) per direction\n\n";
 
-  util::Table table({"Method", "Iteration (ms)", "Throughput (samples/s)",
+  util::Table table({"Policy", "Iteration (ms)", "Throughput (samples/s)",
                      "Speedup", "Efficiency E", "Max straggler %"});
   double baseline_throughput = 0.0;
-  for (const auto method : {runtime::Method::kBaseline, runtime::Method::kTic,
-                            runtime::Method::kTac}) {
-    const auto result = runner.Run(method, /*iterations=*/10, /*seed=*/2024);
-    if (method == runtime::Method::kBaseline) {
+  for (const std::string policy : {"baseline", "tic", "tac"}) {
+    const auto result = runner.Run(policy, /*iterations=*/10, /*seed=*/2024);
+    if (policy == "baseline") {
       baseline_throughput = result.Throughput();
     }
     table.AddRow(
-        {ToString(method), util::Fmt(result.MeanIterationTime() * 1e3, 1),
+        {policy, util::Fmt(result.MeanIterationTime() * 1e3, 1),
          util::Fmt(result.Throughput(), 1),
          util::FmtPct(result.Throughput() / baseline_throughput - 1.0),
          util::Fmt(result.MeanEfficiency(), 3),

@@ -1,0 +1,68 @@
+#include "core/policy.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/policies.h"
+#include "core/tac.h"
+#include "core/tic.h"
+
+namespace tictac::core {
+
+Schedule BaselinePolicy::Compute(const PropertyIndex& index,
+                                 const TimeOracle& oracle) const {
+  (void)index;
+  (void)oracle;
+  return Schedule();
+}
+
+Schedule TicPolicy::Compute(const PropertyIndex& index,
+                            const TimeOracle& oracle) const {
+  (void)oracle;  // TIC is timing-independent by construction (Eq. 5).
+  return Tic(index);
+}
+
+Schedule TacPolicy::Compute(const PropertyIndex& index,
+                            const TimeOracle& oracle) const {
+  return Tac(index, oracle);
+}
+
+Schedule FixedRandomOrderPolicy::Compute(const PropertyIndex& index,
+                                         const TimeOracle& oracle) const {
+  (void)oracle;
+  return FixedRandomOrder(index.graph(), seed_);
+}
+
+std::string FixedRandomOrderPolicy::name() const {
+  return "random:" + std::to_string(seed_);
+}
+
+Schedule SmallestFirstPolicy::Compute(const PropertyIndex& index,
+                                      const TimeOracle& oracle) const {
+  (void)oracle;
+  return SmallestFirst(index.graph());
+}
+
+Schedule LargestFirstPolicy::Compute(const PropertyIndex& index,
+                                     const TimeOracle& oracle) const {
+  (void)oracle;
+  return LargestFirst(index.graph());
+}
+
+ReversePolicy::ReversePolicy(std::unique_ptr<SchedulingPolicy> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) {
+    throw std::invalid_argument("ReversePolicy requires an inner policy");
+  }
+}
+
+Schedule ReversePolicy::Compute(const PropertyIndex& index,
+                                const TimeOracle& oracle) const {
+  return ReverseOrder(index.graph(), inner_->Compute(index, oracle));
+}
+
+std::string ReversePolicy::name() const {
+  return "reverse:" + inner_->name();
+}
+
+}  // namespace tictac::core

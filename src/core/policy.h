@@ -1,0 +1,124 @@
+// Pluggable transfer-ordering policies.
+//
+// The paper's contribution is a *family* of ordering heuristics (TIC,
+// TAC, baseline) evaluated against each other; the repo grows that family
+// further (fixed random, byte-size orders, reversed orders). Every member
+// implements one interface: given a prebuilt communication-dependency
+// index and a time oracle, produce a priority Schedule. Policies that use
+// DAG structure only (TIC, byte orders) simply ignore the oracle and
+// report RequiresOracle() == false.
+//
+// Policies are usually obtained by name from the PolicyRegistry
+// (core/policy_registry.h) rather than constructed directly; the concrete
+// classes below are exposed for tests and for callers that need
+// non-default parameters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/properties.h"
+#include "core/schedule.h"
+#include "core/time_oracle.h"
+
+namespace tictac::core {
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  // Produces the priority schedule for index.graph(). `oracle` predicts
+  // per-op execution times; timing-independent policies ignore it.
+  virtual Schedule Compute(const PropertyIndex& index,
+                           const TimeOracle& oracle) const = 0;
+
+  // Canonical spec of this policy: PolicyRegistry::Global().Create(name())
+  // reconstructs an equivalent instance (e.g. "tac", "random:99",
+  // "reverse:tic").
+  virtual std::string name() const = 0;
+
+  // True if Compute's result depends on the oracle's times. Callers use
+  // this to decide whether oracle quality (noise, calibration) matters.
+  virtual bool RequiresOracle() const { return false; }
+};
+
+// No priorities at all — TensorFlow's arbitrary order. Returns a
+// default-constructed (empty) Schedule, which downstream layers read as
+// "unscheduled": no gates, random ready-queue picks.
+class BaselinePolicy final : public SchedulingPolicy {
+ public:
+  Schedule Compute(const PropertyIndex& index,
+                   const TimeOracle& oracle) const override;
+  std::string name() const override { return "baseline"; }
+};
+
+// Algorithm 2 (core/tic.h): timing-independent, DAG structure only.
+class TicPolicy final : public SchedulingPolicy {
+ public:
+  Schedule Compute(const PropertyIndex& index,
+                   const TimeOracle& oracle) const override;
+  std::string name() const override { return "tic"; }
+};
+
+// Algorithm 3 (core/tac.h): timing-aware greedy overlap maximization.
+class TacPolicy final : public SchedulingPolicy {
+ public:
+  Schedule Compute(const PropertyIndex& index,
+                   const TimeOracle& oracle) const override;
+  std::string name() const override { return "tac"; }
+  bool RequiresOracle() const override { return true; }
+};
+
+// One random permutation of the recvs, fixed by `seed` (core/policies.h).
+class FixedRandomOrderPolicy final : public SchedulingPolicy {
+ public:
+  static constexpr std::uint64_t kDefaultSeed = 99;
+
+  explicit FixedRandomOrderPolicy(std::uint64_t seed = kDefaultSeed)
+      : seed_(seed) {}
+
+  Schedule Compute(const PropertyIndex& index,
+                   const TimeOracle& oracle) const override;
+  std::string name() const override;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+// Transfers sorted by ascending byte size.
+class SmallestFirstPolicy final : public SchedulingPolicy {
+ public:
+  Schedule Compute(const PropertyIndex& index,
+                   const TimeOracle& oracle) const override;
+  std::string name() const override { return "smallest-first"; }
+};
+
+// Transfers sorted by descending byte size.
+class LargestFirstPolicy final : public SchedulingPolicy {
+ public:
+  Schedule Compute(const PropertyIndex& index,
+                   const TimeOracle& oracle) const override;
+  std::string name() const override { return "largest-first"; }
+};
+
+// Combinator: the exact reverse of another policy's recv order. Applied
+// to TIC this approximates the worst feasible order (the A3 ablation).
+class ReversePolicy final : public SchedulingPolicy {
+ public:
+  explicit ReversePolicy(std::unique_ptr<SchedulingPolicy> inner);
+
+  Schedule Compute(const PropertyIndex& index,
+                   const TimeOracle& oracle) const override;
+  std::string name() const override;
+  bool RequiresOracle() const override { return inner_->RequiresOracle(); }
+
+  const SchedulingPolicy& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<SchedulingPolicy> inner_;
+};
+
+}  // namespace tictac::core

@@ -1,0 +1,57 @@
+// String-keyed registry of scheduling policies.
+//
+// Policy selection everywhere above core (runner, harness, CLI, bench)
+// goes through this registry, so adding a policy is one Register() call
+// instead of an enum + switch edit in six files.
+//
+// A policy *spec* is "name" or "name:arg"; the part after the first ':'
+// is passed to the factory verbatim. Built-ins:
+//   baseline         no priorities (TensorFlow's arbitrary order)
+//   tic              Algorithm 2, DAG structure only
+//   tac              Algorithm 3, timing-aware (needs a time oracle)
+//   random[:seed]    fixed random permutation (default seed 99)
+//   smallest-first   ascending transfer bytes
+//   largest-first    descending transfer bytes
+//   reverse[:spec]   reverse of another policy's order (default "tic");
+//                    nests, e.g. "reverse:random:7"
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace tictac::core {
+
+class PolicyRegistry {
+ public:
+  // Builds a policy from the spec's argument part ("" when the spec has
+  // no ':'). Factories must throw std::invalid_argument on a bad arg.
+  using Factory =
+      std::function<std::unique_ptr<SchedulingPolicy>(const std::string&)>;
+
+  // The process-wide registry, with the built-ins pre-registered.
+  static PolicyRegistry& Global();
+
+  // Registers a factory under `name` (no ':' allowed). Throws
+  // std::invalid_argument on duplicates or malformed names.
+  void Register(const std::string& name, Factory factory);
+
+  bool Contains(const std::string& name) const;
+
+  // Creates the policy for a spec ("name" or "name:arg"). Throws
+  // std::invalid_argument for unknown names, listing what is available.
+  std::unique_ptr<SchedulingPolicy> Create(const std::string& spec) const;
+
+  // Registered names, in registration order.
+  std::vector<std::string> List() const { return order_; }
+
+ private:
+  std::vector<std::string> order_;
+  std::unordered_map<std::string, Factory> factories_;
+};
+
+}  // namespace tictac::core

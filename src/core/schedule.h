@@ -8,6 +8,8 @@
 #pragma once
 
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -23,12 +25,25 @@ class Schedule {
   explicit Schedule(std::size_t num_ops)
       : priority_(num_ops, kNoPriority) {}
 
+  // Ops beyond the constructed size — every op, for a default-constructed
+  // Schedule — report kNoPriority instead of reading out of bounds, so an
+  // empty Schedule uniformly means "nothing is prioritized".
   int priority(OpId op) const {
-    return priority_[static_cast<std::size_t>(op)];
+    const auto i = static_cast<std::size_t>(op);
+    return i < priority_.size() ? priority_[i] : kNoPriority;
   }
   bool HasPriority(OpId op) const { return priority(op) != kNoPriority; }
+  // Writes outside the constructed size are a caller bug (a schedule
+  // sized for the wrong graph); fail loudly in every build type rather
+  // than corrupt memory.
   void SetPriority(OpId op, int priority) {
-    priority_[static_cast<std::size_t>(op)] = priority;
+    const auto i = static_cast<std::size_t>(op);
+    if (i >= priority_.size()) {
+      throw std::out_of_range("Schedule::SetPriority: op " +
+                              std::to_string(op) + " outside schedule of " +
+                              std::to_string(priority_.size()) + " ops");
+    }
+    priority_[i] = priority;
   }
 
   std::size_t size() const { return priority_.size(); }

@@ -12,32 +12,31 @@ std::vector<std::string> FigureModels() {
 
 double MeasureThroughput(const models::ModelInfo& model,
                          const runtime::ClusterConfig& config,
-                         runtime::Method method, std::uint64_t seed,
+                         const std::string& policy, std::uint64_t seed,
                          int iterations) {
   runtime::Runner runner(model, config);
-  return runner.Run(method, iterations, seed).Throughput();
+  return runner.Run(policy, iterations, seed).Throughput();
 }
 
 SpeedupRow MeasureSpeedup(const models::ModelInfo& model,
                           const runtime::ClusterConfig& config,
-                          runtime::Method method, std::uint64_t seed,
+                          const std::string& policy, std::uint64_t seed,
                           int iterations) {
   runtime::Runner runner(model, config);
   SpeedupRow row;
   row.model = model.name;
   row.baseline_throughput =
-      runner.Run(runtime::Method::kBaseline, iterations, seed).Throughput();
-  row.scheduled_throughput =
-      runner.Run(method, iterations, seed).Throughput();
+      runner.Run("baseline", iterations, seed).Throughput();
+  row.scheduled_throughput = runner.Run(policy, iterations, seed).Throughput();
   return row;
 }
 
 runtime::ExperimentResult RunExperiment(const models::ModelInfo& model,
                                         const runtime::ClusterConfig& config,
-                                        runtime::Method method,
+                                        const std::string& policy,
                                         std::uint64_t seed, int iterations) {
   runtime::Runner runner(model, config);
-  return runner.Run(method, iterations, seed);
+  return runner.Run(policy, iterations, seed);
 }
 
 }  // namespace tictac::harness

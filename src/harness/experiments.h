@@ -1,6 +1,10 @@
 // Shared helpers for the benchmark harness: each bench binary regenerates
 // one table or figure from the paper; the common measurement plumbing
 // lives here.
+//
+// Policies are selected by name (a core::PolicyRegistry spec such as
+// "tic", "tac", "random:7"), so benches iterate registry entries instead
+// of enum literals.
 #pragma once
 
 #include <cstdint>
@@ -20,10 +24,10 @@ inline constexpr int kIterations = 10;
 // the figures omit), in Table 1 order.
 std::vector<std::string> FigureModels();
 
-// Throughput (samples/s) of `method` on `model` under `config`.
+// Throughput (samples/s) of `policy` on `model` under `config`.
 double MeasureThroughput(const models::ModelInfo& model,
                          const runtime::ClusterConfig& config,
-                         runtime::Method method, std::uint64_t seed,
+                         const std::string& policy, std::uint64_t seed,
                          int iterations = kIterations);
 
 struct SpeedupRow {
@@ -38,16 +42,16 @@ struct SpeedupRow {
   }
 };
 
-// Baseline vs `method` under identical seeds.
+// Baseline vs `policy` under identical seeds.
 SpeedupRow MeasureSpeedup(const models::ModelInfo& model,
                           const runtime::ClusterConfig& config,
-                          runtime::Method method, std::uint64_t seed,
+                          const std::string& policy, std::uint64_t seed,
                           int iterations = kIterations);
 
 // Full per-iteration results for metric-level experiments (Figs. 11/12).
 runtime::ExperimentResult RunExperiment(const models::ModelInfo& model,
                                         const runtime::ClusterConfig& config,
-                                        runtime::Method method,
+                                        const std::string& policy,
                                         std::uint64_t seed,
                                         int iterations = kIterations);
 

@@ -11,6 +11,15 @@ const char* ToString(Method method) {
   return "unknown";
 }
 
+const char* PolicyName(Method method) {
+  switch (method) {
+    case Method::kBaseline: return "baseline";
+    case Method::kTic: return "tic";
+    case Method::kTac: return "tac";
+  }
+  return "baseline";
+}
+
 const char* ToString(Enforcement enforcement) {
   switch (enforcement) {
     case Enforcement::kPriorityOnly: return "priority-only";

@@ -7,6 +7,11 @@
 namespace tictac::runtime {
 
 // The scheduling method under test.
+//
+// Deprecated: the closed enum survives only as a migration shim. New code
+// selects policies by name through core::PolicyRegistry ("baseline",
+// "tic", "tac", ...) or passes a core::SchedulingPolicy directly; see
+// core/policy_registry.h.
 enum class Method {
   kBaseline,  // no priorities, no enforcement — TensorFlow's arbitrary order
   kTic,       // Algorithm 2
@@ -14,6 +19,9 @@ enum class Method {
 };
 
 const char* ToString(Method method);
+
+// The PolicyRegistry key of a legacy enum value ("baseline"/"tic"/"tac").
+const char* PolicyName(Method method);
 
 // How the transfer order is imposed on the runtime (§5.1 discusses the
 // candidate locations; the paper picks the sender-side hand-off gate).

@@ -6,8 +6,7 @@
 
 #include "core/chunking.h"
 #include "core/metrics.h"
-#include "core/tac.h"
-#include "core/tic.h"
+#include "core/policy_registry.h"
 #include "models/zoo.h"
 #include "runtime/sharding.h"
 
@@ -122,41 +121,55 @@ Runner::Runner(const models::ModelInfo& model, ClusterConfig config)
     graph_ = core::ChunkTransfers(graph_,
                                   {.max_chunk_bytes = config_.chunk_bytes});
   }
+  // Built after chunking, which rewrites the graph's recv set.
+  index_ = std::make_unique<const core::PropertyIndex>(graph_);
   ps_of_param_ = ShardParams(models::ParamSizes(model_), config_.num_ps);
 }
 
-core::Schedule Runner::MakeSchedule(Method method) const {
-  switch (method) {
-    case Method::kBaseline:
-      return core::Schedule();  // empty: no priorities, no gates
-    case Method::kTic:
-      return core::Tic(graph_);
-    case Method::kTac: {
-      // The oracle must describe what transfers actually cost on this
-      // cluster: each PS NIC is time-shared by all workers (see lowering).
-      core::PlatformModel effective = config_.platform;
-      effective.bandwidth_bps /= config_.num_workers;
-      core::AnalyticalTimeOracle exact(effective);
-      if (config_.tac_oracle_sigma > 0.0) {
-        core::NoisyTimeOracle noisy(exact, config_.tac_oracle_sigma,
-                                    /*seed=*/0x7ac0ff5e);
-        return core::Tac(graph_, noisy);
-      }
-      return core::Tac(graph_, exact);
-    }
+core::Schedule Runner::MakeSchedule(
+    const core::SchedulingPolicy& policy) const {
+  // The oracle must describe what transfers actually cost on this
+  // cluster: each PS NIC is time-shared by all workers (see lowering).
+  core::PlatformModel effective = config_.platform;
+  effective.bandwidth_bps /= config_.num_workers;
+  const core::AnalyticalTimeOracle exact(effective);
+  if (config_.tac_oracle_sigma > 0.0 && policy.RequiresOracle()) {
+    const core::NoisyTimeOracle noisy(exact, config_.tac_oracle_sigma,
+                                      /*seed=*/0x7ac0ff5e);
+    return policy.Compute(*index_, noisy);
   }
-  return core::Schedule();
+  return policy.Compute(*index_, exact);
+}
+
+core::Schedule Runner::MakeSchedule(const std::string& policy) const {
+  return MakeSchedule(*core::PolicyRegistry::Global().Create(policy));
+}
+
+core::Schedule Runner::MakeSchedule(Method method) const {
+  return MakeSchedule(PolicyName(method));
+}
+
+ExperimentResult Runner::Run(const std::string& policy, int iterations,
+                             std::uint64_t seed) const {
+  return Run(*core::PolicyRegistry::Global().Create(policy), iterations,
+             seed);
 }
 
 ExperimentResult Runner::Run(Method method, int iterations,
                              std::uint64_t seed) const {
-  const core::Schedule schedule = MakeSchedule(method);
+  return Run(PolicyName(method), iterations, seed);
+}
+
+ExperimentResult Runner::Run(const core::SchedulingPolicy& policy,
+                             int iterations, std::uint64_t seed) const {
+  const core::Schedule schedule = MakeSchedule(policy);
   const Lowering lowering =
       LowerCluster(graph_, schedule, ps_of_param_, config_);
   sim::TaskGraphSim sim = lowering.BuildSim();
 
   sim::SimOptions options = config_.sim;
-  options.enforce_gates = method != Method::kBaseline;
+  options.enforce_gates = schedule.size() == graph_.size() &&
+                          schedule.CoversAllRecvs(graph_);
 
   ExperimentResult result;
   result.samples_per_iteration = model_.standard_batch *

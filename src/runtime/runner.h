@@ -1,13 +1,17 @@
 // Experiment runner: builds a model's worker partition, schedules it with
-// the requested method, lowers the cluster, and simulates iterations,
+// the requested policy, lowers the cluster, and simulates iterations,
 // collecting the paper's metrics (throughput, scheduling efficiency E,
 // straggler share, transfer orders).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "core/policy.h"
+#include "core/properties.h"
 #include "core/schedule.h"
 #include "models/builder.h"
 #include "runtime/lowering.h"
@@ -46,11 +50,32 @@ class Runner {
  public:
   Runner(const models::ModelInfo& model, ClusterConfig config);
 
-  // The priority schedule the given method produces for this model
-  // (empty — no priorities — for the baseline).
-  core::Schedule MakeSchedule(Method method) const;
+  // The cached PropertyIndex points into graph_; a copied or moved Runner
+  // would leave it dangling.
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
 
-  // Simulates `iterations` iterations; deterministic in `seed`.
+  // The priority schedule the given policy produces for this model (empty
+  // — no priorities — for the baseline). The policy is fed a time oracle
+  // reflecting this cluster's effective transfer costs (PS NICs are
+  // time-shared by all workers, see lowering), perturbed by
+  // config.tac_oracle_sigma when the policy requires timing.
+  core::Schedule MakeSchedule(const core::SchedulingPolicy& policy) const;
+
+  // Simulates `iterations` iterations; deterministic in `seed`. Gate
+  // enforcement is on iff the policy's schedule covers every recv.
+  ExperimentResult Run(const core::SchedulingPolicy& policy, int iterations,
+                       std::uint64_t seed) const;
+
+  // Name-based conveniences resolving `policy` (a spec like "tic" or
+  // "random:7") through core::PolicyRegistry::Global().
+  core::Schedule MakeSchedule(const std::string& policy) const;
+  ExperimentResult Run(const std::string& policy, int iterations,
+                       std::uint64_t seed) const;
+
+  // Deprecated enum shims; equivalent to the name-based calls on
+  // PolicyName(method). Kept one PR for incremental caller migration.
+  core::Schedule MakeSchedule(Method method) const;
   ExperimentResult Run(Method method, int iterations,
                        std::uint64_t seed) const;
 
@@ -62,6 +87,8 @@ class Runner {
   models::ModelInfo model_;
   ClusterConfig config_;
   core::Graph graph_;
+  // Dependency analysis of graph_, shared by every policy invocation.
+  std::unique_ptr<const core::PropertyIndex> index_;
   std::vector<int> ps_of_param_;
 };
 

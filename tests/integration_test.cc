@@ -10,7 +10,6 @@ namespace {
 
 using runtime::EnvC;
 using runtime::EnvG;
-using runtime::Method;
 
 TEST(Integration, FigureModelListMatchesFigures) {
   const auto names = harness::FigureModels();
@@ -36,7 +35,7 @@ TEST(Integration, TicImprovesMostModelsInference) {
   double alexnet_gain = 0.0;
   for (const char* name : {"Inception v2", "AlexNet v2"}) {
     const auto row = harness::MeasureSpeedup(
-        models::FindModel(name), EnvG(4, 1, false), Method::kTic, 42, 6);
+        models::FindModel(name), EnvG(4, 1, false), "tic", 42, 6);
     if (std::string(name) == "Inception v2") inception_gain = row.speedup();
     if (std::string(name) == "AlexNet v2") alexnet_gain = row.speedup();
   }
@@ -48,9 +47,9 @@ TEST(Integration, InferenceGainsExceedTrainingGains) {
   // §6.1: "we obtain higher gains in the inference phase than training."
   const auto& info = models::FindModel("Inception v2");
   const auto inference = harness::MeasureSpeedup(
-      info, EnvG(4, 1, false), Method::kTic, 11, 6);
+      info, EnvG(4, 1, false), "tic", 11, 6);
   const auto training = harness::MeasureSpeedup(
-      info, EnvG(4, 1, true), Method::kTic, 11, 6);
+      info, EnvG(4, 1, true), "tic", 11, 6);
   EXPECT_GT(inference.speedup(), training.speedup());
 }
 
@@ -58,9 +57,9 @@ TEST(Integration, TacMatchesOrBeatsTicOnEnvC) {
   // Appendix B: TIC is comparable to TAC; neither should collapse.
   const auto& info = models::FindModel("Inception v2");
   const auto tic = harness::MeasureSpeedup(
-      info, EnvC(4, 1, false), Method::kTic, 23, 6);
+      info, EnvC(4, 1, false), "tic", 23, 6);
   const auto tac = harness::MeasureSpeedup(
-      info, EnvC(4, 1, false), Method::kTac, 23, 6);
+      info, EnvC(4, 1, false), "tac", 23, 6);
   EXPECT_GT(tic.speedup(), 0.0);
   EXPECT_GT(tac.speedup(), 0.0);
   EXPECT_NEAR(tic.speedup(), tac.speedup(), 0.10);
@@ -73,8 +72,8 @@ TEST(Integration, EfficiencyPredictsStepTime) {
   runtime::Runner runner(info, EnvC(2, 1, true));
   std::vector<double> efficiency;
   std::vector<double> step_time;
-  for (const Method method : {Method::kBaseline, Method::kTac}) {
-    const auto result = runner.Run(method, 30, 5);
+  for (const std::string policy : {"baseline", "tac"}) {
+    const auto result = runner.Run(policy, 30, 5);
     for (const auto& it : result.iterations) {
       efficiency.push_back(it.mean_efficiency);
       step_time.push_back(it.makespan);
@@ -91,8 +90,8 @@ TEST(Integration, BaselineStepTimeSpreadExceedsTac) {
   runtime::Runner runner(info, EnvC(2, 1, false));
   std::vector<double> base_times;
   std::vector<double> tac_times;
-  const auto base = runner.Run(Method::kBaseline, 30, 7);
-  const auto tac = runner.Run(Method::kTac, 30, 7);
+  const auto base = runner.Run("baseline", 30, 7);
+  const auto tac = runner.Run("tac", 30, 7);
   for (const auto& it : base.iterations) base_times.push_back(it.makespan);
   for (const auto& it : tac.iterations) tac_times.push_back(it.makespan);
   EXPECT_GT(util::Stddev(base_times) / util::Mean(base_times),
@@ -102,9 +101,9 @@ TEST(Integration, BaselineStepTimeSpreadExceedsTac) {
 TEST(Integration, MoreWorkersIncreaseAggregateThroughput) {
   const auto& info = models::FindModel("ResNet-50 v1");
   const double t2 = harness::MeasureThroughput(
-      info, EnvG(2, 1, false), Method::kTic, 3, 5);
+      info, EnvG(2, 1, false), "tic", 3, 5);
   const double t8 = harness::MeasureThroughput(
-      info, EnvG(8, 2, false), Method::kTic, 3, 5);
+      info, EnvG(8, 2, false), "tic", 3, 5);
   EXPECT_GT(t8, t2);
 }
 
@@ -112,9 +111,9 @@ TEST(Integration, MorePsImprovesCommBoundThroughput) {
   // Figure 9: spreading parameters over more PS parallelizes transfers.
   const auto& info = models::FindModel("VGG-16");
   const double ps1 = harness::MeasureThroughput(
-      info, EnvG(8, 1, false), Method::kTic, 3, 5);
+      info, EnvG(8, 1, false), "tic", 3, 5);
   const double ps4 = harness::MeasureThroughput(
-      info, EnvG(8, 4, false), Method::kTic, 3, 5);
+      info, EnvG(8, 4, false), "tic", 3, 5);
   EXPECT_GT(ps4, ps1 * 1.5);
 }
 

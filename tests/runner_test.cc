@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "core/policy_registry.h"
 #include "models/zoo.h"
 
 namespace tictac::runtime {
@@ -107,6 +110,32 @@ TEST(Runner, NoisyOracleTacStillValid) {
   EXPECT_TRUE(schedule.CoversAllRecvs(runner.worker_graph()));
   const auto result = runner.Run(Method::kTac, 2, 9);
   EXPECT_GT(result.Throughput(), 0.0);
+}
+
+TEST(Runner, MethodShimMatchesPolicyNames) {
+  // The deprecated Method enum must route through the registry and yield
+  // bit-identical results to the name-based and object-based calls.
+  Runner runner(models::FindModel("Inception v2"), EnvG(4, 1, false));
+  for (const Method method : {Method::kBaseline, Method::kTic, Method::kTac}) {
+    const auto via_enum = runner.Run(method, 3, 29);
+    const auto via_name = runner.Run(PolicyName(method), 3, 29);
+    const auto via_policy = runner.Run(
+        *core::PolicyRegistry::Global().Create(PolicyName(method)), 3, 29);
+    ASSERT_EQ(via_enum.iterations.size(), via_name.iterations.size());
+    for (std::size_t i = 0; i < via_enum.iterations.size(); ++i) {
+      EXPECT_EQ(via_enum.iterations[i].makespan,
+                via_name.iterations[i].makespan);
+      EXPECT_EQ(via_enum.iterations[i].makespan,
+                via_policy.iterations[i].makespan);
+      EXPECT_EQ(via_enum.iterations[i].recv_order,
+                via_name.iterations[i].recv_order);
+    }
+  }
+}
+
+TEST(Runner, UnknownPolicyNameThrows) {
+  Runner runner(models::FindModel("AlexNet v2"), EnvG(2, 1, false));
+  EXPECT_THROW(runner.Run("no-such-policy", 1, 1), std::invalid_argument);
 }
 
 TEST(Runner, EmptyResultAccessorsAreSafe) {

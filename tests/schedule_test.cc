@@ -65,6 +65,37 @@ TEST(Schedule, CoversAllRecvsRequiresEveryRecv) {
   EXPECT_TRUE(s.CoversAllRecvs(g));
 }
 
+TEST(Schedule, DefaultConstructedReadsAreSafe) {
+  // A default-constructed Schedule holds no priority storage; reads for
+  // any op must report "no priority" instead of touching memory out of
+  // bounds (the baseline policy hands such a Schedule to every layer).
+  const Graph g = ThreeRecvGraph();
+  const Schedule s;
+  EXPECT_EQ(s.size(), 0u);
+  for (const Op& op : g.ops()) {
+    EXPECT_EQ(s.priority(op.id), Schedule::kNoPriority);
+    EXPECT_FALSE(s.HasPriority(op.id));
+  }
+  EXPECT_FALSE(s.CoversAllRecvs(g));
+  EXPECT_EQ(s.RecvOrder(g), g.RecvOps());  // priority ties fall back to id
+  EXPECT_EQ(s.NormalizedRecvRank(g).size(), g.RecvOps().size());
+}
+
+TEST(Schedule, ReadsBeyondConstructedSizeAreSafe) {
+  const Graph g = ThreeRecvGraph();
+  Schedule s(2);  // smaller than the graph: ops 2 and 3 are out of range
+  EXPECT_EQ(s.priority(3), Schedule::kNoPriority);
+  EXPECT_FALSE(s.HasPriority(2));
+  EXPECT_FALSE(s.CoversAllRecvs(g));
+}
+
+TEST(Schedule, WritesBeyondConstructedSizeThrow) {
+  Schedule s(2);
+  EXPECT_THROW(s.SetPriority(2, 0), std::out_of_range);
+  Schedule empty;
+  EXPECT_THROW(empty.SetPriority(0, 0), std::out_of_range);
+}
+
 TEST(Schedule, ComputePriorityDoesNotAffectRecvCoverage) {
   const Graph g = ThreeRecvGraph();
   Schedule s(g.size());
