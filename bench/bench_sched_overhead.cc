@@ -2,18 +2,34 @@
 // the Python implementation; the heuristics are computed once before
 // training, so this is not on the iteration critical path). Measures TIC
 // and TAC end-to-end: dependency analysis + priority assignment.
+//
+// The synthetic BM_TacSynthetic cases (1k/5k/10k recvs, far beyond any
+// zoo model) make the old-O(R²·V)-vs-incremental gap visible at the
+// production graph scales the ROADMAP targets; BM_TacFullRecompute pins
+// the reference implementation's cost for the before/after comparison
+// (only at sizes where it finishes in reasonable time).
 #include <benchmark/benchmark.h>
 
 #include "core/policy_registry.h"
 #include "core/tac.h"
 #include "core/tic.h"
 #include "models/builder.h"
+#include "models/random_dag.h"
 #include "models/zoo.h"
 
 namespace {
 
 using tictac::core::AnalyticalTimeOracle;
 using tictac::core::PlatformModel;
+
+tictac::core::Graph SyntheticDag(int num_recvs) {
+  tictac::models::RandomDagOptions options;
+  options.num_recvs = num_recvs;
+  options.num_computes = 2 * num_recvs;
+  options.num_layers = 8;
+  options.edge_probability = 0.05;
+  return tictac::models::MakeRandomDag(options, /*seed=*/7);
+}
 
 void BM_Tic(benchmark::State& state, const char* model) {
   const auto& info = tictac::models::FindModel(model);
@@ -61,6 +77,38 @@ void BM_RegistryPolicy(benchmark::State& state, const char* spec) {
   state.SetLabel(std::to_string(graph.size()) + " ops");
 }
 
+void BM_TacSynthetic(benchmark::State& state) {
+  const auto graph = SyntheticDag(static_cast<int>(state.range(0)));
+  const tictac::core::PropertyIndex index(graph);
+  const AnalyticalTimeOracle oracle{PlatformModel{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tictac::core::Tac(index, oracle));
+  }
+  state.SetLabel(std::to_string(graph.size()) + " ops");
+}
+
+void BM_TacFullRecompute(benchmark::State& state) {
+  const auto graph = SyntheticDag(static_cast<int>(state.range(0)));
+  const tictac::core::PropertyIndex index(graph);
+  const AnalyticalTimeOracle oracle{PlatformModel{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tictac::core::TacFullRecompute(index, oracle));
+  }
+  state.SetLabel(std::to_string(graph.size()) + " ops");
+}
+
+void BM_TacFullRecomputeModel(benchmark::State& state, const char* model) {
+  const auto& info = tictac::models::FindModel(model);
+  const auto graph =
+      tictac::models::BuildWorkerGraph(info, {.training = true});
+  const tictac::core::PropertyIndex index(graph);
+  const AnalyticalTimeOracle oracle{PlatformModel{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tictac::core::TacFullRecompute(index, oracle));
+  }
+  state.SetLabel(std::to_string(graph.size()) + " ops");
+}
+
 BENCHMARK_CAPTURE(BM_Tic, alexnet, "AlexNet v2");
 BENCHMARK_CAPTURE(BM_Tic, inception_v3, "Inception v3");
 BENCHMARK_CAPTURE(BM_Tic, resnet101_v2, "ResNet-101 v2");
@@ -68,6 +116,16 @@ BENCHMARK_CAPTURE(BM_Tac, alexnet, "AlexNet v2");
 BENCHMARK_CAPTURE(BM_Tac, inception_v3, "Inception v3");
 BENCHMARK_CAPTURE(BM_Tac, resnet101_v2, "ResNet-101 v2");
 BENCHMARK_CAPTURE(BM_DependencyAnalysis, resnet101_v2, "ResNet-101 v2");
+BENCHMARK(BM_TacSynthetic)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+// The reference is quadratic in recvs — 1k is already seconds; larger
+// sizes are left to the incremental path only.
+BENCHMARK(BM_TacFullRecompute)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TacFullRecomputeModel, resnet101_v2, "ResNet-101 v2")
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_RegistryPolicy, tic, "tic");
 BENCHMARK_CAPTURE(BM_RegistryPolicy, tac, "tac");
 BENCHMARK_CAPTURE(BM_RegistryPolicy, reverse_tic, "reverse:tic");

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the scheduling-overhead benchmark suite and emits google-benchmark
+# JSON, seeding the repo's perf trajectory: check BENCH_sched.json numbers
+# against the previous run before landing scheduling-path changes.
+#
+# Usage: bench/run_benches.sh [build_dir] [out.json] [extra benchmark args]
+#   BENCH_MIN_TIME=0.2 bench/run_benches.sh build-release
+#
+# The bare-number min-time default keeps old libbenchmark (< 1.7, which
+# rejects a unit suffix) working; on >= 1.8 (deprecation warning for bare
+# numbers) set the suffixed form explicitly, as CI does:
+#   BENCH_MIN_TIME=0.05s bench/run_benches.sh
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_sched.json}"
+shift $(( $# > 2 ? 2 : $# ))
+
+BIN="${BUILD_DIR}/bench_sched_overhead"
+if [[ ! -x "${BIN}" ]]; then
+  echo "error: ${BIN} not found — configure with Google Benchmark installed" >&2
+  exit 1
+fi
+
+"${BIN}" \
+  --benchmark_out="${OUT}" \
+  --benchmark_out_format=json \
+  --benchmark_min_time="${BENCH_MIN_TIME:-0.05}" \
+  "$@"
+
+echo "wrote ${OUT}"

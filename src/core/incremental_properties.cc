@@ -1,0 +1,116 @@
+#include "core/incremental_properties.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tictac::core {
+
+IncrementalProperties::IncrementalProperties(const PropertyIndex& index,
+                                             const TimeOracle& oracle)
+    : index_(&index) {
+  // Precondition: recvs have no recv ancestors, so a recv's own M is its
+  // transfer time (constant while outstanding) and completed recvs never
+  // contribute to P or M+. Tac() routes graphs violating this to the
+  // full-recompute reference instead of constructing this state.
+  assert(index.recvs_are_roots());
+  const Graph& g = index.graph();
+  const auto& recvs = index.recvs();
+
+  time_.resize(g.size());
+  for (std::size_t id = 0; id < g.size(); ++id) {
+    time_[id] = oracle.Time(g, static_cast<OpId>(id));
+  }
+  recv_time_.resize(recvs.size());
+  for (std::size_t i = 0; i < recvs.size(); ++i) {
+    recv_time_[i] = time_[static_cast<std::size_t>(recvs[i])];
+  }
+
+  outstanding_.assign(recvs.size(), 1);
+  outstanding_set_ = RecvSet(recvs.size());
+  for (std::size_t i = 0; i < recvs.size(); ++i) outstanding_set_.Set(i);
+  remaining_ = recvs.size();
+  dirty_flag_.assign(recvs.size(), 0);
+  dirty_.reserve(recvs.size());
+  surviving_.reserve(recvs.size());
+
+  dep_count_.resize(g.size());
+  dep_sum_.assign(g.size(), 0);
+  for (std::size_t id = 0; id < g.size(); ++id) {
+    const RecvSet& dep = index.dep(static_cast<OpId>(id));
+    dep_count_[id] = static_cast<int>(dep.Count());
+    dep.ForEach([&](std::size_t ri) {
+      dep_sum_[id] += static_cast<std::int64_t>(ri);
+    });
+  }
+
+  // Initial properties via the reference pass — by construction identical
+  // to what the full recompute reports for the all-outstanding set.
+  props_ = index.UpdateProperties(
+      oracle, std::vector<bool>(recvs.size(), true), &op_M_);
+}
+
+void IncrementalProperties::CompleteRecv(std::size_t ri) {
+  assert(ri < outstanding_.size() && outstanding_[ri] != 0);
+  outstanding_[ri] = 0;
+  outstanding_set_.Clear(ri);
+  props_[ri] = RecvProperties{};
+  --remaining_;
+  dirty_.clear();
+
+  index_->consumers(ri).ForEach([&](std::size_t id) {
+    const int d = --dep_count_[id];
+    dep_sum_[id] -= static_cast<std::int64_t>(ri);
+    if (d == 0) return;  // its whole P contribution went to `ri` itself
+    if (d == 1) {
+      // The op leaves the M+ pool and joins the P pool of its one
+      // surviving recv; both of that recv's properties need a rebuild.
+      const auto q = static_cast<std::size_t>(dep_sum_[id]);
+      if (dirty_flag_[q] == 0) {
+        dirty_flag_[q] = 1;
+        dirty_.push_back(q);
+      }
+      return;
+    }
+    // d >= 2: still an M+ contributor, but its outstanding communication
+    // time shrank. Re-sum M over dep ∩ outstanding — the masked scan
+    // visits the surviving bits in the full pass's order, so the sum is
+    // bit-identical — then fold the new value into the M+ of every recv
+    // the op still depends on: a pure min() update, exact because
+    // contributions only ever decrease.
+    double m = 0.0;
+    surviving_.clear();
+    index_->dep(static_cast<OpId>(id))
+        .ForEachAnd(outstanding_set_, [&](std::size_t r) {
+          m += recv_time_[r];
+          surviving_.push_back(static_cast<std::uint32_t>(r));
+        });
+    op_M_[id] = m;
+    for (const std::uint32_t r : surviving_) {
+      if (m < props_[r].Mplus) props_[r].Mplus = m;
+    }
+  });
+
+  // Rebuilds run after every count/M update so they see the final state.
+  for (const std::size_t q : dirty_) {
+    dirty_flag_[q] = 0;
+    RecomputeRecv(q);
+  }
+}
+
+void IncrementalProperties::RecomputeRecv(std::size_t q) {
+  assert(outstanding_[q] != 0);
+  double p = 0.0;
+  double mplus = kInfinity;
+  index_->consumers(q).ForEach([&](std::size_t id) {
+    const int d = dep_count_[id];
+    if (d == 1) {
+      p += time_[id];  // q is its only outstanding dependency
+    } else if (d >= 2) {
+      mplus = std::min(mplus, op_M_[id]);
+    }
+  });
+  props_[q].P = p;
+  props_[q].Mplus = mplus;
+}
+
+}  // namespace tictac::core

@@ -1,0 +1,80 @@
+// Incremental maintenance of the Algorithm-1 properties across a
+// sequence of recv completions.
+//
+// TAC schedules one recv per round; recomputing every property from
+// scratch each round costs O(R·V) per round — O(R²·V) for a full
+// schedule. This state object maintains, per op, the outstanding
+// dependency count and communication time M, and, per outstanding recv,
+// the P / M+ properties, updating only the ops whose dep set contains
+// the completed recv (via PropertyIndex::consumers). Oracle times are
+// cached in a flat vector at construction, so the virtual Time() call is
+// made once per op instead of once per op per round.
+//
+// The results are bit-identical to PropertyIndex::UpdateProperties on
+// the same outstanding set:
+//   * M is re-summed over the op's dep bitset in the same (increasing
+//     recv-index) order as the full pass, never maintained by
+//     subtraction, so float rounding matches exactly;
+//   * P is re-summed over consumers(q) in op-id order — the same order
+//     the full pass's G−R scan accumulates it in;
+//   * M+ is a min, which is order-independent: when a contributor's M
+//     shrinks its new value is folded in with min(); when a contributor
+//     leaves (its dep count drops to 1) the one recv it still covers is
+//     recomputed from scratch.
+// The full recompute stays available as the reference oracle for
+// differential testing (tests/incremental_properties_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/properties.h"
+#include "core/time_oracle.h"
+
+namespace tictac::core {
+
+class IncrementalProperties {
+ public:
+  // Caches oracle times and computes the initial properties with every
+  // recv outstanding (one full Algorithm-1 pass). Requires
+  // index.recvs_are_roots(); callers (Tac) fall back to the full
+  // recompute for graphs where recvs have recv ancestors.
+  IncrementalProperties(const PropertyIndex& index, const TimeOracle& oracle);
+
+  // Current properties per recv, in index.recvs() order; entries for
+  // completed recvs are reset to the default (op == kInvalidOp), exactly
+  // like the full recompute's output.
+  const std::vector<RecvProperties>& props() const { return props_; }
+
+  bool outstanding(std::size_t ri) const { return outstanding_[ri] != 0; }
+  std::size_t remaining() const { return remaining_; }
+
+  // Marks recv index `ri` (which must be outstanding) as transferred and
+  // updates the properties of the affected ops only: O(V/64 + Σ|dep|)
+  // over consumers(ri) instead of a full O(V·R) pass.
+  void CompleteRecv(std::size_t ri);
+
+ private:
+  // Fresh P / M+ for outstanding recv `q` from its consumer set.
+  void RecomputeRecv(std::size_t q);
+
+  const PropertyIndex* index_;
+  std::vector<double> time_;       // op id -> cached oracle time
+  std::vector<double> recv_time_;  // recv index -> cached oracle time
+  std::vector<char> outstanding_;  // recv index -> still to transfer
+  RecvSet outstanding_set_;        // same, as a bitset for masked scans
+  std::vector<int> dep_count_;     // op id -> |dep ∩ outstanding|
+  // op id -> Σ of outstanding recv indices in dep; when dep_count_ hits 1
+  // this IS the surviving recv index, found in O(1).
+  std::vector<std::int64_t> dep_sum_;
+  std::vector<double> op_M_;       // op id -> outstanding communication time
+  std::vector<RecvProperties> props_;
+  std::size_t remaining_ = 0;
+
+  // Scratch for CompleteRecv (reused across calls; no per-call allocation).
+  std::vector<std::size_t> dirty_;
+  std::vector<char> dirty_flag_;
+  std::vector<std::uint32_t> surviving_;  // one op's dep ∩ outstanding
+};
+
+}  // namespace tictac::core

@@ -11,6 +11,7 @@ std::size_t RecvSet::Count() const {
 }
 
 std::size_t RecvSet::IntersectCount(const RecvSet& other) const {
+  assert(bits_ == other.bits_ && "RecvSet size mismatch");
   std::size_t n = 0;
   for (std::size_t w = 0; w < words_.size(); ++w) {
     n += static_cast<std::size_t>(__builtin_popcountll(words_[w] & other.words_[w]));
@@ -36,6 +37,17 @@ PropertyIndex::PropertyIndex(const Graph& graph) : graph_(&graph) {
     }
     const int ri = recv_index_[static_cast<std::size_t>(id)];
     if (ri >= 0) set.Set(static_cast<std::size_t>(ri));
+  }
+  // Transpose: for each recv, the non-recv ops that (transitively) depend
+  // on it. Stored as bitsets over op ids — O(R·V/64) memory, and iterating
+  // consumers(ri) is a word scan instead of a full-graph sweep.
+  consumers_.assign(recvs_.size(), RecvSet(graph.size()));
+  for (std::size_t id = 0; id < graph.size(); ++id) {
+    if (recv_index_[id] >= 0) {
+      recvs_are_roots_ = recvs_are_roots_ && dep_[id].Count() == 1;
+      continue;
+    }
+    dep_[id].ForEach([&](std::size_t ri) { consumers_[ri].Set(id); });
   }
 }
 

@@ -13,6 +13,7 @@
 //          this recv (M+ therefore includes this recv's own time).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -24,22 +25,30 @@ namespace tictac::core {
 
 inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
-// Fixed-width bitset over recv indices; dep sets are dense and small
-// (hundreds of recvs), so packed words beat hash sets by a wide margin.
+// Fixed-width bitset over dense indices. Dep sets (bits = recv indices)
+// and the inverted consumer index (bits = op ids) are dense, so packed
+// words beat hash sets by a wide margin.
 class RecvSet {
  public:
   RecvSet() = default;
   explicit RecvSet(std::size_t bits) : bits_(bits), words_((bits + 63) / 64) {}
 
   void Set(std::size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void Clear(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
   bool Test(std::size_t i) const {
     return (words_[i >> 6] >> (i & 63)) & 1ULL;
   }
+  // Requires size_bits() == other.size_bits(). Kept inline: this is the
+  // inner loop of the dependency analysis (one call per edge).
   void UnionWith(const RecvSet& other) {
-    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+    assert(bits_ == other.bits_ && "RecvSet size mismatch");
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      words_[w] |= other.words_[w];
+    }
   }
   std::size_t Count() const;
   // Number of bits set in both this and `other`.
+  // Requires size_bits() == other.size_bits().
   std::size_t IntersectCount(const RecvSet& other) const;
   std::size_t size_bits() const { return bits_; }
 
@@ -48,6 +57,26 @@ class RecvSet {
   void ForEach(Fn&& fn) const {
     for (std::size_t w = 0; w < words_.size(); ++w) {
       std::uint64_t word = words_[w];
+      while (word) {
+        const int b = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(b));
+        word &= word - 1;
+      }
+    }
+  }
+
+  // Calls fn(bit_index) for every bit set in both this and `mask`, in
+  // increasing index order — the masked bits are visited in exactly the
+  // order ForEach would visit them, so float accumulations over the
+  // intersection are bit-identical to a filtered ForEach. Word-wise AND
+  // skips cleared bits for free, which is what keeps the incremental
+  // property updates cheap once most recvs have completed.
+  // Requires size_bits() == mask.size_bits().
+  template <typename Fn>
+  void ForEachAnd(const RecvSet& mask, Fn&& fn) const {
+    assert(bits_ == mask.bits_ && "RecvSet size mismatch");
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w] & mask.words_[w];
       while (word) {
         const int b = __builtin_ctzll(word);
         fn(w * 64 + static_cast<std::size_t>(b));
@@ -86,6 +115,21 @@ class PropertyIndex {
   // The dep set of `op`, as indices into recvs().
   const RecvSet& dep(OpId op) const { return dep_[static_cast<std::size_t>(op)]; }
 
+  // Inverted index: the non-recv ops (as a bitset over op ids) whose dep
+  // set contains recv index `ri`. Recv ops are excluded — a completed
+  // recv never contributes to P or M+, and an outstanding one is skipped
+  // by Algorithm 1's G−R scan. This is what lets IncrementalProperties
+  // touch only the affected ops when one recv completes.
+  const RecvSet& consumers(std::size_t ri) const { return consumers_[ri]; }
+
+  // True when every recv's dep set is exactly {itself} — i.e. no recv has
+  // a recv ancestor. All graph producers in this repo build recvs as
+  // communication roots, but Graph::AddEdge does not forbid edges into a
+  // recv. IncrementalProperties assumes this invariant (a recv's M is
+  // then constant while outstanding and completed recvs never join the
+  // G−R scan); Tac() falls back to the full recompute when it is false.
+  bool recvs_are_roots() const { return recvs_are_roots_; }
+
   // Algorithm 1. `outstanding` flags recvs (by recv index) that are still
   // to be transferred. Returns properties for each outstanding recv, in
   // recvs() order; entries for completed recvs have op == kInvalidOp.
@@ -101,6 +145,8 @@ class PropertyIndex {
   std::vector<OpId> recvs_;
   std::vector<int> recv_index_;   // op id -> recv index or -1
   std::vector<RecvSet> dep_;      // op id -> recv-index set
+  std::vector<RecvSet> consumers_;  // recv index -> op-id set (transpose)
+  bool recvs_are_roots_ = true;
 };
 
 }  // namespace tictac::core

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <vector>
 
+#include "core/incremental_properties.h"
+
 namespace tictac::core {
 
 bool TacBefore(const RecvProperties& a, const RecvProperties& b) {
@@ -21,7 +23,52 @@ Schedule Tac(const Graph& graph, const TimeOracle& oracle) {
   return Tac(PropertyIndex(graph), oracle);
 }
 
+namespace {
+
+// Argmin over outstanding recvs w.r.t. TacBefore. Shared by the
+// incremental and the reference path: TacBefore is not transitive, so
+// the result depends on scan order, and the two paths are bit-identical
+// only because they run the *same* scan.
+template <typename IsOutstanding>
+int BestOutstanding(const std::vector<RecvProperties>& props,
+                    const IsOutstanding& outstanding) {
+  int best = -1;
+  for (std::size_t i = 0; i < props.size(); ++i) {
+    if (!outstanding(i)) continue;
+    if (best < 0 ||
+        TacBefore(props[i], props[static_cast<std::size_t>(best)])) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
 Schedule Tac(const PropertyIndex& index, const TimeOracle& oracle) {
+  // The incremental state assumes recvs are communication roots (every
+  // producer in this repo builds them that way); for exotic graphs with
+  // recv→recv ancestry, stay correct via the reference path.
+  if (!index.recvs_are_roots()) return TacFullRecompute(index, oracle);
+
+  const Graph& graph = index.graph();
+  const auto& recvs = index.recvs();
+
+  Schedule schedule(graph.size());
+  IncrementalProperties state(index, oracle);
+  int count = 0;
+  while (state.remaining() > 0) {
+    const int best = BestOutstanding(
+        state.props(), [&](std::size_t i) { return state.outstanding(i); });
+    assert(best >= 0);
+    schedule.SetPriority(recvs[static_cast<std::size_t>(best)], count++);
+    state.CompleteRecv(static_cast<std::size_t>(best));
+  }
+  return schedule;
+}
+
+Schedule TacFullRecompute(const PropertyIndex& index,
+                          const TimeOracle& oracle) {
   const Graph& graph = index.graph();
   const auto& recvs = index.recvs();
 
@@ -32,14 +79,8 @@ Schedule Tac(const PropertyIndex& index, const TimeOracle& oracle) {
   while (remaining > 0) {
     const std::vector<RecvProperties> props =
         index.UpdateProperties(oracle, outstanding);
-    int best = -1;
-    for (std::size_t i = 0; i < recvs.size(); ++i) {
-      if (!outstanding[i]) continue;
-      if (best < 0 ||
-          TacBefore(props[i], props[static_cast<std::size_t>(best)])) {
-        best = static_cast<int>(i);
-      }
-    }
+    const int best = BestOutstanding(
+        props, [&](std::size_t i) { return outstanding[i]; });
     assert(best >= 0);
     schedule.SetPriority(recvs[static_cast<std::size_t>(best)], count++);
     outstanding[static_cast<std::size_t>(best)] = false;

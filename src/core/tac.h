@@ -25,10 +25,19 @@ bool TacBefore(const RecvProperties& a, const RecvProperties& b);
 
 // Computes TAC priorities for all recv ops of `graph`: repeatedly update
 // properties over the outstanding set, emit the minimum recv w.r.t.
-// TacBefore, assign it the next sequential priority number.
+// TacBefore, assign it the next sequential priority number. Properties
+// are maintained incrementally (core/incremental_properties.h), so the
+// total property work is O(Σ affected ops) rather than O(R²·V).
 Schedule Tac(const Graph& graph, const TimeOracle& oracle);
 
 // Same, reusing a prebuilt dependency index.
 Schedule Tac(const PropertyIndex& index, const TimeOracle& oracle);
+
+// Reference implementation: re-runs the full Algorithm-1 pass for every
+// scheduled recv, exactly as the paper's Python implementation does.
+// O(R²·V); kept as the differential-testing oracle for the incremental
+// path — both must produce bit-identical schedules.
+Schedule TacFullRecompute(const PropertyIndex& index,
+                          const TimeOracle& oracle);
 
 }  // namespace tictac::core

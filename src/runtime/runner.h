@@ -51,7 +51,10 @@ class Runner {
   Runner(const models::ModelInfo& model, ClusterConfig config);
 
   // The cached PropertyIndex points into graph_; a copied or moved Runner
-  // would leave it dangling.
+  // would leave it dangling. Caching it also amortizes the dependency
+  // analysis (and its recv→consumers inverted index, which TAC's
+  // incremental property maintenance walks) across every policy this
+  // Runner evaluates.
   Runner(const Runner&) = delete;
   Runner& operator=(const Runner&) = delete;
 

@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cassert>
 #include <queue>
 #include <stdexcept>
 
@@ -14,6 +15,62 @@ TaskGraphSim::TaskGraphSim(std::vector<Task> tasks, int num_resources)
       succs_[static_cast<std::size_t>(p)].push_back(static_cast<TaskId>(t));
     }
     num_gate_groups_ = std::max(num_gate_groups_, tasks_[t].gate_group + 1);
+  }
+
+  // Rank-compress finite priorities *per resource* so ready-bucket
+  // storage is bounded by the task count: a resource's min-pick only
+  // compares priorities of tasks on that same resource, so ranks need
+  // only be consistent within a resource, and each resource gets exactly
+  // as many bucket rows as it has distinct priorities.
+  std::vector<std::vector<int>> distinct(
+      static_cast<std::size_t>(num_resources_));
+  for (const Task& task : tasks_) {
+    if (task.priority != kNoPriority &&
+        task.resource >= 0 && task.resource < num_resources_) {
+      distinct[static_cast<std::size_t>(task.resource)].push_back(
+          task.priority);
+    }
+  }
+  bucket_offset_.resize(static_cast<std::size_t>(num_resources_));
+  bucket_count_ = 0;
+  for (int r = 0; r < num_resources_; ++r) {
+    auto& d = distinct[static_cast<std::size_t>(r)];
+    std::sort(d.begin(), d.end());
+    d.erase(std::unique(d.begin(), d.end()), d.end());
+    bucket_offset_[static_cast<std::size_t>(r)] = bucket_count_;
+    bucket_count_ += d.size();
+  }
+  priority_rank_.assign(tasks_.size(), kNoRank);
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    const Task& task = tasks_[t];
+    if (task.priority == kNoPriority ||
+        task.resource < 0 || task.resource >= num_resources_) {
+      continue;
+    }
+    const auto& d = distinct[static_cast<std::size_t>(task.resource)];
+    priority_rank_[t] = static_cast<int>(
+        std::lower_bound(d.begin(), d.end(), task.priority) - d.begin());
+  }
+
+  // Per-group gate slot layout, sized by the group's *task count*: ranks
+  // must be dense 0..k-1 for validated graphs (k = group size), and a
+  // rank >= the group's task count can never be released anyway — the
+  // counter advances once per activated task — so such tasks (invalid
+  // input Validate() would reject) are dropped at enqueue time instead
+  // of getting a slot. This also bounds slot memory by the task count
+  // regardless of what rank values unvalidated inputs carry.
+  gate_group_size_.assign(static_cast<std::size_t>(num_gate_groups_), 0);
+  for (const Task& task : tasks_) {
+    if (task.gate_group >= 0) {
+      ++gate_group_size_[static_cast<std::size_t>(task.gate_group)];
+    }
+  }
+  gate_offset_.resize(static_cast<std::size_t>(num_gate_groups_));
+  gate_slot_count_ = 0;
+  for (int g = 0; g < num_gate_groups_; ++g) {
+    gate_offset_[static_cast<std::size_t>(g)] = gate_slot_count_;
+    gate_slot_count_ +=
+        static_cast<std::size_t>(gate_group_size_[static_cast<std::size_t>(g)]);
   }
 }
 
@@ -73,6 +130,98 @@ void TaskGraphSim::Validate() const {
   }
 }
 
+namespace {
+
+// Completion event. Time ties are broken by the smaller TaskId — made
+// explicit here so completion order (and therefore successor release
+// order) is deterministic.
+struct CompletionEvent {
+  double time;
+  TaskId task;
+  bool operator>(const CompletionEvent& other) const {
+    if (time != other.time) return time > other.time;
+    return task > other.task;
+  }
+};
+
+// Per-resource ready set: priority-rank buckets for the Section-3.1 pick
+// plus a flat list for the out-of-order uniform pick. Each container
+// uses swap-removal with per-task position tracking, so insert and
+// remove are O(1) and steady-state operation allocates nothing.
+struct ReadySets {
+  ReadySets(int num_resources, const std::vector<std::size_t>& bucket_offset,
+            std::size_t bucket_count, std::size_t num_tasks)
+      : buckets(bucket_count),
+        nopri(static_cast<std::size_t>(num_resources)),
+        flat(static_cast<std::size_t>(num_resources)),
+        active(static_cast<std::size_t>(num_resources)),
+        bucket_offset(&bucket_offset),
+        class_pos(num_tasks),
+        flat_pos(num_tasks) {}
+
+  std::vector<TaskId>& bucket(int r, int rank) {
+    return buckets[(*bucket_offset)[static_cast<std::size_t>(r)] +
+                   static_cast<std::size_t>(rank)];
+  }
+
+  void Push(int r, int rank, TaskId t) {
+    auto& f = flat[static_cast<std::size_t>(r)];
+    flat_pos[static_cast<std::size_t>(t)] = f.size();
+    f.push_back(t);
+    auto& cls =
+        rank == kNoRank ? nopri[static_cast<std::size_t>(r)]
+                                     : bucket(r, rank);
+    if (rank != kNoRank && cls.empty()) {
+      active[static_cast<std::size_t>(r)].push(rank);
+    }
+    class_pos[static_cast<std::size_t>(t)] = cls.size();
+    cls.push_back(t);
+  }
+
+  // Lowest rank with a non-empty bucket, or kNoRank. Lazily drains heap
+  // entries whose bucket has since emptied.
+  int MinRank(int r) {
+    auto& heap = active[static_cast<std::size_t>(r)];
+    while (!heap.empty()) {
+      const int rank = heap.top();
+      if (!bucket(r, rank).empty()) return rank;
+      heap.pop();
+    }
+    return kNoRank;
+  }
+
+  void Remove(int r, int rank, TaskId t) {
+    SwapRemove(rank == kNoRank ? nopri[static_cast<std::size_t>(r)]
+                                            : bucket(r, rank),
+               class_pos, t);
+    SwapRemove(flat[static_cast<std::size_t>(r)], flat_pos, t);
+  }
+
+  static constexpr int kNoRank = -1;
+
+  std::vector<std::vector<TaskId>> buckets;  // [bucket_offset[r] + rank]
+  std::vector<std::vector<TaskId>> nopri;    // [r]
+  std::vector<std::vector<TaskId>> flat;     // [r], all ready tasks
+  // Min-heap of possibly-active ranks per resource (lazy deletion).
+  std::vector<std::priority_queue<int, std::vector<int>, std::greater<int>>>
+      active;
+  const std::vector<std::size_t>* bucket_offset;
+  std::vector<std::size_t> class_pos;  // task -> index in its bucket/nopri
+  std::vector<std::size_t> flat_pos;   // task -> index in flat[r]
+
+ private:
+  static void SwapRemove(std::vector<TaskId>& v,
+                         std::vector<std::size_t>& pos, TaskId t) {
+    const std::size_t i = pos[static_cast<std::size_t>(t)];
+    assert(i < v.size() && v[i] == t);
+    v[i] = v.back();
+    pos[static_cast<std::size_t>(v[i])] = i;
+    v.pop_back();
+  }
+};
+
+}  // namespace
+
 SimResult TaskGraphSim::Run(const SimOptions& options,
                             std::uint64_t seed) const {
   util::Rng rng(seed);
@@ -93,9 +242,8 @@ SimResult TaskGraphSim::Run(const SimOptions& options,
 
   std::vector<int> gate_counter(static_cast<std::size_t>(num_gate_groups_), 0);
   // Tasks whose predecessors are done but whose gate is still closed,
-  // bucketed by gate group.
-  std::vector<std::vector<TaskId>> gate_waiting(
-      static_cast<std::size_t>(num_gate_groups_));
+  // slotted by (group, rank) so a cascade release is a direct lookup.
+  std::vector<TaskId> gate_slot(gate_slot_count_, -1);
 
   auto gate_open = [&](TaskId t) {
     const Task& task = tasks_[static_cast<std::size_t>(t)];
@@ -104,10 +252,14 @@ SimResult TaskGraphSim::Run(const SimOptions& options,
            task.gate_rank;
   };
 
-  // Ready sets per resource.
-  std::vector<std::vector<TaskId>> ready(
-      static_cast<std::size_t>(num_resources_));
+  ReadySets ready(num_resources_, bucket_offset_, bucket_count_,
+                  tasks_.size());
   std::vector<bool> busy(static_cast<std::size_t>(num_resources_), false);
+
+  auto push_ready = [&](TaskId t) {
+    ready.Push(tasks_[static_cast<std::size_t>(t)].resource,
+               priority_rank_[static_cast<std::size_t>(t)], t);
+  };
 
   // Hand-off (§5.1): a gated task is *enqueued* on its channel once its
   // dependencies are met and the group counter reaches its rank; the
@@ -117,32 +269,32 @@ SimResult TaskGraphSim::Run(const SimOptions& options,
   auto deps_done_enqueue = [&](TaskId t) {
     const Task& task = tasks_[static_cast<std::size_t>(t)];
     if (!gate_open(t)) {
-      gate_waiting[static_cast<std::size_t>(task.gate_group)].push_back(t);
+      // A negative or >= group-size rank (invalid input Validate() would
+      // reject) has no slot; such a gate can never open — the counter
+      // advances at most once per task in the group — so dropping it
+      // here reproduces the old behavior: the task simply never starts.
+      if (task.gate_rank >= 0 &&
+          task.gate_rank <
+              gate_group_size_[static_cast<std::size_t>(task.gate_group)]) {
+        gate_slot[gate_offset_[static_cast<std::size_t>(task.gate_group)] +
+                  static_cast<std::size_t>(task.gate_rank)] = t;
+      }
       return;
     }
-    ready[static_cast<std::size_t>(task.resource)].push_back(t);
+    push_ready(t);
     if (!options.enforce_gates || task.gate_group < 0) return;
-    // Advance the counter and cascade-release successors whose
-    // dependencies are already met.
-    int group = task.gate_group;
-    ++gate_counter[static_cast<std::size_t>(group)];
-    bool released = true;
-    while (released) {
-      released = false;
-      auto& waiting = gate_waiting[static_cast<std::size_t>(group)];
-      for (std::size_t i = 0; i < waiting.size(); ++i) {
-        if (gate_open(waiting[i])) {
-          const TaskId next = waiting[i];
-          waiting[i] = waiting.back();
-          waiting.pop_back();
-          ready[static_cast<std::size_t>(
-                    tasks_[static_cast<std::size_t>(next)].resource)]
-              .push_back(next);
-          ++gate_counter[static_cast<std::size_t>(group)];
-          released = true;
-          break;  // ranks are unique; re-scan for the new counter value
-        }
-      }
+    // Advance the counter and cascade-release successor ranks whose
+    // dependencies are already met: one slot lookup per released task.
+    const auto group = static_cast<std::size_t>(task.gate_group);
+    const std::size_t base = gate_offset_[group];
+    int& counter = gate_counter[group];
+    ++counter;
+    while (counter < gate_group_size_[group]) {
+      const TaskId next = gate_slot[base + static_cast<std::size_t>(counter)];
+      if (next < 0) break;
+      gate_slot[base + static_cast<std::size_t>(counter)] = -1;
+      push_ready(next);
+      ++counter;
     }
   };
 
@@ -155,9 +307,8 @@ SimResult TaskGraphSim::Run(const SimOptions& options,
     if (missing_preds[static_cast<std::size_t>(t)] == 0) deps_done_enqueue(t);
   }
 
-  // Completion events: (time, task). seq breaks time ties deterministically.
-  using Completion = std::pair<double, TaskId>;
-  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+  std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
+                      std::greater<CompletionEvent>>
       completions;
   double now = 0.0;
 
@@ -166,27 +317,25 @@ SimResult TaskGraphSim::Run(const SimOptions& options,
   // out_of_order_probability the pick ignores priorities entirely,
   // modeling gRPC processing transfers out of hand-off order (§5.1
   // measures 0.4-0.5% of transfers affected).
-  auto select_task = [&](std::vector<TaskId>& queue) {
-    std::vector<std::size_t> candidates;
+  auto select_task = [&](int r) {
+    TaskId chosen;
     if (options.out_of_order_probability > 0.0 &&
         rng.Chance(options.out_of_order_probability)) {
-      candidates.resize(queue.size());
-      for (std::size_t i = 0; i < queue.size(); ++i) candidates[i] = i;
+      const auto& flat = ready.flat[static_cast<std::size_t>(r)];
+      chosen = flat[rng.Index(flat.size())];
     } else {
-      int min_priority = kNoPriority;
-      for (TaskId t : queue) {
-        min_priority = std::min(
-            min_priority, tasks_[static_cast<std::size_t>(t)].priority);
-      }
-      for (std::size_t i = 0; i < queue.size(); ++i) {
-        const int p = tasks_[static_cast<std::size_t>(queue[i])].priority;
-        if (p == min_priority || p == kNoPriority) candidates.push_back(i);
+      const int min_rank = ready.MinRank(r);
+      const auto& nopri = ready.nopri[static_cast<std::size_t>(r)];
+      if (min_rank == ReadySets::kNoRank) {
+        chosen = nopri[rng.Index(nopri.size())];
+      } else {
+        const auto& bucket = ready.bucket(r, min_rank);
+        const std::size_t pick = rng.Index(bucket.size() + nopri.size());
+        chosen = pick < bucket.size() ? bucket[pick]
+                                      : nopri[pick - bucket.size()];
       }
     }
-    const std::size_t pick = candidates[rng.Index(candidates.size())];
-    const TaskId chosen = queue[pick];
-    queue[pick] = queue.back();
-    queue.pop_back();
+    ready.Remove(r, priority_rank_[static_cast<std::size_t>(chosen)], chosen);
     return chosen;
   };
 
@@ -197,13 +346,14 @@ SimResult TaskGraphSim::Run(const SimOptions& options,
     while (progress) {
       progress = false;
       for (int r = 0; r < num_resources_; ++r) {
-        auto& queue = ready[static_cast<std::size_t>(r)];
-        while (!busy[static_cast<std::size_t>(r)] && !queue.empty()) {
-          const TaskId t = select_task(queue);
+        while (!busy[static_cast<std::size_t>(r)] &&
+               !ready.flat[static_cast<std::size_t>(r)].empty()) {
+          const TaskId t = select_task(r);
           busy[static_cast<std::size_t>(r)] = true;
           result.start[static_cast<std::size_t>(t)] = now;
           result.start_order.push_back(t);
-          completions.emplace(now + duration[static_cast<std::size_t>(t)], t);
+          completions.push(
+              {now + duration[static_cast<std::size_t>(t)], t});
           progress = true;
         }
       }

@@ -10,6 +10,15 @@
 //   * starting a gated task advances its group's hand-off counter.
 //
 // The engine is deterministic given (tasks, options, seed).
+//
+// Hot-path data structures (sized once per Run, no per-event allocation):
+//   * ready tasks live in per-resource priority buckets (priorities are
+//     rank-compressed per resource in the constructor, so total bucket
+//     count is bounded by the task count) plus a flat per-resource list
+//     for the out-of-order uniform pick — a pick is O(1) instead of an
+//     O(queue) min-scan into a freshly allocated candidate vector;
+//   * gate-waiting tasks are bucketed by rank, so a cascade release is
+//     O(1) per released task instead of a rescan of the waiting list.
 #pragma once
 
 #include <vector>
@@ -38,6 +47,23 @@ class TaskGraphSim {
   std::vector<std::vector<TaskId>> succs_;
   int num_resources_;
   int num_gate_groups_ = 0;
+
+  // Dense rank of each task's priority among the distinct finite
+  // priorities present *on its resource* (kNoRank for kNoPriority).
+  // Rank order == priority order within a resource — the only scope a
+  // min-pick ever compares across — so selection semantics are unchanged
+  // while total bucket storage stays bounded by the task count.
+  // Resource r's bucket rows live at [bucket_offset_[r], ...).
+  static constexpr int kNoRank = -1;
+  std::vector<int> priority_rank_;
+  std::vector<std::size_t> bucket_offset_;
+  std::size_t bucket_count_ = 0;
+
+  // Flattened per-group gate-rank slots: group g's slots live at
+  // [gate_offset_[g], gate_offset_[g] + gate_group_size_[g]).
+  std::vector<int> gate_group_size_;  // gated-task count per group
+  std::vector<std::size_t> gate_offset_;
+  std::size_t gate_slot_count_ = 0;
 };
 
 }  // namespace tictac::sim

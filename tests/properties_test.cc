@@ -49,6 +49,94 @@ TEST(RecvSet, BasicOperations) {
   EXPECT_EQ(bits, (std::vector<std::size_t>{0, 64, 100, 129}));
 }
 
+TEST(RecvSet, EmptySet) {
+  RecvSet a(0);
+  EXPECT_EQ(a.Count(), 0u);
+  EXPECT_EQ(a.size_bits(), 0u);
+  RecvSet b(0);
+  a.UnionWith(b);  // no words to touch
+  EXPECT_EQ(a.IntersectCount(b), 0u);
+  std::size_t visits = 0;
+  a.ForEach([&](std::size_t) { ++visits; });
+  EXPECT_EQ(visits, 0u);
+
+  // Sized but all-clear: still empty under every query.
+  RecvSet c(97);
+  EXPECT_EQ(c.Count(), 0u);
+  c.ForEach([&](std::size_t) { ++visits; });
+  EXPECT_EQ(visits, 0u);
+}
+
+TEST(RecvSet, CrossWordBoundaries) {
+  RecvSet a(193);  // spans four words, last one partial
+  for (const std::size_t i : {std::size_t{63}, std::size_t{64},
+                              std::size_t{127}, std::size_t{128},
+                              std::size_t{192}}) {
+    a.Set(i);
+  }
+  EXPECT_EQ(a.Count(), 5u);
+  EXPECT_TRUE(a.Test(63));
+  EXPECT_TRUE(a.Test(64));
+  EXPECT_FALSE(a.Test(65));
+  EXPECT_TRUE(a.Test(192));
+
+  RecvSet b(193);
+  b.Set(64);
+  b.Set(128);
+  b.Set(191);
+  EXPECT_EQ(a.IntersectCount(b), 2u);
+  a.UnionWith(b);
+  EXPECT_EQ(a.Count(), 6u);
+  std::vector<std::size_t> bits;
+  a.ForEach([&](std::size_t i) { bits.push_back(i); });
+  EXPECT_EQ(bits,
+            (std::vector<std::size_t>{63, 64, 127, 128, 191, 192}));
+}
+
+TEST(RecvSet, ForEachAndVisitsIntersectionInOrder) {
+  RecvSet a(150);
+  RecvSet mask(150);
+  for (const std::size_t i : {std::size_t{0}, std::size_t{63},
+                              std::size_t{64}, std::size_t{100},
+                              std::size_t{149}}) {
+    a.Set(i);
+  }
+  mask.Set(63);
+  mask.Set(100);
+  mask.Set(120);  // in mask only — must not be visited
+  std::vector<std::size_t> bits;
+  a.ForEachAnd(mask, [&](std::size_t i) { bits.push_back(i); });
+  EXPECT_EQ(bits, (std::vector<std::size_t>{63, 100}));
+}
+
+TEST(RecvSet, FullSet) {
+  constexpr std::size_t kBits = 130;
+  RecvSet a(kBits);
+  for (std::size_t i = 0; i < kBits; ++i) a.Set(i);
+  EXPECT_EQ(a.Count(), kBits);
+  EXPECT_EQ(a.IntersectCount(a), kBits);
+  std::size_t expected = 0;
+  bool in_order = true;
+  a.ForEach([&](std::size_t i) { in_order = in_order && i == expected++; });
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(expected, kBits);
+
+  RecvSet b(kBits);
+  b.Set(0);
+  b.UnionWith(a);
+  EXPECT_EQ(b.Count(), kBits);
+}
+
+#ifndef NDEBUG
+TEST(RecvSetDeathTest, MismatchedSizesAssert) {
+  RecvSet a(64);
+  RecvSet b(128);
+  EXPECT_DEATH(a.UnionWith(b), "size mismatch");
+  EXPECT_DEATH((void)a.IntersectCount(b), "size mismatch");
+  EXPECT_DEATH(a.ForEachAnd(b, [](std::size_t) {}), "size mismatch");
+}
+#endif
+
 TEST(PropertyIndex, CommunicationDependenciesFig1a) {
   Fig1a f;
   PropertyIndex index(f.g);
@@ -80,6 +168,22 @@ TEST(PropertyIndex, TransitiveDependenciesOnChain) {
   EXPECT_EQ(index.dep(c0).Count(), 1u);
   EXPECT_EQ(index.dep(c1).Count(), 2u);
   EXPECT_EQ(index.dep(c2).Count(), 3u);
+}
+
+TEST(PropertyIndex, ConsumersIsTransposeOfDepWithoutRecvs) {
+  Fig1a f;
+  PropertyIndex index(f.g);
+  // recv1 is (transitively) consumed by op1 and op2; recv2 only by op2.
+  // Recv ops themselves never appear in a consumer set.
+  const RecvSet& c1 = index.consumers(0);
+  EXPECT_TRUE(c1.Test(static_cast<std::size_t>(f.op1)));
+  EXPECT_TRUE(c1.Test(static_cast<std::size_t>(f.op2)));
+  EXPECT_FALSE(c1.Test(static_cast<std::size_t>(f.recv1)));
+  EXPECT_EQ(c1.Count(), 2u);
+  const RecvSet& c2 = index.consumers(1);
+  EXPECT_FALSE(c2.Test(static_cast<std::size_t>(f.op1)));
+  EXPECT_TRUE(c2.Test(static_cast<std::size_t>(f.op2)));
+  EXPECT_EQ(c2.Count(), 1u);
 }
 
 TEST(UpdateProperties, Fig1aPaperValues) {

@@ -75,6 +75,47 @@ TEST(Engine, PrioritySelectsLowestNumber) {
   EXPECT_EQ(r.start_order, (std::vector<TaskId>{3, 2, 1, 0}));
 }
 
+TEST(Engine, SparseAndNegativePrioritiesOrderCorrectly) {
+  // Priorities are rank-compressed internally; arbitrary (even negative)
+  // numbers must still order by value.
+  std::vector<Task> tasks;
+  const int priorities[] = {1000000, -5, 0, 42};
+  for (const int p : priorities) {
+    Task t = MakeTask(1.0, 0);
+    t.priority = p;
+    tasks.push_back(t);
+  }
+  TaskGraphSim sim(std::move(tasks), 1);
+  const SimResult r = sim.Run({}, 11);
+  EXPECT_EQ(r.start_order, (std::vector<TaskId>{1, 2, 3, 0}));
+}
+
+TEST(Engine, LongGateCascadeReleasesAllRanks) {
+  // All 64 gated transfers become dependency-ready at t=0 with ranks
+  // reversed w.r.t. id; activating rank 0 must cascade-release the
+  // entire chain in rank order.
+  constexpr int kRanks = 64;
+  std::vector<Task> tasks;
+  for (int i = 0; i < kRanks; ++i) {
+    Task t = MakeTask(1.0, 0);
+    t.gate_group = 0;
+    t.gate_rank = kRanks - 1 - i;
+    t.priority = kRanks - 1 - i;
+    tasks.push_back(t);
+  }
+  TaskGraphSim sim(std::move(tasks), 1);
+  sim.Validate();
+  SimOptions opts;
+  opts.enforce_gates = true;
+  const SimResult r = sim.Run(opts, 13);
+  ASSERT_EQ(r.start_order.size(), static_cast<std::size_t>(kRanks));
+  for (int i = 0; i < kRanks; ++i) {
+    EXPECT_EQ(r.start_order[static_cast<std::size_t>(i)],
+              static_cast<TaskId>(kRanks - 1 - i));
+  }
+  EXPECT_DOUBLE_EQ(r.makespan, static_cast<double>(kRanks));
+}
+
 TEST(Engine, UnprioritizedTasksCompeteWithLowest) {
   // One priority-5 task and one unprioritized task: both are candidates,
   // so across seeds each should win sometimes.
