@@ -2,30 +2,53 @@
 // fed progressively noisier per-op time estimates (multiplicative
 // lognormal error); TIC — which uses no timing at all — is the floor.
 // The paper's claim that "DAG-level information is sufficient for current
-// models" predicts a flat curve.
+// models" predicts a flat curve. The sigma axis is an ExperimentSpec list
+// (baseline once per model — it never reads the oracle) run by one
+// parallel Session::RunAll.
 #include <iostream>
+#include <vector>
 
-#include "harness/experiments.h"
+#include "harness/session.h"
 #include "util/table.h"
 
 int main() {
   using namespace tictac;
   std::cout << "Ablation: TAC speedup (%) vs time-oracle noise "
                "(envG, 8 workers, 2 PS, inference)\n\n";
+  const double sigmas[] = {0.0, 0.1, 0.3, 1.0};
+  const char* model_names[] = {"Inception v3", "ResNet-101 v1", "VGG-19"};
+
+  harness::Session session;
+  std::vector<runtime::ExperimentSpec> specs;
+  for (const char* name : model_names) {
+    runtime::ExperimentSpec spec;
+    spec.model = name;
+    spec.cluster.workers = 8;
+    spec.cluster.ps = 2;
+    spec.seed = 11;
+    spec.policy = "baseline";
+    specs.push_back(spec);
+    spec.policy = "tac";
+    for (const double sigma : sigmas) {
+      spec.cluster.tac_oracle_sigma = sigma;
+      specs.push_back(spec);
+    }
+    spec.policy = "tic";
+    spec.cluster.tac_oracle_sigma = 0.0;
+    specs.push_back(spec);
+  }
+  const harness::ResultTable results =
+      session.RunAll(specs, harness::Session::DefaultParallelism());
+
   util::Table table({"Model", "TAC exact", "TAC sigma=0.1", "TAC sigma=0.3",
                      "TAC sigma=1.0", "TIC (no timing)"});
-  for (const char* name : {"Inception v3", "ResNet-101 v1", "VGG-19"}) {
-    const auto& info = models::FindModel(name);
+  std::size_t i = 0;
+  for (const char* name : model_names) {
+    const double base = results.row(i++).throughput;
     std::vector<std::string> row{name};
-    for (const double sigma : {0.0, 0.1, 0.3, 1.0}) {
-      auto config = runtime::EnvG(8, 2, /*training=*/false);
-      config.tac_oracle_sigma = sigma;
-      const auto speedup = harness::MeasureSpeedup(info, config, "tac", 11);
-      row.push_back(util::FmtPct(speedup.speedup()));
+    for (std::size_t s = 0; s <= std::size(sigmas); ++s) {  // 4× TAC + TIC
+      row.push_back(util::FmtPct(results.row(i++).throughput / base - 1.0));
     }
-    const auto tic =
-        harness::MeasureSpeedup(info, runtime::EnvG(8, 2, false), "tic", 11);
-    row.push_back(util::FmtPct(tic.speedup()));
     table.AddRow(std::move(row));
   }
   table.Print(std::cout);

@@ -5,14 +5,16 @@
 // isolates consistency, byte-size orders are the obvious straw men, and
 // reverse:tic approximates the worst feasible order.
 //
-// The column set is whatever the PolicyRegistry holds — registering a new
-// policy adds it to this ablation with no further edits.
+// The policy axis of the SweepSpec is whatever the PolicyRegistry holds —
+// registering a new policy adds it to this ablation with no further
+// edits. The Session caches one Runner per model, so every policy reuses
+// the same dependency analysis.
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/policy_registry.h"
-#include "harness/experiments.h"
+#include "harness/session.h"
 #include "util/table.h"
 
 using namespace tictac;
@@ -21,25 +23,30 @@ int main() {
   std::cout << "Ablation: ordering policy vs throughput speedup "
                "(envG, 4 workers, 1 PS, inference)\n\n";
 
-  std::vector<std::string> policies;
-  for (const auto& name : core::PolicyRegistry::Global().List()) {
-    if (name != "baseline") policies.push_back(name);
-  }
+  runtime::SweepSpec sweep;
+  sweep.models = {"Inception v2", "ResNet-50 v2", "VGG-16"};
+  sweep.workers = {4};
+  sweep.ps = {1};
+  sweep.policies = core::PolicyRegistry::Global().List();  // baseline first
+  sweep.seed = 3;
+
+  harness::Session session;
+  const harness::ResultTable results =
+      session.RunAll(sweep, harness::Session::DefaultParallelism());
 
   std::vector<std::string> header{"Model"};
-  header.insert(header.end(), policies.begin(), policies.end());
+  for (const auto& policy : sweep.policies) {
+    if (policy != "baseline") header.push_back(policy);
+  }
   util::Table table(header);
 
-  for (const char* name : {"Inception v2", "ResNet-50 v2", "VGG-16"}) {
-    const auto& info = models::FindModel(name);
-    const auto config = runtime::EnvG(4, 1, /*training=*/false);
-    runtime::Runner runner(info, config);
-    const double base = runner.Run("baseline", 10, 3).Throughput();
-
-    std::vector<std::string> row{name};
-    for (const auto& policy : policies) {
-      const double throughput = runner.Run(policy, 10, 3).Throughput();
-      row.push_back(util::FmtPct(throughput / base - 1.0));
+  // Expansion order: model → policy (policy varies fastest).
+  for (std::size_t i = 0; i < results.size(); i += sweep.policies.size()) {
+    std::vector<std::string> row{results.row(i).spec.model};
+    for (std::size_t p = 0; p < sweep.policies.size(); ++p) {
+      const harness::ResultRow& result = results.row(i + p);
+      if (result.spec.policy == "baseline") continue;
+      row.push_back(util::FmtPct(results.SpeedupVsBaseline(result)));
     }
     table.AddRow(std::move(row));
   }

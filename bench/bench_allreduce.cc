@@ -4,10 +4,10 @@
 // aggregation strategy wins at equal hardware.
 #include <iostream>
 
+#include "harness/session.h"
 #include "models/builder.h"
 #include "models/zoo.h"
 #include "runtime/allreduce.h"
-#include "runtime/runner.h"
 #include "util/table.h"
 
 using namespace tictac;
@@ -36,16 +36,27 @@ int main() {
                "training throughput in samples/s (envG, 8 workers, 2 PS)\n\n";
   util::Table table({"Model", "PS baseline", "PS + TIC", "Ring all-reduce",
                      "TIC vs all-reduce"});
-  for (const char* name :
-       {"Inception v1", "Inception v3", "ResNet-50 v2", "VGG-16"}) {
-    const auto& info = models::FindModel(name);
-    const auto config = runtime::EnvG(8, 2, /*training=*/true);
-    runtime::Runner runner(info, config);
-    const double base = runner.Run("baseline", 10, 17).Throughput();
-    const double tic = runner.Run("tic", 10, 17).Throughput();
-    const double ar = AllReduceThroughput(info, config, 17);
-    table.AddRow({name, util::Fmt(base, 1), util::Fmt(tic, 1),
-                  util::Fmt(ar, 1), util::FmtPct(tic / ar - 1.0)});
+  // The PS side is one declarative sweep; the ring all-reduce comparator
+  // has no PS/policy notion, so it stays on the custom lowering below.
+  runtime::SweepSpec sweep;
+  sweep.models = {"Inception v1", "Inception v3", "ResNet-50 v2", "VGG-16"};
+  sweep.workers = {8};
+  sweep.ps = {2};
+  sweep.tasks = {true};
+  sweep.policies = {"baseline", "tic"};
+  sweep.seed = 17;
+  harness::Session session;
+  const harness::ResultTable results =
+      session.RunAll(sweep, harness::Session::DefaultParallelism());
+  for (std::size_t i = 0; i < results.size(); i += 2) {
+    const harness::ResultRow& base = results.row(i);
+    const harness::ResultRow& tic = results.row(i + 1);
+    const auto& info = models::FindModel(base.spec.model);
+    const double ar =
+        AllReduceThroughput(info, base.spec.BuildCluster(), 17);
+    table.AddRow({base.spec.model, util::Fmt(base.throughput, 1),
+                  util::Fmt(tic.throughput, 1), util::Fmt(ar, 1),
+                  util::FmtPct(tic.throughput / ar - 1.0)});
   }
   table.Print(std::cout);
   std::cout << "\nExpected shape: all-reduce removes the PS NIC bottleneck "

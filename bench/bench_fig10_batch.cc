@@ -1,28 +1,49 @@
 // Figure 10: throughput speedup over baseline while scaling the
 // computational load — the prescribed batch size multiplied by
-// {0.5, 1, 2} — on envG with 4 workers, inference.
+// {0.5, 1, 2} — on envG with 4 workers, inference. Declared as
+// ExperimentSpecs (the per-factor seed keeps this a spec list) and
+// executed by one parallel Session::RunAll.
 #include <iostream>
+#include <vector>
 
-#include "harness/experiments.h"
+#include "harness/session.h"
 #include "util/table.h"
 
 int main() {
   using namespace tictac;
   std::cout << "Figure 10: speedup (%) vs baseline, scaling batch size "
                "(envG, 4 workers, 1 PS, inference, TIC)\n\n";
-  util::Table table({"Model", "x1/2", "x1", "x2"});
+  const double factors[] = {0.5, 1.0, 2.0};
+
+  harness::Session session;
+  std::vector<runtime::ExperimentSpec> specs;
   for (const auto& name : harness::FigureModels()) {
-    const auto& info = models::FindModel(name);
-    std::vector<std::string> row{name};
-    for (const double factor : {0.5, 1.0, 2.0}) {
-      auto config = runtime::EnvG(4, 1, /*training=*/false);
-      config.batch_factor = factor;
-      const auto speedup = harness::MeasureSpeedup(
-          info, config, "tic",
-          /*seed=*/static_cast<std::uint64_t>(factor * 100));
-      row.push_back(util::FmtPct(speedup.speedup()));
+    for (const double factor : factors) {
+      runtime::ExperimentSpec spec;
+      spec.model = name;
+      spec.cluster.workers = 4;
+      spec.cluster.ps = 1;
+      spec.cluster.batch_factor = factor;
+      spec.seed = static_cast<std::uint64_t>(factor * 100);
+      for (const char* policy : {"baseline", "tic"}) {
+        spec.policy = policy;
+        specs.push_back(spec);
+      }
     }
-    table.AddRow(std::move(row));
+  }
+  const harness::ResultTable results =
+      session.RunAll(specs, harness::Session::DefaultParallelism());
+
+  util::Table table({"Model", "x1/2", "x1", "x2"});
+  std::vector<std::string> cells;
+  for (const auto& row : results.rows()) {
+    if (row.spec.policy == "baseline") continue;
+    if (cells.empty()) cells.push_back(row.spec.model);
+    cells.push_back(util::FmtPct(results.SpeedupVsBaseline(row)));
+    if (cells.size() == 1 + std::size(factors)) {
+      table.AddRow(std::move(cells));
+      cells.clear();
+    }
   }
   table.Print(std::cout);
   std::cout << "\nPaper shape: the batch factor moves the computation/"

@@ -1,34 +1,49 @@
 // Figure 11: (a) scheduling efficiency E and (b) straggler wait share vs
 // the number of ops per worker, baseline vs TIC, on envG samples covering
-// both training and inference.
+// both training and inference. The whole figure is one cartesian
+// SweepSpec (models × task × policy) executed across all cores.
+#include <algorithm>
 #include <iostream>
 
-#include "harness/experiments.h"
+#include "harness/session.h"
+#include "models/zoo.h"
 #include "util/table.h"
 
 int main() {
   using namespace tictac;
   std::cout << "Figure 11: efficiency metric and straggler effect vs DAG "
                "size (envG, 4 workers, 2 PS)\n\n";
+
+  runtime::SweepSpec sweep;
+  sweep.models = harness::FigureModels();
+  sweep.workers = {4};
+  sweep.ps = {2};
+  sweep.tasks = {false, true};
+  sweep.policies = {"baseline", "tic"};
+  sweep.seed = 55;
+
+  harness::Session session;
+  const harness::ResultTable results =
+      session.RunAll(sweep, harness::Session::DefaultParallelism());
+
   util::Table table({"Model", "Task", "#Ops/worker", "E baseline", "E TIC",
                      "Straggler% baseline", "Straggler% TIC"});
   double worst_base_e = 1.0;
   double worst_tic_e = 1.0;
-  for (const auto& name : harness::FigureModels()) {
-    const auto& info = models::FindModel(name);
-    for (const bool training : {false, true}) {
-      const auto config = runtime::EnvG(4, 2, training);
-      const auto base = harness::RunExperiment(info, config, "baseline", 55);
-      const auto tic = harness::RunExperiment(info, config, "tic", 55);
-      const int ops = training ? info.ops_training : info.ops_inference;
-      table.AddRow({name, training ? "train" : "inference",
-                    std::to_string(ops), util::Fmt(base.MeanEfficiency(), 3),
-                    util::Fmt(tic.MeanEfficiency(), 3),
-                    util::Fmt(base.MaxStragglerPct(), 1),
-                    util::Fmt(tic.MaxStragglerPct(), 1)});
-      worst_base_e = std::min(worst_base_e, base.MeanEfficiency());
-      worst_tic_e = std::min(worst_tic_e, tic.MeanEfficiency());
-    }
+  // Expansion order: model → task → policy (policy varies fastest).
+  for (std::size_t i = 0; i < results.size(); i += 2) {
+    const harness::ResultRow& base = results.row(i);
+    const harness::ResultRow& tic = results.row(i + 1);
+    const auto& info = models::FindModel(base.spec.model);
+    const bool training = base.spec.cluster.training;
+    const int ops = training ? info.ops_training : info.ops_inference;
+    table.AddRow({base.spec.model, training ? "train" : "inference",
+                  std::to_string(ops), util::Fmt(base.mean_efficiency, 3),
+                  util::Fmt(tic.mean_efficiency, 3),
+                  util::Fmt(base.max_straggler_pct, 1),
+                  util::Fmt(tic.max_straggler_pct, 1)});
+    worst_base_e = std::min(worst_base_e, base.mean_efficiency);
+    worst_tic_e = std::min(worst_tic_e, tic.mean_efficiency);
   }
   table.Print(std::cout);
   std::cout << "\nworst-case mean efficiency: baseline "

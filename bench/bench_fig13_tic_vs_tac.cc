@@ -1,25 +1,39 @@
 // Figure 13 (Appendix B): TIC vs TAC throughput speedup over the
 // no-scheduling baseline on envC (CPU-only) for Inception v2, VGG-16 and
-// AlexNet v2, in inference and training.
+// AlexNet v2, in inference and training. One cartesian SweepSpec —
+// parsed from its text form — executed across all cores.
 #include <iostream>
 
-#include "harness/experiments.h"
+#include "harness/session.h"
 #include "util/table.h"
 
 int main() {
   using namespace tictac;
   std::cout << "Figure 13: TIC vs TAC speedup (%) over baseline "
                "(envC, 4 workers, 1 PS)\n\n";
+
+  const runtime::SweepSpec sweep = runtime::SweepSpec::Parse(
+      "envC:workers=4:ps=1:task=inference,training "
+      "models=Inception v2,VGG-16,AlexNet v2 "
+      "policies=baseline,tic,tac seed=5");
+  harness::Session session;
+  const harness::ResultTable results =
+      session.RunAll(sweep, harness::Session::DefaultParallelism());
+
+  // Expansion order: model → task → policy (policy varies fastest), so
+  // rows arrive in (baseline, tic, tac) triples per model/task cell;
+  // SpeedupVsBaseline throws if the grid ever stops matching.
+  const std::size_t stride = sweep.policies.size();
   for (const bool training : {false, true}) {
     std::cout << (training ? "task = train\n" : "task = inference\n");
     util::Table table({"Model", "TIC", "TAC"});
-    for (const char* name : {"Inception v2", "VGG-16", "AlexNet v2"}) {
-      const auto& info = models::FindModel(name);
-      const auto config = runtime::EnvC(4, 1, training);
-      const auto tic = harness::MeasureSpeedup(info, config, "tic", 5);
-      const auto tac = harness::MeasureSpeedup(info, config, "tac", 5);
-      table.AddRow({name, util::FmtPct(tic.speedup()),
-                    util::FmtPct(tac.speedup())});
+    for (std::size_t i = 0; i < results.size(); i += stride) {
+      const harness::ResultRow& tic = results.row(i + 1);
+      const harness::ResultRow& tac = results.row(i + 2);
+      if (tic.spec.cluster.training != training) continue;
+      table.AddRow({tic.spec.model,
+                    util::FmtPct(results.SpeedupVsBaseline(tic)),
+                    util::FmtPct(results.SpeedupVsBaseline(tac))});
     }
     table.Print(std::cout);
     std::cout << "\n";

@@ -2,10 +2,15 @@
 // number of workers scales {1, 2, 4, 8, 16} with PS:workers fixed at 1:4,
 // for training and inference on envG. TIC is the representative scheduler
 // in envG, as in the paper.
+//
+// The grid is declared as ExperimentSpecs and executed by one
+// Session::RunAll over all cores; the PS:workers coupling makes this a
+// spec list rather than a cartesian SweepSpec.
 #include <algorithm>
 #include <iostream>
+#include <vector>
 
-#include "harness/experiments.h"
+#include "harness/session.h"
 #include "util/table.h"
 
 int main() {
@@ -14,20 +19,38 @@ int main() {
                "(envG, PS:workers = 1:4, TIC)\n\n";
   const int workers[] = {1, 2, 4, 8, 16};
 
+  harness::Session session;
   for (const bool training : {false, true}) {
     std::cout << (training ? "task = train\n" : "task = inference\n");
-    util::Table table({"Model", "W=1", "W=2", "W=4", "W=8", "W=16"});
+
+    std::vector<runtime::ExperimentSpec> specs;
     for (const auto& name : harness::FigureModels()) {
-      const auto& info = models::FindModel(name);
-      std::vector<std::string> row{name};
       for (const int w : workers) {
-        const int ps = std::max(1, w / 4);
-        const auto config = runtime::EnvG(w, ps, training);
-        const auto speedup =
-            harness::MeasureSpeedup(info, config, "tic", /*seed=*/1234 + w);
-        row.push_back(util::FmtPct(speedup.speedup()));
+        runtime::ExperimentSpec spec;
+        spec.model = name;
+        spec.cluster.workers = w;
+        spec.cluster.ps = std::max(1, w / 4);
+        spec.cluster.training = training;
+        spec.seed = 1234 + static_cast<std::uint64_t>(w);
+        for (const char* policy : {"baseline", "tic"}) {
+          spec.policy = policy;
+          specs.push_back(spec);
+        }
       }
-      table.AddRow(std::move(row));
+    }
+    const harness::ResultTable results =
+        session.RunAll(specs, harness::Session::DefaultParallelism());
+
+    util::Table table({"Model", "W=1", "W=2", "W=4", "W=8", "W=16"});
+    std::vector<std::string> cells;
+    for (const auto& row : results.rows()) {
+      if (row.spec.policy == "baseline") continue;
+      if (cells.empty()) cells.push_back(row.spec.model);
+      cells.push_back(util::FmtPct(results.SpeedupVsBaseline(row)));
+      if (cells.size() == 1 + std::size(workers)) {
+        table.AddRow(std::move(cells));
+        cells.clear();
+      }
     }
     table.Print(std::cout);
     std::cout << "\n";

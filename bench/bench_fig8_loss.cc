@@ -6,9 +6,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "harness/session.h"
 #include "learn/ps_trainer.h"
-#include "models/zoo.h"
-#include "runtime/runner.h"
 #include "util/table.h"
 
 int main() {
@@ -27,11 +26,14 @@ int main() {
   const learn::TrainLog log_tic = tic.Train(500, tic_order);
 
   // Iteration times from the simulated cluster (Inception v3, the model
-  // the paper trains in this figure).
-  runtime::Runner runner(models::FindModel("Inception v3"),
-                         runtime::EnvG(4, 1, true));
-  const double t_base = runner.Run("baseline", 10, 99).MeanIterationTime();
-  const double t_tic = runner.Run("tic", 10, 99).MeanIterationTime();
+  // the paper trains in this figure); both specs share one cached Runner.
+  harness::Session session;
+  runtime::ExperimentSpec spec = runtime::ExperimentSpec::Parse(
+      "envG:workers=4:ps=1:training model=Inception v3 policy=baseline "
+      "seed=99");
+  const double t_base = session.Run(spec).MeanIterationTime();
+  spec.policy = "tic";
+  const double t_tic = session.Run(spec).MeanIterationTime();
 
   util::Table table({"Iteration", "Loss (No Ordering)", "Loss (TIC)",
                      "|difference|"});

@@ -1,28 +1,52 @@
 // Figure 9: throughput speedup over baseline while scaling the number of
 // parameter servers {1, 2, 4} with 8 workers on envG, inference and
-// training.
+// training. Declared as ExperimentSpecs (the per-PS seed keeps this a
+// spec list rather than a cartesian SweepSpec) and executed by one
+// parallel Session::RunAll per task.
 #include <iostream>
+#include <vector>
 
-#include "harness/experiments.h"
+#include "harness/session.h"
 #include "util/table.h"
 
 int main() {
   using namespace tictac;
   std::cout << "Figure 9: speedup (%) vs baseline, scaling parameter "
                "servers (envG, 8 workers, TIC)\n\n";
+  const int ps_counts[] = {1, 2, 4};
+
+  harness::Session session;
   for (const bool training : {false, true}) {
     std::cout << (training ? "task = train\n" : "task = inference\n");
-    util::Table table({"Model", "PS=1", "PS=2", "PS=4"});
+
+    std::vector<runtime::ExperimentSpec> specs;
     for (const auto& name : harness::FigureModels()) {
-      const auto& info = models::FindModel(name);
-      std::vector<std::string> row{name};
-      for (const int ps : {1, 2, 4}) {
-        const auto config = runtime::EnvG(8, ps, training);
-        const auto speedup =
-            harness::MeasureSpeedup(info, config, "tic", /*seed=*/77 + ps);
-        row.push_back(util::FmtPct(speedup.speedup()));
+      for (const int ps : ps_counts) {
+        runtime::ExperimentSpec spec;
+        spec.model = name;
+        spec.cluster.workers = 8;
+        spec.cluster.ps = ps;
+        spec.cluster.training = training;
+        spec.seed = 77 + static_cast<std::uint64_t>(ps);
+        for (const char* policy : {"baseline", "tic"}) {
+          spec.policy = policy;
+          specs.push_back(spec);
+        }
       }
-      table.AddRow(std::move(row));
+    }
+    const harness::ResultTable results =
+        session.RunAll(specs, harness::Session::DefaultParallelism());
+
+    util::Table table({"Model", "PS=1", "PS=2", "PS=4"});
+    std::vector<std::string> cells;
+    for (const auto& row : results.rows()) {
+      if (row.spec.policy == "baseline") continue;
+      if (cells.empty()) cells.push_back(row.spec.model);
+      cells.push_back(util::FmtPct(results.SpeedupVsBaseline(row)));
+      if (cells.size() == 1 + std::size(ps_counts)) {
+        table.AddRow(std::move(cells));
+        cells.clear();
+      }
     }
     table.Print(std::cout);
     std::cout << "\n";

@@ -8,11 +8,18 @@
 // production graph scales the ROADMAP targets; BM_TacFullRecompute pins
 // the reference implementation's cost for the before/after comparison
 // (only at sizes where it finishes in reasonable time).
+// BM_SessionSweep pins the wall-clock of a representative experiment
+// grid through harness::Session's sweep executor, serial (Arg = 1) vs
+// one thread per core — the headline win of the declarative API is that
+// Figure-7-style sweeps saturate the machine.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
 
 #include "core/policy_registry.h"
 #include "core/tac.h"
 #include "core/tic.h"
+#include "harness/session.h"
 #include "models/builder.h"
 #include "models/random_dag.h"
 #include "models/zoo.h"
@@ -130,6 +137,35 @@ BENCHMARK_CAPTURE(BM_RegistryPolicy, tic, "tic");
 BENCHMARK_CAPTURE(BM_RegistryPolicy, tac, "tac");
 BENCHMARK_CAPTURE(BM_RegistryPolicy, reverse_tic, "reverse:tic");
 BENCHMARK_CAPTURE(BM_RegistryPolicy, random, "random:99");
+
+// End-to-end sweep wall-clock through the Session executor. A fresh
+// Session per iteration makes every grid pay its dependency-analysis
+// cost, as a cold CLI `tictac_cli sweep` invocation would; real time (not
+// summed CPU time) is what the parallelism buys down.
+void BM_SessionSweep(benchmark::State& state) {
+  const int parallelism = static_cast<int>(state.range(0));
+  const auto sweep = tictac::runtime::SweepSpec::Parse(
+      "envG:workers=2,4:ps=1:task=inference,training "
+      "models=AlexNet v2,Inception v2,ResNet-50 v2 "
+      "policies=baseline,tic iterations=4 seed=3");
+  for (auto _ : state) {
+    tictac::harness::Session session;
+    benchmark::DoNotOptimize(session.RunAll(sweep, parallelism));
+  }
+  state.SetLabel(std::to_string(sweep.size()) + " runs, parallelism " +
+                 std::to_string(parallelism));
+}
+
+// Serial (Arg = 1) vs one thread per core; the floor of 2 keeps the
+// parallel arm a distinct data point (executor overhead) on single-core
+// machines.
+void SweepArgs(benchmark::internal::Benchmark* bench) {
+  const int parallel =
+      std::max(2, tictac::harness::Session::DefaultParallelism());
+  bench->Arg(1)->Arg(parallel)->Unit(benchmark::kMillisecond)->UseRealTime();
+}
+
+BENCHMARK(BM_SessionSweep)->Apply(SweepArgs);
 
 }  // namespace
 

@@ -1,10 +1,12 @@
 // Straggler decomposition (§6.3): schedule-induced stragglers (random
 // per-worker orders) vs hardware stragglers (a slow device). Enforced
-// ordering eliminates the former and cannot touch the latter.
+// ordering eliminates the former and cannot touch the latter. The
+// heterogeneous cluster is expressed through the spec grammar's speeds=
+// setting; both clusters × both policies run in one parallel RunAll.
 #include <iostream>
+#include <vector>
 
-#include "models/zoo.h"
-#include "runtime/runner.h"
+#include "harness/session.h"
 #include "util/table.h"
 
 using namespace tictac;
@@ -12,24 +14,37 @@ using namespace tictac;
 int main() {
   std::cout << "Straggler decomposition (envG, 8 workers, 2 PS, training, "
                "Inception v2)\n\n";
-  const auto& info = models::FindModel("Inception v2");
+
+  harness::Session session;
+  std::vector<runtime::ExperimentSpec> specs;
+  for (const bool slow_worker : {false, true}) {
+    runtime::ExperimentSpec spec;
+    spec.model = "Inception v2";
+    spec.cluster.workers = 8;
+    spec.cluster.ps = 2;
+    spec.cluster.training = true;
+    if (slow_worker) {
+      spec.cluster.worker_speed_factors.assign(8, 1.0);
+      spec.cluster.worker_speed_factors[7] = 0.7;  // one 30%-slower device
+    }
+    spec.seed = 21;
+    for (const char* policy : {"baseline", "tic"}) {
+      spec.policy = policy;
+      specs.push_back(spec);
+    }
+  }
+  const harness::ResultTable results =
+      session.RunAll(specs, harness::Session::DefaultParallelism());
+
   util::Table table({"Cluster", "Policy", "Iteration (ms)",
                      "Mean straggler %", "Max straggler %"});
-  for (const bool slow_worker : {false, true}) {
-    auto config = runtime::EnvG(8, 2, /*training=*/true);
-    if (slow_worker) {
-      config.worker_speed_factors.assign(8, 1.0);
-      config.worker_speed_factors[7] = 0.7;  // one 30%-slower device
-    }
-    runtime::Runner runner(info, config);
-    for (const std::string policy : {"baseline", "tic"}) {
-      const auto result = runner.Run(policy, 10, 21);
-      table.AddRow({slow_worker ? "1 slow worker" : "homogeneous",
-                    policy,
-                    util::Fmt(result.MeanIterationTime() * 1e3, 1),
-                    util::Fmt(result.MeanStragglerPct(), 1),
-                    util::Fmt(result.MaxStragglerPct(), 1)});
-    }
+  for (const auto& row : results.rows()) {
+    const bool slow_worker = !row.spec.cluster.worker_speed_factors.empty();
+    table.AddRow({slow_worker ? "1 slow worker" : "homogeneous",
+                  row.spec.policy,
+                  util::Fmt(row.mean_iteration_s * 1e3, 1),
+                  util::Fmt(row.mean_straggler_pct, 1),
+                  util::Fmt(row.max_straggler_pct, 1)});
   }
   table.Print(std::cout);
   std::cout << "\nExpected shape: on homogeneous hardware TIC removes most "

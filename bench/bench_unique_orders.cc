@@ -2,11 +2,13 @@
 // which a worker receives parameters under vanilla execution is
 // essentially never repeated (every iteration unique for ResNet-50 v2 and
 // Inception v3; 493 unique orders for VGG-16), while enforcement makes
-// the order identical every iteration.
+// the order identical every iteration. One SweepSpec — gRPC reordering
+// disabled via the grammar's ooo= override to isolate scheduling — run
+// across all cores.
 #include <iostream>
 
+#include "harness/session.h"
 #include "models/zoo.h"
-#include "runtime/runner.h"
 #include "util/table.h"
 
 int main() {
@@ -14,18 +16,25 @@ int main() {
   constexpr int kIterations = 1000;
   std::cout << "Unique parameter-arrival orders at one worker across "
             << kIterations << " iterations (envG, 2 workers, 1 PS)\n\n";
+
+  const runtime::SweepSpec sweep = runtime::SweepSpec::Parse(
+      "envG:workers=2:ps=1:training:ooo=0 "
+      "models=ResNet-50 v2,Inception v3,VGG-16 "
+      "policies=baseline,tic iterations=1000 seed=424242");
+  harness::Session session;
+  const harness::ResultTable results =
+      session.RunAll(sweep, harness::Session::DefaultParallelism());
+
   util::Table table({"Model", "#Par", "Unique orders (baseline)",
                      "Unique orders (TIC)"});
-  for (const char* name : {"ResNet-50 v2", "Inception v3", "VGG-16"}) {
-    const auto& info = models::FindModel(name);
-    auto config = runtime::EnvG(2, 1, /*training=*/true);
-    config.sim.out_of_order_probability = 0.0;  // isolate scheduling
-    runtime::Runner runner(info, config);
-    const auto base = runner.Run("baseline", kIterations, 424242);
-    const auto tic = runner.Run("tic", kIterations, 424242);
-    table.AddRow({name, std::to_string(info.num_params),
-                  std::to_string(base.UniqueRecvOrders()),
-                  std::to_string(tic.UniqueRecvOrders())});
+  // Expansion order: model → policy (policy varies fastest).
+  for (std::size_t i = 0; i < results.size(); i += 2) {
+    const harness::ResultRow& base = results.row(i);
+    const harness::ResultRow& tic = results.row(i + 1);
+    const auto& info = models::FindModel(base.spec.model);
+    table.AddRow({base.spec.model, std::to_string(info.num_params),
+                  std::to_string(base.unique_recv_orders),
+                  std::to_string(tic.unique_recv_orders)});
   }
   table.Print(std::cout);
   std::cout << "\nPaper observation: 1000/1000 unique for ResNet-50 v2 and "

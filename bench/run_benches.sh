@@ -3,6 +3,12 @@
 # JSON, seeding the repo's perf trajectory: check BENCH_sched.json numbers
 # against the previous run before landing scheduling-path changes.
 #
+# Besides the TIC/TAC scheduling costs, the suite's BM_SessionSweep cases
+# record the wall-clock of a representative experiment grid through
+# harness::Session's executor — serial (/1) vs one thread per core — so
+# the sweep-parallelism win lands in BENCH_sched.json too; the summary
+# below echoes those entries and the measured speedup.
+#
 # Usage: bench/run_benches.sh [build_dir] [out.json] [extra benchmark args]
 #   BENCH_MIN_TIME=0.2 bench/run_benches.sh build-release
 #
@@ -29,3 +35,25 @@ fi
   "$@"
 
 echo "wrote ${OUT}"
+
+# Sweep executor wall-clock, serial vs parallel, from the JSON just
+# written (best effort: skipped when python3 is unavailable).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${OUT}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+rows = [b for b in data.get("benchmarks", [])
+        if b.get("name", "").startswith("BM_SessionSweep")]
+if rows:
+    print("sweep executor wall-clock (BM_SessionSweep):")
+    for b in rows:
+        print(f"  {b['name']}: {b['real_time']:.1f} {b['time_unit']}")
+    if len(rows) >= 2:
+        serial = rows[0]["real_time"]
+        best = min(b["real_time"] for b in rows[1:])
+        print(f"  serial vs parallel speedup: {serial / best:.2f}x")
+EOF
+fi

@@ -1,11 +1,12 @@
 // The reinforcement-learning serving setup of Figure 3: inference agents
 // repeatedly pull fresh parameters from the parameter servers and run the
 // forward pass. Enforced transfer ordering shortens the read-and-infer
-// cycle — the paper's second target environment (§2).
+// cycle — the paper's second target environment (§2). The whole setup is
+// one declarative SweepSpec (gRPC reordering disabled via ooo=0) executed
+// by harness::Session.
 #include <iostream>
 
-#include "models/zoo.h"
-#include "runtime/runner.h"
+#include "harness/session.h"
 #include "util/table.h"
 
 using namespace tictac;
@@ -13,21 +14,26 @@ using namespace tictac;
 int main() {
   std::cout << "RL inference agents reading parameters from PS "
                "(envG, 4 agents, 1 PS)\n\n";
+
+  const runtime::SweepSpec sweep = runtime::SweepSpec::Parse(
+      "envG:workers=4:ps=1:inference:ooo=0 "
+      "models=Inception v1,Inception v3,ResNet-50 v1 "
+      "policies=baseline,tic seed=7");
+  harness::Session session;
+  const harness::ResultTable results =
+      session.RunAll(sweep, harness::Session::DefaultParallelism());
+
   util::Table table({"Policy network", "Baseline (samples/s)",
                      "TIC (samples/s)", "Speedup", "Unique orders base/TIC"});
-  for (const char* name : {"Inception v1", "Inception v3", "ResNet-50 v1"}) {
-    const auto& model = models::FindModel(name);
-    auto config = runtime::EnvG(/*num_workers=*/4, /*num_ps=*/1,
-                                /*training=*/false);
-    config.sim.out_of_order_probability = 0.0;
-    runtime::Runner runner(model, config);
-    const auto base = runner.Run("baseline", 10, 7);
-    const auto tic = runner.Run("tic", 10, 7);
-    table.AddRow({name, util::Fmt(base.Throughput(), 1),
-                  util::Fmt(tic.Throughput(), 1),
-                  util::FmtPct(tic.Throughput() / base.Throughput() - 1.0),
-                  std::to_string(base.UniqueRecvOrders()) + "/" +
-                      std::to_string(tic.UniqueRecvOrders())});
+  // Expansion order: model → policy (policy varies fastest).
+  for (std::size_t i = 0; i < results.size(); i += 2) {
+    const harness::ResultRow& base = results.row(i);
+    const harness::ResultRow& tic = results.row(i + 1);
+    table.AddRow({base.spec.model, util::Fmt(base.throughput, 1),
+                  util::Fmt(tic.throughput, 1),
+                  util::FmtPct(results.SpeedupVsBaseline(tic)),
+                  std::to_string(base.unique_recv_orders) + "/" +
+                      std::to_string(tic.unique_recv_orders)});
   }
   table.Print(std::cout);
   std::cout << "\nEvery agent sees the same enforced order under TIC (one "

@@ -6,8 +6,16 @@
 //       List the registered scheduling policies.
 //   tictac_cli schedule <model> [--policy <name>] [--training]
 //       Print the priority list (the ordering wizard's output, §5).
+//   tictac_cli run --spec "<experiment spec>"
+//       Execute one declaratively-specified experiment, e.g.
+//       --spec "envG:workers=8:ps=4:training model=VGG-16 policy=tac".
+//   tictac_cli sweep --sweep "<sweep spec>" [--parallel N] [--csv|--json]
+//       Expand a cartesian grid and execute it on a thread pool, e.g.
+//       --sweep "envG:workers=2,4,8:ps=1 models=VGG-16,Inception v2
+//       policies=baseline,tic,tac". Emits an aligned table by default,
+//       CSV or JSON on request; rows are deterministic for any N.
 //   tictac_cli simulate <model> [--workers N] [--ps N] [--training]
-//                       [--policy <name>] [--iterations N]
+//                       [--policy <name>] [--iterations N] [--env envC]
 //       Simulate a cluster and report throughput / E / stragglers.
 //   tictac_cli compare <model> [--workers N] [--ps N] [--training]
 //       Every registered policy side by side against the baseline.
@@ -17,8 +25,8 @@
 //       Graphviz DOT of the worker partition with TIC priorities.
 //
 // Policy names are core::PolicyRegistry specs ("tic", "tac", "random:7",
-// "reverse:tac", ...); `--method` is accepted as a deprecated alias of
-// `--policy`.
+// "reverse:tac", ...). The spec/sweep grammar is documented in
+// DESIGN.md §5 and runtime/spec.h.
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -26,9 +34,9 @@
 #include "core/io.h"
 #include "core/policy_registry.h"
 #include "core/tic.h"
+#include "harness/session.h"
 #include "models/builder.h"
 #include "models/zoo.h"
-#include "runtime/runner.h"
 #include "util/table.h"
 
 using namespace tictac;
@@ -38,11 +46,16 @@ namespace {
 struct Args {
   std::string command;
   std::string model;
+  std::string env = "envG";
   int workers = 4;
   int ps = 1;
   bool training = false;
   std::string policy = "tic";
   int iterations = 10;
+  // run/sweep: the joined spec text plus output/executor options.
+  std::string spec_text;
+  int parallelism = 0;  // 0 = default (all cores for sweep)
+  enum class Emit { kTable, kCsv, kJson } emit = Emit::kTable;
 };
 
 int Usage() {
@@ -51,12 +64,20 @@ int Usage() {
          "  tictac_cli models\n"
          "  tictac_cli policies\n"
          "  tictac_cli schedule <model> [--policy <name>] [--training]\n"
+         "  tictac_cli run --spec \"<spec>\"\n"
+         "  tictac_cli sweep --sweep \"<sweep>\" [--parallel N] "
+         "[--csv|--json]\n"
          "  tictac_cli simulate <model> [--workers N] [--ps N] "
-         "[--training] [--policy <name>] [--iterations N]\n"
+         "[--training] [--policy <name>] [--iterations N] [--env envC]\n"
          "  tictac_cli compare <model> [--workers N] [--ps N] "
          "[--training]\n"
          "  tictac_cli export-graph <model> [--training]\n"
          "  tictac_cli export-dot <model> [--training]\n"
+         "spec grammar:  envG:workers=8:ps=4:training model=VGG-16 "
+         "policy=tac iterations=10 seed=1\n"
+         "sweep grammar: comma lists on any axis, e.g. "
+         "envG:workers=2,4,8:ps=1 models=VGG-16,Inception v2 "
+         "policies=baseline,tic\n"
          "policies (see `tictac_cli policies`): ";
   bool first = true;
   for (const auto& name : core::PolicyRegistry::Global().List()) {
@@ -79,6 +100,21 @@ int CmdListPolicies() {
   return 0;
 }
 
+// Whole-string integer parse; returns false (→ usage, exit 2) instead of
+// letting std::stoi abort the process on "--workers abc".
+bool ParseIntFlag(const char* value, int& out) {
+  if (!value) return false;
+  try {
+    std::size_t consumed = 0;
+    const int parsed = std::stoi(value, &consumed);
+    if (consumed != std::strlen(value)) return false;
+    out = parsed;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 bool Parse(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.command = argv[1];
@@ -87,7 +123,10 @@ bool Parse(int argc, char** argv, Args& args) {
     return true;
   }
   int i = 2;
-  if (args.command != "models" && args.command != "policies") {
+  const bool spec_command =
+      args.command == "run" || args.command == "sweep";
+  if (!spec_command && args.command != "models" &&
+      args.command != "policies") {
     if (i >= argc) return false;
     args.model = argv[i++];
   }
@@ -96,26 +135,63 @@ bool Parse(int argc, char** argv, Args& args) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    auto append_spec = [&](const std::string& text) {
+      if (!args.spec_text.empty()) args.spec_text += ' ';
+      args.spec_text += text;
+    };
+    // run/sweep take their parameters from the spec text alone, and the
+    // spec/executor/emit flags belong only to them; accepting a flag a
+    // command never reads would silently ignore it.
+    if (spec_command &&
+        (flag == "--training" || flag == "--workers" || flag == "--ps" ||
+         flag == "--policy" || flag == "--iterations" || flag == "--env")) {
+      std::cerr << args.command << ": " << flag
+                << " is not accepted — put it in the spec text, e.g. "
+                   "\"envG:workers=8:ps=2:training ... iterations=5\"\n";
+      return false;
+    }
+    if (!spec_command &&
+        (flag == "--spec" || flag == "--sweep" || flag == "--parallel" ||
+         flag == "--csv" || flag == "--json")) {
+      std::cerr << args.command << ": " << flag
+                << " is only accepted by the run/sweep commands\n";
+      return false;
+    }
     if (flag == "--training") {
       args.training = true;
     } else if (flag == "--workers") {
-      const char* v = next();
-      if (!v) return false;
-      args.workers = std::stoi(v);
+      if (!ParseIntFlag(next(), args.workers)) return false;
     } else if (flag == "--ps") {
+      if (!ParseIntFlag(next(), args.ps)) return false;
+    } else if (flag == "--env") {
       const char* v = next();
       if (!v) return false;
-      args.ps = std::stoi(v);
-    } else if (flag == "--policy" || flag == "--method") {
+      args.env = v;
+    } else if (flag == "--policy") {
       const char* v = next();
       if (!v) return false;
       args.policy = v;
     } else if (flag == "--iterations") {
+      if (!ParseIntFlag(next(), args.iterations)) return false;
+    } else if (flag == "--spec" || flag == "--sweep") {
       const char* v = next();
       if (!v) return false;
-      args.iterations = std::stoi(v);
+      append_spec(v);
+    } else if (flag == "--parallel") {
+      if (!ParseIntFlag(next(), args.parallelism)) return false;
+      if (args.parallelism < 1) {
+        std::cerr << "--parallel must be >= 1\n";
+        return false;
+      }
+    } else if (flag == "--csv") {
+      args.emit = Args::Emit::kCsv;
+    } else if (flag == "--json") {
+      args.emit = Args::Emit::kJson;
     } else if (flag == "--list-policies") {
       args.command = "policies";
+    } else if (spec_command && flag.rfind("--", 0) != 0) {
+      // Unquoted spec text: join the stray tokens back together.
+      append_spec(flag);
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
       return false;
@@ -165,14 +241,10 @@ int CmdSchedule(const Args& args) {
   return 0;
 }
 
-int CmdSimulate(const Args& args) {
-  const auto& info = models::FindModel(args.model);
-  const auto config = runtime::EnvG(args.workers, args.ps, args.training);
-  runtime::Runner runner(info, config);
-  const auto result = runner.Run(args.policy, args.iterations, 1);
-  std::cout << info.name << ": " << args.workers << " workers, " << args.ps
-            << " PS, " << (args.training ? "training" : "inference")
-            << ", policy=" << args.policy << "\n";
+int RunAndPrint(const runtime::ExperimentSpec& spec) {
+  harness::Session session;
+  const auto result = session.Run(spec);
+  std::cout << "spec: " << spec.ToString() << "\n";
   std::cout << "  mean iteration time: "
             << util::Fmt(result.MeanIterationTime() * 1e3, 2) << " ms\n";
   std::cout << "  throughput:          " << util::Fmt(result.Throughput(), 1)
@@ -186,24 +258,78 @@ int CmdSimulate(const Args& args) {
   return 0;
 }
 
+int CmdRun(const Args& args) {
+  if (args.spec_text.empty()) {
+    std::cerr << "run: missing experiment spec (use --spec \"...\")\n";
+    return 2;
+  }
+  return RunAndPrint(runtime::ExperimentSpec::Parse(args.spec_text));
+}
+
+int CmdSweep(const Args& args) {
+  if (args.spec_text.empty()) {
+    std::cerr << "sweep: missing sweep spec (use --sweep \"...\")\n";
+    return 2;
+  }
+  const auto sweep = runtime::SweepSpec::Parse(args.spec_text);
+  const int parallelism = args.parallelism > 0
+                              ? args.parallelism
+                              : harness::Session::DefaultParallelism();
+  harness::Session session;
+  const harness::ResultTable results = session.RunAll(sweep, parallelism);
+  switch (args.emit) {
+    case Args::Emit::kCsv:
+      std::cout << results.ToCsv();
+      break;
+    case Args::Emit::kJson:
+      std::cout << results.ToJson();
+      break;
+    case Args::Emit::kTable:
+      std::cerr << "sweep: " << results.size() << " runs ("
+                << session.cached_runners() << " distinct graphs) on "
+                << parallelism << " threads\n";
+      results.ToTable().Print(std::cout);
+      break;
+  }
+  return 0;
+}
+
+int CmdSimulate(const Args& args) {
+  runtime::ExperimentSpec spec;
+  spec.model = models::FindModel(args.model).name;
+  spec.cluster.env = args.env;
+  spec.cluster.workers = args.workers;
+  spec.cluster.ps = args.ps;
+  spec.cluster.training = args.training;
+  spec.policy = args.policy;
+  spec.iterations = args.iterations;
+  return RunAndPrint(spec);
+}
+
 int CmdCompare(const Args& args) {
-  const auto& info = models::FindModel(args.model);
-  const auto config = runtime::EnvG(args.workers, args.ps, args.training);
-  runtime::Runner runner(info, config);
+  runtime::SweepSpec sweep;
+  sweep.models = {models::FindModel(args.model).name};
+  sweep.env = args.env;
+  sweep.workers = {args.workers};
+  sweep.ps = {args.ps};
+  sweep.tasks = {args.training};
+  // Registration order puts "baseline" first, so every speedup's
+  // reference row is present.
+  sweep.policies = core::PolicyRegistry::Global().List();
+  sweep.iterations = args.iterations;
+  harness::Session session;
+  const harness::ResultTable results =
+      session.RunAll(sweep, harness::Session::DefaultParallelism());
   util::Table table({"Policy", "Iteration (ms)", "Throughput", "Speedup",
                      "E", "Overlap", "Max straggler %"});
-  double base = 0.0;
-  // Registration order puts "baseline" first, so `base` is set before any
-  // speedup is computed.
-  for (const auto& name : core::PolicyRegistry::Global().List()) {
-    const auto result = runner.Run(name, args.iterations, 1);
-    if (name == "baseline") base = result.Throughput();
-    table.AddRow({name, util::Fmt(result.MeanIterationTime() * 1e3, 1),
-                  util::Fmt(result.Throughput(), 1),
-                  util::FmtPct(result.Throughput() / base - 1.0),
-                  util::Fmt(result.MeanEfficiency(), 3),
-                  util::Fmt(result.MeanOverlap(), 3),
-                  util::Fmt(result.MaxStragglerPct(), 1)});
+  for (const auto& row : results.rows()) {
+    table.AddRow({row.spec.policy,
+                  util::Fmt(row.mean_iteration_s * 1e3, 1),
+                  util::Fmt(row.throughput, 1),
+                  util::FmtPct(results.SpeedupVsBaseline(row)),
+                  util::Fmt(row.mean_efficiency, 3),
+                  util::Fmt(row.mean_overlap, 3),
+                  util::Fmt(row.max_straggler_pct, 1)});
   }
   table.Print(std::cout);
   return 0;
@@ -218,6 +344,8 @@ int main(int argc, char** argv) {
     if (args.command == "models") return CmdModels();
     if (args.command == "policies") return CmdListPolicies();
     if (args.command == "schedule") return CmdSchedule(args);
+    if (args.command == "run") return CmdRun(args);
+    if (args.command == "sweep") return CmdSweep(args);
     if (args.command == "simulate") return CmdSimulate(args);
     if (args.command == "compare") return CmdCompare(args);
     if (args.command == "export-graph" || args.command == "export-dot") {

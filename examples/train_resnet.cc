@@ -1,21 +1,26 @@
 // Distributed training of ResNet-50 v2 on a simulated 8-worker / 2-PS
 // envG cluster: baseline vs TIC vs TAC. This is the workload the paper's
 // introduction motivates — synchronized Model-Replica SGD where iteration
-// time is gated by parameter transfers.
+// time is gated by parameter transfers. The three runs are one SweepSpec;
+// the Session builds the worker graph and its dependency analysis once
+// and reuses them for every policy.
 #include <iostream>
 
+#include "harness/session.h"
 #include "models/zoo.h"
-#include "runtime/runner.h"
 #include "util/table.h"
 
 using namespace tictac;
 
 int main() {
-  const auto& model = models::FindModel("ResNet-50 v2");
-  const auto config = runtime::EnvG(/*num_workers=*/8, /*num_ps=*/2,
-                                    /*training=*/true);
-  runtime::Runner runner(model, config);
+  const runtime::SweepSpec sweep = runtime::SweepSpec::Parse(
+      "envG:workers=8:ps=2:training model=ResNet-50 v2 "
+      "policies=baseline,tic,tac iterations=10 seed=2024");
+  harness::Session session;
+  const harness::ResultTable results = session.RunAll(sweep);
 
+  const auto& model = models::FindModel("ResNet-50 v2");
+  const auto& runner = session.runner(results.row(0).spec);
   std::cout << "Training " << model.name << " on envG: 8 workers, 2 PS, "
             << "batch " << model.standard_batch << " per worker\n"
             << "worker graph: " << runner.worker_graph().size()
@@ -24,18 +29,12 @@ int main() {
 
   util::Table table({"Policy", "Iteration (ms)", "Throughput (samples/s)",
                      "Speedup", "Efficiency E", "Max straggler %"});
-  double baseline_throughput = 0.0;
-  for (const std::string policy : {"baseline", "tic", "tac"}) {
-    const auto result = runner.Run(policy, /*iterations=*/10, /*seed=*/2024);
-    if (policy == "baseline") {
-      baseline_throughput = result.Throughput();
-    }
-    table.AddRow(
-        {policy, util::Fmt(result.MeanIterationTime() * 1e3, 1),
-         util::Fmt(result.Throughput(), 1),
-         util::FmtPct(result.Throughput() / baseline_throughput - 1.0),
-         util::Fmt(result.MeanEfficiency(), 3),
-         util::Fmt(result.MaxStragglerPct(), 1)});
+  for (const auto& row : results.rows()) {
+    table.AddRow({row.spec.policy, util::Fmt(row.mean_iteration_s * 1e3, 1),
+                  util::Fmt(row.throughput, 1),
+                  util::FmtPct(results.SpeedupVsBaseline(row)),
+                  util::Fmt(row.mean_efficiency, 3),
+                  util::Fmt(row.max_straggler_pct, 1)});
   }
   table.Print(std::cout);
   std::cout << "\nTIC/TAC enforce one near-optimal transfer order on every "

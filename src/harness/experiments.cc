@@ -1,14 +1,12 @@
 #include "harness/experiments.h"
 
-namespace tictac::harness {
+// The wrappers below are themselves deprecated; defining them must not
+// warn.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 
-std::vector<std::string> FigureModels() {
-  return {
-      "AlexNet v2",    "Inception v1", "Inception v2",
-      "Inception v3",  "ResNet-50 v1", "ResNet-101 v1",
-      "ResNet-50 v2",  "VGG-16",       "VGG-19",
-  };
-}
+namespace tictac::harness {
 
 double MeasureThroughput(const models::ModelInfo& model,
                          const runtime::ClusterConfig& config,

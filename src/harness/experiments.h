@@ -1,30 +1,25 @@
-// Shared helpers for the benchmark harness: each bench binary regenerates
-// one table or figure from the paper; the common measurement plumbing
-// lives here.
+// Deprecated measurement free functions, kept for one PR so external
+// callers can migrate to the declarative API at their own pace.
 //
-// Policies are selected by name (a core::PolicyRegistry spec such as
-// "tic", "tac", "random:7"), so benches iterate registry entries instead
-// of enum literals.
+// New code describes runs as runtime::ExperimentSpec / runtime::SweepSpec
+// and executes them through harness::Session (harness/session.h), which
+// caches the per-graph dependency analysis across policies and seeds and
+// can fan a sweep out over a thread pool. These wrappers rebuild a
+// Runner per call — correct, but they redo the analysis every time.
 #pragma once
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
+#include "harness/session.h"
 #include "models/zoo.h"
 #include "runtime/runner.h"
 
 namespace tictac::harness {
 
-// Number of measured iterations per configuration, matching §6 (the paper
-// records 10 iterations after warm-up; our simulator has no warm-up).
-inline constexpr int kIterations = 10;
-
-// The nine models of Figures 7/9/10 (Table 1 minus ResNet-101 v2, which
-// the figures omit), in Table 1 order.
-std::vector<std::string> FigureModels();
-
 // Throughput (samples/s) of `policy` on `model` under `config`.
+[[deprecated("describe the run as an ExperimentSpec and use "
+             "harness::Session::Run")]]
 double MeasureThroughput(const models::ModelInfo& model,
                          const runtime::ClusterConfig& config,
                          const std::string& policy, std::uint64_t seed,
@@ -43,12 +38,16 @@ struct SpeedupRow {
 };
 
 // Baseline vs `policy` under identical seeds.
+[[deprecated("run a sweep including policy \"baseline\" through "
+             "harness::Session and use ResultTable::SpeedupVsBaseline")]]
 SpeedupRow MeasureSpeedup(const models::ModelInfo& model,
                           const runtime::ClusterConfig& config,
                           const std::string& policy, std::uint64_t seed,
                           int iterations = kIterations);
 
-// Full per-iteration results for metric-level experiments (Figs. 11/12).
+// Full per-iteration results for metric-level experiments.
+[[deprecated("describe the run as an ExperimentSpec and use "
+             "harness::Session::Run")]]
 runtime::ExperimentResult RunExperiment(const models::ModelInfo& model,
                                         const runtime::ClusterConfig& config,
                                         const std::string& policy,

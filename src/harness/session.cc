@@ -1,0 +1,254 @@
+#include "harness/session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "models/zoo.h"
+#include "util/csv.h"
+
+namespace tictac::harness {
+namespace {
+
+// Lossless (shortest-round-trip) double formatting so emitted tables
+// support bit-identity comparisons across runs.
+using runtime::FormatDouble;
+
+std::string JsonEscape(const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    if (c == '"' || c == '\\') escaped += '\\';
+    escaped += c;
+  }
+  return escaped;
+}
+
+ResultRow MakeRow(const runtime::ExperimentSpec& spec,
+                  const runtime::ExperimentResult& result) {
+  ResultRow row;
+  row.spec = spec;
+  row.mean_iteration_s = result.MeanIterationTime();
+  row.throughput = result.Throughput();
+  row.mean_efficiency = result.MeanEfficiency();
+  row.mean_overlap = result.MeanOverlap();
+  row.max_straggler_pct = result.MaxStragglerPct();
+  row.mean_straggler_pct = result.MeanStragglerPct();
+  row.unique_recv_orders = result.UniqueRecvOrders();
+  return row;
+}
+
+}  // namespace
+
+std::vector<std::string> FigureModels() {
+  return {
+      "AlexNet v2",    "Inception v1", "Inception v2",
+      "Inception v3",  "ResNet-50 v1", "ResNet-101 v1",
+      "ResNet-50 v2",  "VGG-16",       "VGG-19",
+  };
+}
+
+double ResultTable::SpeedupVsBaseline(const ResultRow& row) const {
+  runtime::ExperimentSpec baseline = row.spec;
+  baseline.policy = "baseline";
+  for (const ResultRow& candidate : rows_) {
+    if (candidate.spec == baseline) {
+      return candidate.throughput > 0.0
+                 ? row.throughput / candidate.throughput - 1.0
+                 : 0.0;
+    }
+  }
+  throw std::invalid_argument(
+      "ResultTable: no baseline row matches '" + baseline.ToString() +
+      "' — include policy \"baseline\" in the sweep to compute speedups");
+}
+
+std::string ResultTable::ToCsv() const {
+  std::string csv =
+      "spec,model,env,workers,ps,task,batch_factor,chunk_bytes,enforcement,"
+      "policy,iterations,seed,mean_iteration_s,throughput,mean_efficiency,"
+      "mean_overlap,max_straggler_pct,mean_straggler_pct,"
+      "unique_recv_orders\n";
+  for (const ResultRow& row : rows_) {
+    const runtime::ClusterSpec& cluster = row.spec.cluster;
+    csv += util::CsvEscape(row.spec.ToString());
+    csv += ',' + util::CsvEscape(row.spec.model);
+    csv += ',' + cluster.env;
+    csv += ',' + std::to_string(cluster.workers);
+    csv += ',' + std::to_string(cluster.ps);
+    csv += ',' + std::string(cluster.training ? "training" : "inference");
+    csv += ',' + FormatDouble(cluster.batch_factor);
+    csv += ',' + std::to_string(cluster.chunk_bytes);
+    csv += ',' + std::string(runtime::EnforcementToken(cluster.enforcement));
+    csv += ',' + util::CsvEscape(row.spec.policy);
+    csv += ',' + std::to_string(row.spec.iterations);
+    csv += ',' + std::to_string(row.spec.seed);
+    csv += ',' + FormatDouble(row.mean_iteration_s);
+    csv += ',' + FormatDouble(row.throughput);
+    csv += ',' + FormatDouble(row.mean_efficiency);
+    csv += ',' + FormatDouble(row.mean_overlap);
+    csv += ',' + FormatDouble(row.max_straggler_pct);
+    csv += ',' + FormatDouble(row.mean_straggler_pct);
+    csv += ',' + std::to_string(row.unique_recv_orders);
+    csv += '\n';
+  }
+  return csv;
+}
+
+std::string ResultTable::ToJson() const {
+  std::string json = "[";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const ResultRow& row = rows_[i];
+    const runtime::ClusterSpec& cluster = row.spec.cluster;
+    json += i == 0 ? "\n" : ",\n";
+    json += "  {\"spec\": \"" + JsonEscape(row.spec.ToString()) + "\"";
+    json += ", \"model\": \"" + JsonEscape(row.spec.model) + "\"";
+    json += ", \"env\": \"" + cluster.env + "\"";
+    json += ", \"workers\": " + std::to_string(cluster.workers);
+    json += ", \"ps\": " + std::to_string(cluster.ps);
+    json += ", \"task\": \"" +
+            std::string(cluster.training ? "training" : "inference") + "\"";
+    json += ", \"batch_factor\": " + FormatDouble(cluster.batch_factor);
+    json += ", \"chunk_bytes\": " + std::to_string(cluster.chunk_bytes);
+    json += ", \"enforcement\": \"" +
+            std::string(runtime::EnforcementToken(cluster.enforcement)) +
+            "\"";
+    json += ", \"policy\": \"" + JsonEscape(row.spec.policy) + "\"";
+    json += ", \"iterations\": " + std::to_string(row.spec.iterations);
+    json += ", \"seed\": " + std::to_string(row.spec.seed);
+    json += ", \"mean_iteration_s\": " + FormatDouble(row.mean_iteration_s);
+    json += ", \"throughput\": " + FormatDouble(row.throughput);
+    json += ", \"mean_efficiency\": " + FormatDouble(row.mean_efficiency);
+    json += ", \"mean_overlap\": " + FormatDouble(row.mean_overlap);
+    json += ", \"max_straggler_pct\": " + FormatDouble(row.max_straggler_pct);
+    json +=
+        ", \"mean_straggler_pct\": " + FormatDouble(row.mean_straggler_pct);
+    json +=
+        ", \"unique_recv_orders\": " + std::to_string(row.unique_recv_orders);
+    json += "}";
+  }
+  json += "\n]\n";
+  return json;
+}
+
+util::Table ResultTable::ToTable() const {
+  util::Table table({"Model", "Cluster", "Policy", "Iter (ms)",
+                     "Throughput", "E", "Overlap", "Max straggler %"});
+  for (const ResultRow& row : rows_) {
+    table.AddRow({row.spec.model, row.spec.cluster.ToString(),
+                  row.spec.policy, util::Fmt(row.mean_iteration_s * 1e3, 2),
+                  util::Fmt(row.throughput, 1),
+                  util::Fmt(row.mean_efficiency, 3),
+                  util::Fmt(row.mean_overlap, 3),
+                  util::Fmt(row.max_straggler_pct, 1)});
+  }
+  return table;
+}
+
+const runtime::Runner& Session::runner(const runtime::ExperimentSpec& spec) {
+  // '\n' cannot appear in a model name or a cluster spec, so the key is
+  // collision-free.
+  const std::string key = spec.model + '\n' + spec.cluster.ToString();
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<Entry>& slot = cache_[key];
+    if (!slot) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+  try {
+    std::call_once(entry->once, [&] {
+      entry->runner = std::make_unique<runtime::Runner>(
+          models::FindModel(spec.model), spec.cluster.Build());
+    });
+  } catch (...) {
+    // Construction failed (unknown model, invalid cluster): drop the
+    // dead entry so cached_runners() counts only analyzed graphs. The
+    // entry-identity check tolerates a concurrent retry that already
+    // replaced it.
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end() && it->second == entry) cache_.erase(it);
+    throw;
+  }
+  return *entry->runner;
+}
+
+runtime::ExperimentResult Session::Run(const runtime::ExperimentSpec& spec) {
+  if (spec.iterations < 1) {
+    throw std::invalid_argument("Session: iterations must be >= 1, got " +
+                                std::to_string(spec.iterations) + " in '" +
+                                spec.ToString() + "'");
+  }
+  return runner(spec).Run(spec.policy, spec.iterations, spec.seed);
+}
+
+ResultTable Session::RunAll(const std::vector<runtime::ExperimentSpec>& specs,
+                            int parallelism) {
+  if (parallelism < 1) {
+    throw std::invalid_argument("Session: parallelism must be >= 1, got " +
+                                std::to_string(parallelism));
+  }
+  std::vector<ResultRow> rows(specs.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
+
+  const auto work = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      try {
+        rows[i] = MakeRow(specs[i], Run(specs[i]));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const int threads = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(parallelism),
+                            specs.size()));
+  if (threads <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    try {
+      for (int t = 0; t < threads; ++t) pool.emplace_back(work);
+    } catch (...) {
+      // Thread spawn failed (resource exhaustion): stop the workers that
+      // did start and surface a catchable error instead of terminating
+      // via the vector's joinable-thread destructor.
+      failed.store(true, std::memory_order_relaxed);
+      for (std::thread& thread : pool) thread.join();
+      throw;
+    }
+    for (std::thread& thread : pool) thread.join();
+  }
+  if (error) std::rethrow_exception(error);
+  return ResultTable(std::move(rows));
+}
+
+ResultTable Session::RunAll(const runtime::SweepSpec& sweep,
+                            int parallelism) {
+  return RunAll(sweep.Expand(), parallelism);
+}
+
+int Session::DefaultParallelism() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 4 : static_cast<int>(hardware);
+}
+
+std::size_t Session::cached_runners() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace tictac::harness

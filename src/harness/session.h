@@ -1,0 +1,123 @@
+// Session: the experiment execution engine behind the declarative
+// ExperimentSpec/SweepSpec API (DESIGN.md §5).
+//
+// A Session owns a cache of runtime::Runners keyed by (model, cluster),
+// so the PropertyIndex dependency analysis — the expensive part of
+// setting up a run — is built once per distinct (model, cluster)
+// configuration and reused across every policy and seed that touches
+// it. (A Runner binds its full ClusterConfig at construction, so
+// sweeping a sim-only axis such as sigma= or enforce= still builds one
+// Runner per value; only the policy/seed dimensions share.) Run() executes one spec;
+// RunAll() executes a grid on a thread pool and returns a ResultTable
+// whose rows are in spec order regardless of parallelism, bit-identical
+// to serial execution (each run is deterministic in its spec alone, and
+// runs share no mutable state).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/runner.h"
+#include "runtime/spec.h"
+#include "util/table.h"
+
+namespace tictac::harness {
+
+// Number of measured iterations per configuration, matching §6 (the paper
+// records 10 iterations after warm-up; our simulator has no warm-up).
+inline constexpr int kIterations = 10;
+
+// The nine models of Figures 7/9/10 (Table 1 minus ResNet-101 v2, which
+// the figures omit), in Table 1 order.
+std::vector<std::string> FigureModels();
+
+// One executed spec with its summary metrics (the scalar statistics the
+// paper's tables report; per-iteration detail comes from Session::Run).
+struct ResultRow {
+  runtime::ExperimentSpec spec;
+  double mean_iteration_s = 0.0;
+  double throughput = 0.0;       // samples / second
+  double mean_efficiency = 0.0;  // E (Eq. 3)
+  double mean_overlap = 0.0;
+  double max_straggler_pct = 0.0;
+  double mean_straggler_pct = 0.0;
+  int unique_recv_orders = 0;
+};
+
+// Deterministically-ordered results of a sweep, with uniform emitters
+// replacing the per-bench printf tables.
+class ResultTable {
+ public:
+  ResultTable() = default;
+  explicit ResultTable(std::vector<ResultRow> rows) : rows_(std::move(rows)) {}
+
+  const std::vector<ResultRow>& rows() const { return rows_; }
+  std::size_t size() const { return rows_.size(); }
+  const ResultRow& row(std::size_t i) const { return rows_.at(i); }
+
+  // Throughput of `row` relative to its baseline twin — the row with an
+  // identical spec except policy == "baseline" — as a fraction
+  // (0.2 = +20%). Throws std::invalid_argument if the table holds no
+  // matching baseline row.
+  double SpeedupVsBaseline(const ResultRow& row) const;
+
+  // RFC-4180 CSV with a header row; one line per row, spec first.
+  std::string ToCsv() const;
+  // JSON array of flat objects, one per row.
+  std::string ToJson() const;
+  // Human-readable summary (model, cluster, policy, metrics).
+  util::Table ToTable() const;
+
+ private:
+  std::vector<ResultRow> rows_;
+};
+
+class Session {
+ public:
+  Session() = default;
+  // The runner cache holds pointers handed out by runner(); moving or
+  // copying a Session would invalidate them.
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // The cached Runner for the spec's (model, cluster); built on first
+  // use, shared by every later spec with the same key. The reference
+  // stays valid for the Session's lifetime. Thread-safe.
+  const runtime::Runner& runner(const runtime::ExperimentSpec& spec);
+
+  // Executes one spec (validates it first). Thread-safe.
+  runtime::ExperimentResult Run(const runtime::ExperimentSpec& spec);
+
+  // Executes every spec on `parallelism` threads (1 = serial in the
+  // calling thread). Rows come back in input order; the table is
+  // bit-identical for every parallelism level. The first failing spec's
+  // exception is rethrown after in-flight runs drain.
+  ResultTable RunAll(const std::vector<runtime::ExperimentSpec>& specs,
+                     int parallelism = 1);
+  ResultTable RunAll(const runtime::SweepSpec& sweep, int parallelism = 1);
+
+  // Hardware concurrency, with a floor of 1 (and 4 when unknown).
+  static int DefaultParallelism();
+
+  // Distinct (model, cluster) graphs analyzed so far.
+  std::size_t cached_runners() const;
+
+ private:
+  // Entries are created under mu_ but constructed outside it via
+  // call_once, so two clusters can build their PropertyIndexes
+  // concurrently while later lookups of the same key block only on the
+  // one entry they need.
+  struct Entry {
+    std::once_flag once;
+    std::unique_ptr<runtime::Runner> runner;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> cache_;
+};
+
+}  // namespace tictac::harness

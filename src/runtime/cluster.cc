@@ -1,24 +1,10 @@
 #include "runtime/cluster.h"
 
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
 namespace tictac::runtime {
-
-const char* ToString(Method method) {
-  switch (method) {
-    case Method::kBaseline: return "baseline";
-    case Method::kTic: return "TIC";
-    case Method::kTac: return "TAC";
-  }
-  return "unknown";
-}
-
-const char* PolicyName(Method method) {
-  switch (method) {
-    case Method::kBaseline: return "baseline";
-    case Method::kTic: return "tic";
-    case Method::kTac: return "tac";
-  }
-  return "baseline";
-}
 
 const char* ToString(Enforcement enforcement) {
   switch (enforcement) {
@@ -27,6 +13,73 @@ const char* ToString(Enforcement enforcement) {
     case Enforcement::kDagChain: return "DAG chaining";
   }
   return "unknown";
+}
+
+const char* EnforcementToken(Enforcement enforcement) {
+  switch (enforcement) {
+    case Enforcement::kPriorityOnly: return "priority";
+    case Enforcement::kHandoffGate: return "gate";
+    case Enforcement::kDagChain: return "chain";
+  }
+  return "gate";
+}
+
+Enforcement ParseEnforcement(std::string_view token) {
+  if (token == "priority") return Enforcement::kPriorityOnly;
+  if (token == "gate") return Enforcement::kHandoffGate;
+  if (token == "chain") return Enforcement::kDagChain;
+  throw std::invalid_argument("unknown enforcement '" + std::string(token) +
+                              "' (known: priority, gate, chain)");
+}
+
+void ClusterConfig::Validate() const {
+  const auto fail = [](const std::string& message) {
+    throw std::invalid_argument("ClusterConfig: " + message);
+  };
+  if (num_workers < 1) {
+    fail("num_workers must be >= 1, got " + std::to_string(num_workers));
+  }
+  if (num_ps < 1) {
+    fail("num_ps must be >= 1, got " + std::to_string(num_ps));
+  }
+  if (!(batch_factor > 0.0) || std::isinf(batch_factor)) {
+    fail("batch_factor must be a finite value > 0, got " +
+         std::to_string(batch_factor));
+  }
+  if (chunk_bytes < 0) {
+    fail("chunk_bytes must be >= 0 (0 = chunking off), got " +
+         std::to_string(chunk_bytes));
+  }
+  // NaN fails every comparison, so these !(x >= ...) forms reject it too
+  // — a NaN sigma would otherwise silently disable oracle noise.
+  if (!(tac_oracle_sigma >= 0.0) || std::isinf(tac_oracle_sigma)) {
+    fail("tac_oracle_sigma must be a finite value >= 0, got " +
+         std::to_string(tac_oracle_sigma));
+  }
+  if (!(sim.jitter_sigma >= 0.0) || std::isinf(sim.jitter_sigma)) {
+    fail("sim.jitter_sigma must be a finite value >= 0, got " +
+         std::to_string(sim.jitter_sigma));
+  }
+  if (!(sim.out_of_order_probability >= 0.0 &&
+        sim.out_of_order_probability <= 1.0)) {
+    fail("sim.out_of_order_probability must be in [0, 1], got " +
+         std::to_string(sim.out_of_order_probability));
+  }
+  if (!worker_speed_factors.empty() &&
+      worker_speed_factors.size() != static_cast<std::size_t>(num_workers)) {
+    fail("worker_speed_factors must be empty (homogeneous) or hold one "
+         "factor per worker: got " +
+         std::to_string(worker_speed_factors.size()) + " factors for " +
+         std::to_string(num_workers) + " workers");
+  }
+  for (std::size_t w = 0; w < worker_speed_factors.size(); ++w) {
+    if (!(worker_speed_factors[w] > 0.0) ||
+        std::isinf(worker_speed_factors[w])) {
+      fail("worker_speed_factors[" + std::to_string(w) +
+           "] must be a finite value > 0, got " +
+           std::to_string(worker_speed_factors[w]));
+    }
+  }
 }
 
 ClusterConfig EnvG(int num_workers, int num_ps, bool training) {

@@ -1,27 +1,15 @@
 // Cluster configuration and the two evaluation environments of Section 6.
+//
+// Scheduling policies are selected by core::PolicyRegistry spec strings
+// ("baseline", "tic", "tac", "random:7", ...); see core/policy_registry.h.
 #pragma once
+
+#include <string_view>
 
 #include "core/time_oracle.h"
 #include "sim/task.h"
 
 namespace tictac::runtime {
-
-// The scheduling method under test.
-//
-// Deprecated: the closed enum survives only as a migration shim. New code
-// selects policies by name through core::PolicyRegistry ("baseline",
-// "tic", "tac", ...) or passes a core::SchedulingPolicy directly; see
-// core/policy_registry.h.
-enum class Method {
-  kBaseline,  // no priorities, no enforcement — TensorFlow's arbitrary order
-  kTic,       // Algorithm 2
-  kTac,       // Algorithm 3
-};
-
-const char* ToString(Method method);
-
-// The PolicyRegistry key of a legacy enum value ("baseline"/"tic"/"tac").
-const char* PolicyName(Method method);
 
 // How the transfer order is imposed on the runtime (§5.1 discusses the
 // candidate locations; the paper picks the sender-side hand-off gate).
@@ -39,6 +27,15 @@ enum class Enforcement {
 };
 
 const char* ToString(Enforcement enforcement);
+
+// Compact machine-readable token, the `enforce=` value of the
+// ExperimentSpec grammar: "priority" | "gate" | "chain". ToString() above
+// stays the human-readable display form.
+const char* EnforcementToken(Enforcement enforcement);
+
+// Inverse of EnforcementToken; throws std::invalid_argument listing the
+// accepted tokens.
+Enforcement ParseEnforcement(std::string_view token);
 
 struct ClusterConfig {
   int num_workers = 1;
@@ -66,6 +63,14 @@ struct ClusterConfig {
   // Split transfers larger than this into chunks before scheduling
   // (core/chunking.h, the P3/ByteScheduler-style extension). 0 = off.
   std::int64_t chunk_bytes = 0;
+
+  // Rejects configurations that would silently misbehave downstream:
+  // num_workers/num_ps < 1, batch_factor <= 0, chunk_bytes < 0, and
+  // worker_speed_factors whose size is neither 0 nor num_workers or whose
+  // entries are not positive. Throws std::invalid_argument naming the
+  // offending field and value. Runner and ClusterSpec::Build() call this
+  // on construction.
+  void Validate() const;
 };
 
 // envG — cloud GPU environment: Standard NC6 workers (1x K80) with

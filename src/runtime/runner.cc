@@ -113,6 +113,7 @@ int ExperimentResult::UniqueRecvOrders() const {
 
 Runner::Runner(const models::ModelInfo& model, ClusterConfig config)
     : model_(model), config_(config) {
+  config_.Validate();
   models::BuildOptions build;
   build.training = config_.training;
   build.batch_factor = config_.batch_factor;
@@ -145,19 +146,10 @@ core::Schedule Runner::MakeSchedule(const std::string& policy) const {
   return MakeSchedule(*core::PolicyRegistry::Global().Create(policy));
 }
 
-core::Schedule Runner::MakeSchedule(Method method) const {
-  return MakeSchedule(PolicyName(method));
-}
-
 ExperimentResult Runner::Run(const std::string& policy, int iterations,
                              std::uint64_t seed) const {
   return Run(*core::PolicyRegistry::Global().Create(policy), iterations,
              seed);
-}
-
-ExperimentResult Runner::Run(Method method, int iterations,
-                             std::uint64_t seed) const {
-  return Run(PolicyName(method), iterations, seed);
 }
 
 ExperimentResult Runner::Run(const core::SchedulingPolicy& policy,

@@ -48,6 +48,12 @@ struct ExperimentResult {
 
 class Runner {
  public:
+  // Validates `config` (ClusterConfig::Validate) before building the
+  // worker graph; throws std::invalid_argument on a bad configuration.
+  //
+  // Runs are const and touch only per-call state, so one Runner may
+  // serve concurrent Run()/MakeSchedule() calls from several threads
+  // (harness::Session's parallel sweep executor relies on this).
   Runner(const models::ModelInfo& model, ClusterConfig config);
 
   // The cached PropertyIndex points into graph_; a copied or moved Runner
@@ -74,12 +80,6 @@ class Runner {
   // "random:7") through core::PolicyRegistry::Global().
   core::Schedule MakeSchedule(const std::string& policy) const;
   ExperimentResult Run(const std::string& policy, int iterations,
-                       std::uint64_t seed) const;
-
-  // Deprecated enum shims; equivalent to the name-based calls on
-  // PolicyName(method). Kept one PR for incremental caller migration.
-  core::Schedule MakeSchedule(Method method) const;
-  ExperimentResult Run(Method method, int iterations,
                        std::uint64_t seed) const;
 
   const core::Graph& worker_graph() const { return graph_; }

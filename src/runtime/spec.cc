@@ -1,0 +1,477 @@
+#include "runtime/spec.h"
+
+#include <cctype>
+#include <charconv>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace tictac::runtime {
+namespace {
+
+std::vector<std::string> WhitespaceTokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::istringstream in{std::string(text)};
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::vector<std::string> Split(const std::string& value, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = value.find(sep, start);
+    parts.push_back(value.substr(start, pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return parts;
+}
+
+[[noreturn]] void Fail(const std::string& message) {
+  throw std::invalid_argument("spec: " + message);
+}
+
+long long ParseIntegral(const std::string& value, const std::string& key) {
+  long long result = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), result);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    Fail(key + "= expects an integer, got '" + value + "'");
+  }
+  return result;
+}
+
+// Whole-string parse into [min, max]; rejects instead of truncating, so
+// workers=4294967297 fails loudly rather than wrapping to 1.
+int ParseBoundedInt(const std::string& value, const std::string& key,
+                    long long min, long long max) {
+  const long long result = ParseIntegral(value, key);
+  if (result < min || result > max) {
+    Fail(key + " must be in [" + std::to_string(min) + ", " +
+         std::to_string(max) + "], got " + value);
+  }
+  return static_cast<int>(result);
+}
+
+std::uint64_t ParseSeed(const std::string& value, const std::string& key) {
+  unsigned long long result = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), result);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    Fail(key + "= expects a non-negative integer, got '" + value + "'");
+  }
+  return result;
+}
+
+double ParseDouble(const std::string& value, const std::string& key) {
+  try {
+    std::size_t consumed = 0;
+    const double result = std::stod(value, &consumed);
+    if (consumed == value.size()) return result;
+  } catch (const std::exception&) {
+  }
+  Fail(key + "= expects a number, got '" + value + "'");
+}
+
+// Bytes with an optional binary suffix: "4194304", "4M", "4MiB", "512K".
+std::int64_t ParseBytes(const std::string& value, const std::string& key) {
+  std::size_t digits = 0;
+  while (digits < value.size() &&
+         (std::isdigit(static_cast<unsigned char>(value[digits])) ||
+          (digits == 0 && value[digits] == '-'))) {
+    ++digits;
+  }
+  std::string suffix = value.substr(digits);
+  for (char& c : suffix) c = static_cast<char>(std::tolower(c));
+  std::int64_t scale = 1;
+  if (suffix == "k" || suffix == "kib") {
+    scale = 1ll << 10;
+  } else if (suffix == "m" || suffix == "mib") {
+    scale = 1ll << 20;
+  } else if (suffix == "g" || suffix == "gib") {
+    scale = 1ll << 30;
+  } else if (!suffix.empty()) {
+    Fail(key + "= has unknown byte suffix '" + suffix + "' in '" + value +
+         "' (use K, M or G)");
+  }
+  const long long magnitude = ParseIntegral(value.substr(0, digits), key);
+  if (magnitude > std::numeric_limits<std::int64_t>::max() / scale ||
+      magnitude < std::numeric_limits<std::int64_t>::min() / scale) {
+    Fail(key + "= overflows 64-bit bytes: '" + value + "'");
+  }
+  return magnitude * scale;
+}
+
+
+std::string Join(const std::vector<std::string>& values) {
+  std::string joined;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) joined += ',';
+    joined += values[i];
+  }
+  return joined;
+}
+
+template <typename T, typename Format>
+std::string JoinFormatted(const std::vector<T>& values, Format format) {
+  std::vector<std::string> parts;
+  parts.reserve(values.size());
+  for (const T& value : values) parts.push_back(format(value));
+  return Join(parts);
+}
+
+// Shared cluster-token parser. Every axis is parsed as a list; the
+// single-spec path rejects sizes > 1 afterwards.
+void ParseClusterToken(const std::string& token, SweepSpec& sweep) {
+  const std::vector<std::string> settings = Split(token, ':');
+  sweep.env = settings[0];
+  if (sweep.env != "envG" && sweep.env != "envC") {
+    Fail("unknown environment '" + sweep.env + "' (known: envG, envC)");
+  }
+  for (std::size_t i = 1; i < settings.size(); ++i) {
+    const std::string& setting = settings[i];
+    if (setting == "training") {
+      sweep.tasks = {true};
+      continue;
+    }
+    if (setting == "inference") {
+      sweep.tasks = {false};
+      continue;
+    }
+    const std::size_t eq = setting.find('=');
+    if (eq == std::string::npos) {
+      Fail("malformed cluster setting '" + setting + "' in '" + token + "'");
+    }
+    const std::string key = setting.substr(0, eq);
+    const std::vector<std::string> values = Split(setting.substr(eq + 1), ',');
+    if (values.empty() || values.front().empty()) {
+      Fail(key + "= has an empty value in '" + token + "'");
+    }
+    if (key == "workers") {
+      sweep.workers.clear();
+      for (const auto& v : values) {
+        sweep.workers.push_back(ParseBoundedInt(v, key, 1, 1 << 20));
+      }
+    } else if (key == "ps") {
+      sweep.ps.clear();
+      for (const auto& v : values) {
+        sweep.ps.push_back(ParseBoundedInt(v, key, 1, 1 << 20));
+      }
+    } else if (key == "task") {
+      sweep.tasks.clear();
+      for (const auto& v : values) {
+        if (v == "training") {
+          sweep.tasks.push_back(true);
+        } else if (v == "inference") {
+          sweep.tasks.push_back(false);
+        } else {
+          Fail("task= expects 'inference' or 'training', got '" + v + "'");
+        }
+      }
+    } else if (key == "batch") {
+      sweep.batch_factors.clear();
+      for (const auto& v : values) {
+        const double b = ParseDouble(v, key);
+        if (b <= 0.0) Fail("batch must be > 0, got " + v);
+        sweep.batch_factors.push_back(b);
+      }
+    } else if (key == "chunk") {
+      sweep.chunk_bytes.clear();
+      for (const auto& v : values) {
+        const std::int64_t c = ParseBytes(v, key);
+        if (c < 0) Fail("chunk must be >= 0, got " + v);
+        sweep.chunk_bytes.push_back(c);
+      }
+    } else if (key == "enforce") {
+      sweep.enforcements.clear();
+      for (const auto& v : values) {
+        sweep.enforcements.push_back(ParseEnforcement(v));
+      }
+    } else if (key == "sigma") {
+      sweep.tac_oracle_sigmas.clear();
+      for (const auto& v : values) {
+        const double s = ParseDouble(v, key);
+        if (s < 0.0) Fail("sigma must be >= 0, got " + v);
+        sweep.tac_oracle_sigmas.push_back(s);
+      }
+    } else if (key == "jitter") {
+      if (values.size() != 1) Fail("jitter= is not a sweep axis");
+      sweep.jitter_sigma = ParseDouble(values[0], key);
+    } else if (key == "ooo") {
+      if (values.size() != 1) Fail("ooo= is not a sweep axis");
+      sweep.out_of_order = ParseDouble(values[0], key);
+    } else if (key == "speeds") {
+      sweep.worker_speed_factors.clear();
+      for (const auto& v : values) {
+        sweep.worker_speed_factors.push_back(ParseDouble(v, key));
+      }
+    } else {
+      Fail("unknown cluster setting '" + key + "' in '" + token +
+           "' (known: workers, ps, training, inference, task, batch, "
+           "chunk, enforce, sigma, jitter, ooo, speeds)");
+    }
+  }
+}
+
+}  // namespace
+
+std::string FormatDouble(double value) {
+  // Shortest representation that parses back to the same bits, so
+  // Parse(ToString()) round-trips exactly and Session cache keys never
+  // alias two distinct configurations.
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::ostringstream out;
+    out.precision(precision);
+    out << value;
+    if (std::stod(out.str()) == value) return out.str();
+  }
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+ClusterConfig ClusterSpec::Build() const {
+  ClusterConfig config;
+  if (env == "envG") {
+    config = EnvG(workers, ps, training);
+  } else if (env == "envC") {
+    config = EnvC(workers, ps, training);
+  } else {
+    throw std::invalid_argument("ClusterSpec: unknown environment '" + env +
+                                "' (known: envG, envC)");
+  }
+  config.batch_factor = batch_factor;
+  config.chunk_bytes = chunk_bytes;
+  config.enforcement = enforcement;
+  config.tac_oracle_sigma = tac_oracle_sigma;
+  if (jitter_sigma) config.sim.jitter_sigma = *jitter_sigma;
+  if (out_of_order) config.sim.out_of_order_probability = *out_of_order;
+  config.worker_speed_factors = worker_speed_factors;
+  config.Validate();
+  return config;
+}
+
+std::string ClusterSpec::ToString() const {
+  std::string text = env;
+  text += ":workers=" + std::to_string(workers);
+  text += ":ps=" + std::to_string(ps);
+  text += training ? ":training" : ":inference";
+  if (batch_factor != 1.0) text += ":batch=" + FormatDouble(batch_factor);
+  if (chunk_bytes != 0) text += ":chunk=" + std::to_string(chunk_bytes);
+  if (enforcement != Enforcement::kHandoffGate) {
+    text += std::string(":enforce=") + EnforcementToken(enforcement);
+  }
+  if (tac_oracle_sigma != 0.0) {
+    text += ":sigma=" + FormatDouble(tac_oracle_sigma);
+  }
+  if (jitter_sigma) text += ":jitter=" + FormatDouble(*jitter_sigma);
+  if (out_of_order) text += ":ooo=" + FormatDouble(*out_of_order);
+  if (!worker_speed_factors.empty()) {
+    text += ":speeds=" + JoinFormatted(worker_speed_factors, FormatDouble);
+  }
+  return text;
+}
+
+std::string ExperimentSpec::ToString() const {
+  std::string text = cluster.ToString();
+  text += " model=" + model;
+  text += " policy=" + policy;
+  text += " iterations=" + std::to_string(iterations);
+  text += " seed=" + std::to_string(seed);
+  return text;
+}
+
+ExperimentSpec ExperimentSpec::Parse(std::string_view text) {
+  const SweepSpec sweep = SweepSpec::Parse(text);
+  if (sweep.size() != 1) {
+    Fail("'" + std::string(text) +
+         "' describes " + std::to_string(sweep.size()) +
+         " runs — list-valued axes need a SweepSpec, not an ExperimentSpec");
+  }
+  ExperimentSpec spec = sweep.Expand().front();
+  spec.BuildCluster();  // validate eagerly so parse-time errors are loud
+  return spec;
+}
+
+std::size_t SweepSpec::size() const {
+  return models.size() * tasks.size() * workers.size() * ps.size() *
+         batch_factors.size() * chunk_bytes.size() * enforcements.size() *
+         tac_oracle_sigmas.size() * policies.size();
+}
+
+std::vector<ExperimentSpec> SweepSpec::Expand() const {
+  const auto require_nonempty = [](bool empty, const char* axis) {
+    if (empty) {
+      throw std::invalid_argument(std::string("SweepSpec: ") + axis +
+                                  " is empty — nothing to run");
+    }
+  };
+  require_nonempty(models.empty(), "models");
+  require_nonempty(tasks.empty(), "tasks");
+  require_nonempty(workers.empty(), "workers");
+  require_nonempty(ps.empty(), "ps");
+  require_nonempty(batch_factors.empty(), "batch_factors");
+  require_nonempty(chunk_bytes.empty(), "chunk_bytes");
+  require_nonempty(enforcements.empty(), "enforcements");
+  require_nonempty(tac_oracle_sigmas.empty(), "tac_oracle_sigmas");
+  require_nonempty(policies.empty(), "policies");
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(size());
+  for (const std::string& model : models) {
+    for (const bool training : tasks) {
+      for (const int w : workers) {
+        for (const int p : ps) {
+          for (const double batch : batch_factors) {
+            for (const std::int64_t chunk : chunk_bytes) {
+              for (const Enforcement enforcement : enforcements) {
+                for (const double sigma : tac_oracle_sigmas) {
+                  for (const std::string& policy : policies) {
+                    ExperimentSpec spec;
+                    spec.model = model;
+                    spec.cluster.env = env;
+                    spec.cluster.workers = w;
+                    spec.cluster.ps = p;
+                    spec.cluster.training = training;
+                    spec.cluster.batch_factor = batch;
+                    spec.cluster.chunk_bytes = chunk;
+                    spec.cluster.enforcement = enforcement;
+                    spec.cluster.tac_oracle_sigma = sigma;
+                    spec.cluster.jitter_sigma = jitter_sigma;
+                    spec.cluster.out_of_order = out_of_order;
+                    spec.cluster.worker_speed_factors = worker_speed_factors;
+                    spec.policy = policy;
+                    spec.iterations = iterations;
+                    spec.seed = seed;
+                    specs.push_back(std::move(spec));
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+std::string SweepSpec::ToString() const {
+  std::string text = env;
+  text += ":workers=" + JoinFormatted(workers, [](int w) {
+    return std::to_string(w);
+  });
+  text += ":ps=" + JoinFormatted(ps, [](int p) { return std::to_string(p); });
+  if (tasks.size() == 1) {
+    text += tasks.front() ? ":training" : ":inference";
+  } else {
+    text += ":task=" + JoinFormatted(tasks, [](bool training) {
+      return std::string(training ? "training" : "inference");
+    });
+  }
+  if (batch_factors != std::vector<double>{1.0}) {
+    text += ":batch=" + JoinFormatted(batch_factors, FormatDouble);
+  }
+  if (chunk_bytes != std::vector<std::int64_t>{0}) {
+    text += ":chunk=" + JoinFormatted(chunk_bytes, [](std::int64_t c) {
+      return std::to_string(c);
+    });
+  }
+  if (enforcements != std::vector<Enforcement>{Enforcement::kHandoffGate}) {
+    text += ":enforce=" + JoinFormatted(enforcements, [](Enforcement e) {
+      return std::string(EnforcementToken(e));
+    });
+  }
+  if (tac_oracle_sigmas != std::vector<double>{0.0}) {
+    text += ":sigma=" + JoinFormatted(tac_oracle_sigmas, FormatDouble);
+  }
+  if (jitter_sigma) text += ":jitter=" + FormatDouble(*jitter_sigma);
+  if (out_of_order) text += ":ooo=" + FormatDouble(*out_of_order);
+  if (!worker_speed_factors.empty()) {
+    text += ":speeds=" + JoinFormatted(worker_speed_factors, FormatDouble);
+  }
+  text += " models=" + Join(models);
+  text += " policies=" + Join(policies);
+  text += " iterations=" + std::to_string(iterations);
+  text += " seed=" + std::to_string(seed);
+  return text;
+}
+
+SweepSpec SweepSpec::Parse(std::string_view text) {
+  const std::vector<std::string> tokens = WhitespaceTokens(text);
+  if (tokens.empty()) Fail("empty spec");
+  if (tokens[0].rfind("env", 0) != 0) {
+    Fail("spec must start with the cluster (envG:... or envC:...), got '" +
+         tokens[0] + "'");
+  }
+  SweepSpec sweep;
+  ParseClusterToken(tokens[0], sweep);
+
+  // model names may contain spaces, so the models= value keeps absorbing
+  // subsequent tokens until the next key=value token.
+  std::string raw_models;
+  std::string* pending = nullptr;
+  bool saw_models = false;
+  bool saw_policies = false;
+  bool saw_iterations = false;
+  bool saw_seed = false;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      if (!pending) {
+        Fail("unexpected token '" + token +
+             "' (did you mean model=... ? model names continue until the "
+             "next key=value token)");
+      }
+      *pending += " " + token;
+      continue;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    pending = nullptr;
+    if (key == "model" || key == "models") {
+      if (saw_models) Fail("duplicate " + key + "= token");
+      saw_models = true;
+      raw_models = value;
+      pending = &raw_models;
+    } else if (key == "policy" || key == "policies") {
+      if (saw_policies) Fail("duplicate " + key + "= token");
+      saw_policies = true;
+      sweep.policies.clear();
+      for (const auto& p : Split(value, ',')) {
+        if (p.empty()) Fail("policies= has an empty entry in '" + value + "'");
+        sweep.policies.push_back(p);
+      }
+    } else if (key == "iterations") {
+      if (saw_iterations) Fail("duplicate iterations= token");
+      saw_iterations = true;
+      sweep.iterations = ParseBoundedInt(
+          value, key, 1, std::numeric_limits<int>::max());
+    } else if (key == "seed") {
+      if (saw_seed) Fail("duplicate seed= token");
+      saw_seed = true;
+      sweep.seed = ParseSeed(value, key);
+    } else {
+      Fail("unknown key '" + key +
+           "=' (known: model(s), policy/policies, iterations, seed)");
+    }
+  }
+  if (!saw_models || raw_models.empty()) {
+    Fail("model= (or models=) is required, e.g. model=Inception v2");
+  }
+  for (std::string& name : Split(raw_models, ',')) {
+    // Tolerate "a, b" style lists.
+    const std::size_t begin = name.find_first_not_of(' ');
+    const std::size_t end = name.find_last_not_of(' ');
+    if (begin == std::string::npos) {
+      Fail("models= has an empty entry in '" + raw_models + "'");
+    }
+    sweep.models.push_back(name.substr(begin, end - begin + 1));
+  }
+  return sweep;
+}
+
+}  // namespace tictac::runtime

@@ -1,15 +1,39 @@
-// End-to-end behavioural tests mirroring the paper's headline claims.
+// End-to-end behavioural tests mirroring the paper's headline claims,
+// expressed through the declarative ExperimentSpec / Session API.
 #include <gtest/gtest.h>
 
 #include "harness/experiments.h"
+#include "harness/session.h"
 #include "models/zoo.h"
 #include "util/stats.h"
 
 namespace tictac {
 namespace {
 
-using runtime::EnvC;
-using runtime::EnvG;
+using runtime::ExperimentSpec;
+
+ExperimentSpec Spec(const std::string& model, const std::string& env,
+                    int workers, int ps, bool training,
+                    const std::string& policy, std::uint64_t seed,
+                    int iterations) {
+  ExperimentSpec spec;
+  spec.model = model;
+  spec.cluster.env = env;
+  spec.cluster.workers = workers;
+  spec.cluster.ps = ps;
+  spec.cluster.training = training;
+  spec.policy = policy;
+  spec.seed = seed;
+  spec.iterations = iterations;
+  return spec;
+}
+
+double Speedup(harness::Session& session, const ExperimentSpec& spec) {
+  ExperimentSpec baseline = spec;
+  baseline.policy = "baseline";
+  const double base = session.Run(baseline).Throughput();
+  return session.Run(spec).Throughput() / base - 1.0;
+}
 
 TEST(Integration, FigureModelListMatchesFigures) {
   const auto names = harness::FigureModels();
@@ -19,61 +43,49 @@ TEST(Integration, FigureModelListMatchesFigures) {
   }
 }
 
-TEST(Integration, SpeedupRowArithmetic) {
-  harness::SpeedupRow row;
-  row.baseline_throughput = 100.0;
-  row.scheduled_throughput = 120.0;
-  EXPECT_NEAR(row.speedup(), 0.2, 1e-12);
-  harness::SpeedupRow zero;
-  EXPECT_EQ(zero.speedup(), 0.0);
-}
-
 TEST(Integration, TicImprovesMostModelsInference) {
   // Figure 7's qualitative claim: scheduling helps, and large branchy
   // models gain more than small chain models.
-  double inception_gain = 0.0;
-  double alexnet_gain = 0.0;
-  for (const char* name : {"Inception v2", "AlexNet v2"}) {
-    const auto row = harness::MeasureSpeedup(
-        models::FindModel(name), EnvG(4, 1, false), "tic", 42, 6);
-    if (std::string(name) == "Inception v2") inception_gain = row.speedup();
-    if (std::string(name) == "AlexNet v2") alexnet_gain = row.speedup();
-  }
+  harness::Session session;
+  const double inception_gain = Speedup(
+      session, Spec("Inception v2", "envG", 4, 1, false, "tic", 42, 6));
+  const double alexnet_gain = Speedup(
+      session, Spec("AlexNet v2", "envG", 4, 1, false, "tic", 42, 6));
   EXPECT_GT(inception_gain, 0.15);
   EXPECT_GT(inception_gain, alexnet_gain);
 }
 
 TEST(Integration, InferenceGainsExceedTrainingGains) {
   // §6.1: "we obtain higher gains in the inference phase than training."
-  const auto& info = models::FindModel("Inception v2");
-  const auto inference = harness::MeasureSpeedup(
-      info, EnvG(4, 1, false), "tic", 11, 6);
-  const auto training = harness::MeasureSpeedup(
-      info, EnvG(4, 1, true), "tic", 11, 6);
-  EXPECT_GT(inference.speedup(), training.speedup());
+  harness::Session session;
+  const double inference = Speedup(
+      session, Spec("Inception v2", "envG", 4, 1, false, "tic", 11, 6));
+  const double training = Speedup(
+      session, Spec("Inception v2", "envG", 4, 1, true, "tic", 11, 6));
+  EXPECT_GT(inference, training);
 }
 
 TEST(Integration, TacMatchesOrBeatsTicOnEnvC) {
   // Appendix B: TIC is comparable to TAC; neither should collapse.
-  const auto& info = models::FindModel("Inception v2");
-  const auto tic = harness::MeasureSpeedup(
-      info, EnvC(4, 1, false), "tic", 23, 6);
-  const auto tac = harness::MeasureSpeedup(
-      info, EnvC(4, 1, false), "tac", 23, 6);
-  EXPECT_GT(tic.speedup(), 0.0);
-  EXPECT_GT(tac.speedup(), 0.0);
-  EXPECT_NEAR(tic.speedup(), tac.speedup(), 0.10);
+  harness::Session session;
+  const double tic = Speedup(
+      session, Spec("Inception v2", "envC", 4, 1, false, "tic", 23, 6));
+  const double tac = Speedup(
+      session, Spec("Inception v2", "envC", 4, 1, false, "tac", 23, 6));
+  EXPECT_GT(tic, 0.0);
+  EXPECT_GT(tac, 0.0);
+  EXPECT_NEAR(tic, tac, 0.10);
 }
 
 TEST(Integration, EfficiencyPredictsStepTime) {
   // Figure 12a: scheduling efficiency regresses strongly against
   // normalized step time across runs with and without scheduling.
-  const auto& info = models::FindModel("Inception v2");
-  runtime::Runner runner(info, EnvC(2, 1, true));
+  harness::Session session;
   std::vector<double> efficiency;
   std::vector<double> step_time;
-  for (const std::string policy : {"baseline", "tac"}) {
-    const auto result = runner.Run(policy, 30, 5);
+  for (const char* policy : {"baseline", "tac"}) {
+    const auto result = session.Run(
+        Spec("Inception v2", "envC", 2, 1, true, policy, 5, 30));
     for (const auto& it : result.iterations) {
       efficiency.push_back(it.mean_efficiency);
       step_time.push_back(it.makespan);
@@ -86,12 +98,13 @@ TEST(Integration, EfficiencyPredictsStepTime) {
 
 TEST(Integration, BaselineStepTimeSpreadExceedsTac) {
   // Figure 12b: the baseline CDF is wide, TAC's is sharp.
-  const auto& info = models::FindModel("Inception v2");
-  runtime::Runner runner(info, EnvC(2, 1, false));
+  harness::Session session;
   std::vector<double> base_times;
   std::vector<double> tac_times;
-  const auto base = runner.Run("baseline", 30, 7);
-  const auto tac = runner.Run("tac", 30, 7);
+  const auto base = session.Run(
+      Spec("Inception v2", "envC", 2, 1, false, "baseline", 7, 30));
+  const auto tac = session.Run(
+      Spec("Inception v2", "envC", 2, 1, false, "tac", 7, 30));
   for (const auto& it : base.iterations) base_times.push_back(it.makespan);
   for (const auto& it : tac.iterations) tac_times.push_back(it.makespan);
   EXPECT_GT(util::Stddev(base_times) / util::Mean(base_times),
@@ -99,23 +112,60 @@ TEST(Integration, BaselineStepTimeSpreadExceedsTac) {
 }
 
 TEST(Integration, MoreWorkersIncreaseAggregateThroughput) {
-  const auto& info = models::FindModel("ResNet-50 v1");
-  const double t2 = harness::MeasureThroughput(
-      info, EnvG(2, 1, false), "tic", 3, 5);
-  const double t8 = harness::MeasureThroughput(
-      info, EnvG(8, 2, false), "tic", 3, 5);
+  harness::Session session;
+  const double t2 =
+      session.Run(Spec("ResNet-50 v1", "envG", 2, 1, false, "tic", 3, 5))
+          .Throughput();
+  const double t8 =
+      session.Run(Spec("ResNet-50 v1", "envG", 8, 2, false, "tic", 3, 5))
+          .Throughput();
   EXPECT_GT(t8, t2);
 }
 
 TEST(Integration, MorePsImprovesCommBoundThroughput) {
   // Figure 9: spreading parameters over more PS parallelizes transfers.
-  const auto& info = models::FindModel("VGG-16");
-  const double ps1 = harness::MeasureThroughput(
-      info, EnvG(8, 1, false), "tic", 3, 5);
-  const double ps4 = harness::MeasureThroughput(
-      info, EnvG(8, 4, false), "tic", 3, 5);
+  harness::Session session;
+  const double ps1 =
+      session.Run(Spec("VGG-16", "envG", 8, 1, false, "tic", 3, 5))
+          .Throughput();
+  const double ps4 =
+      session.Run(Spec("VGG-16", "envG", 8, 4, false, "tic", 3, 5))
+          .Throughput();
   EXPECT_GT(ps4, ps1 * 1.5);
 }
+
+// The one-PR deprecated wrappers must agree bit-for-bit with the Session
+// path they shadow.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+TEST(Integration, DeprecatedWrappersMatchSession) {
+  const auto& info = models::FindModel("Inception v1");
+  const auto config = runtime::EnvG(4, 1, false);
+  harness::Session session;
+  const auto spec = Spec("Inception v1", "envG", 4, 1, false, "tic", 9, 4);
+
+  EXPECT_EQ(harness::MeasureThroughput(info, config, "tic", 9, 4),
+            session.Run(spec).Throughput());
+
+  const auto row = harness::MeasureSpeedup(info, config, "tic", 9, 4);
+  auto baseline = spec;
+  baseline.policy = "baseline";
+  EXPECT_EQ(row.baseline_throughput, session.Run(baseline).Throughput());
+  EXPECT_EQ(row.scheduled_throughput, session.Run(spec).Throughput());
+
+  const auto direct = harness::RunExperiment(info, config, "tic", 9, 4);
+  const auto via_session = session.Run(spec);
+  ASSERT_EQ(direct.iterations.size(), via_session.iterations.size());
+  for (std::size_t i = 0; i < direct.iterations.size(); ++i) {
+    EXPECT_EQ(direct.iterations[i].makespan,
+              via_session.iterations[i].makespan);
+  }
+}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace
 }  // namespace tictac

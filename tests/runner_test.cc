@@ -12,8 +12,8 @@ namespace {
 
 TEST(Runner, DeterministicForSameSeed) {
   Runner runner(models::FindModel("Inception v1"), EnvG(4, 1, true));
-  const auto a = runner.Run(Method::kTic, 3, 42);
-  const auto b = runner.Run(Method::kTic, 3, 42);
+  const auto a = runner.Run("tic", 3, 42);
+  const auto b = runner.Run("tic", 3, 42);
   ASSERT_EQ(a.iterations.size(), b.iterations.size());
   for (std::size_t i = 0; i < a.iterations.size(); ++i) {
     EXPECT_EQ(a.iterations[i].makespan, b.iterations[i].makespan);
@@ -25,10 +25,9 @@ TEST(Runner, SchedulingBeatsBaselineOnBranchyModels) {
   // The headline claim on a model with real scheduling headroom.
   for (const char* name : {"Inception v2", "ResNet-50 v2"}) {
     Runner runner(models::FindModel(name), EnvG(4, 1, false));
-    const double base =
-        runner.Run(Method::kBaseline, 5, 7).Throughput();
-    const double tic = runner.Run(Method::kTic, 5, 7).Throughput();
-    const double tac = runner.Run(Method::kTac, 5, 7).Throughput();
+    const double base = runner.Run("baseline", 5, 7).Throughput();
+    const double tic = runner.Run("tic", 5, 7).Throughput();
+    const double tac = runner.Run("tac", 5, 7).Throughput();
     EXPECT_GT(tic, base * 1.02) << name;
     EXPECT_GT(tac, base * 1.02) << name;
   }
@@ -36,8 +35,8 @@ TEST(Runner, SchedulingBeatsBaselineOnBranchyModels) {
 
 TEST(Runner, EfficiencyInUnitIntervalAndImprovedByScheduling) {
   Runner runner(models::FindModel("Inception v1"), EnvG(4, 2, false));
-  const auto base = runner.Run(Method::kBaseline, 5, 3);
-  const auto tic = runner.Run(Method::kTic, 5, 3);
+  const auto base = runner.Run("baseline", 5, 3);
+  const auto tic = runner.Run("tic", 5, 3);
   for (const auto& it : base.iterations) {
     EXPECT_GE(it.mean_efficiency, 0.0);
     EXPECT_LE(it.mean_efficiency, 1.0 + 1e-9);
@@ -48,8 +47,8 @@ TEST(Runner, EfficiencyInUnitIntervalAndImprovedByScheduling) {
 
 TEST(Runner, SchedulingReducesStragglers) {
   Runner runner(models::FindModel("Inception v2"), EnvG(8, 2, false));
-  const auto base = runner.Run(Method::kBaseline, 8, 11);
-  const auto tic = runner.Run(Method::kTic, 8, 11);
+  const auto base = runner.Run("baseline", 8, 11);
+  const auto tic = runner.Run("tic", 8, 11);
   EXPECT_LT(tic.MeanStragglerPct(), base.MeanStragglerPct());
 }
 
@@ -59,15 +58,15 @@ TEST(Runner, EnforcedOrderIsConsistentOnSinglePs) {
   ClusterConfig config = EnvG(2, 1, false);
   config.sim.out_of_order_probability = 0.0;
   Runner runner(models::FindModel("Inception v1"), config);
-  const auto base = runner.Run(Method::kBaseline, 10, 17);
-  const auto tic = runner.Run(Method::kTic, 10, 17);
+  const auto base = runner.Run("baseline", 10, 17);
+  const auto tic = runner.Run("tic", 10, 17);
   EXPECT_EQ(base.UniqueRecvOrders(), 10);
   EXPECT_EQ(tic.UniqueRecvOrders(), 1);
 }
 
 TEST(Runner, WorkerFinishTimesPopulated) {
   Runner runner(models::FindModel("AlexNet v2"), EnvG(3, 1, true));
-  const auto result = runner.Run(Method::kTac, 2, 5);
+  const auto result = runner.Run("tac", 2, 5);
   for (const auto& it : result.iterations) {
     ASSERT_EQ(it.worker_finish.size(), 3u);
     for (double t : it.worker_finish) {
@@ -84,7 +83,7 @@ TEST(Runner, ThroughputAccountsForWorkersAndBatch) {
   ClusterConfig config = EnvG(4, 1, true);
   config.batch_factor = 2.0;
   Runner runner(info, config);
-  const auto result = runner.Run(Method::kTic, 2, 1);
+  const auto result = runner.Run("tic", 2, 1);
   EXPECT_DOUBLE_EQ(result.samples_per_iteration,
                    info.standard_batch * 2.0 * 4);
   EXPECT_NEAR(result.Throughput(),
@@ -94,11 +93,11 @@ TEST(Runner, ThroughputAccountsForWorkersAndBatch) {
 
 TEST(Runner, MakeScheduleShapes) {
   Runner runner(models::FindModel("VGG-16"), EnvG(2, 1, true));
-  const auto base = runner.MakeSchedule(Method::kBaseline);
+  const auto base = runner.MakeSchedule("baseline");
   EXPECT_EQ(base.size(), 0u);
-  const auto tic = runner.MakeSchedule(Method::kTic);
+  const auto tic = runner.MakeSchedule("tic");
   EXPECT_TRUE(tic.CoversAllRecvs(runner.worker_graph()));
-  const auto tac = runner.MakeSchedule(Method::kTac);
+  const auto tac = runner.MakeSchedule("tac");
   EXPECT_TRUE(tac.CoversAllRecvs(runner.worker_graph()));
 }
 
@@ -106,29 +105,26 @@ TEST(Runner, NoisyOracleTacStillValid) {
   ClusterConfig config = EnvG(2, 1, true);
   config.tac_oracle_sigma = 0.3;
   Runner runner(models::FindModel("Inception v1"), config);
-  const auto schedule = runner.MakeSchedule(Method::kTac);
+  const auto schedule = runner.MakeSchedule("tac");
   EXPECT_TRUE(schedule.CoversAllRecvs(runner.worker_graph()));
-  const auto result = runner.Run(Method::kTac, 2, 9);
+  const auto result = runner.Run("tac", 2, 9);
   EXPECT_GT(result.Throughput(), 0.0);
 }
 
-TEST(Runner, MethodShimMatchesPolicyNames) {
-  // The deprecated Method enum must route through the registry and yield
-  // bit-identical results to the name-based and object-based calls.
+TEST(Runner, NameAndPolicyObjectCallsAreBitIdentical) {
+  // The name-based convenience must route through the registry and yield
+  // bit-identical results to passing the policy object directly.
   Runner runner(models::FindModel("Inception v2"), EnvG(4, 1, false));
-  for (const Method method : {Method::kBaseline, Method::kTic, Method::kTac}) {
-    const auto via_enum = runner.Run(method, 3, 29);
-    const auto via_name = runner.Run(PolicyName(method), 3, 29);
-    const auto via_policy = runner.Run(
-        *core::PolicyRegistry::Global().Create(PolicyName(method)), 3, 29);
-    ASSERT_EQ(via_enum.iterations.size(), via_name.iterations.size());
-    for (std::size_t i = 0; i < via_enum.iterations.size(); ++i) {
-      EXPECT_EQ(via_enum.iterations[i].makespan,
-                via_name.iterations[i].makespan);
-      EXPECT_EQ(via_enum.iterations[i].makespan,
+  for (const char* name : {"baseline", "tic", "tac"}) {
+    const auto via_name = runner.Run(name, 3, 29);
+    const auto via_policy =
+        runner.Run(*core::PolicyRegistry::Global().Create(name), 3, 29);
+    ASSERT_EQ(via_name.iterations.size(), via_policy.iterations.size());
+    for (std::size_t i = 0; i < via_name.iterations.size(); ++i) {
+      EXPECT_EQ(via_name.iterations[i].makespan,
                 via_policy.iterations[i].makespan);
-      EXPECT_EQ(via_enum.iterations[i].recv_order,
-                via_name.iterations[i].recv_order);
+      EXPECT_EQ(via_name.iterations[i].recv_order,
+                via_policy.iterations[i].recv_order);
     }
   }
 }
@@ -136,6 +132,21 @@ TEST(Runner, MethodShimMatchesPolicyNames) {
 TEST(Runner, UnknownPolicyNameThrows) {
   Runner runner(models::FindModel("AlexNet v2"), EnvG(2, 1, false));
   EXPECT_THROW(runner.Run("no-such-policy", 1, 1), std::invalid_argument);
+}
+
+TEST(Runner, RejectsInvalidClusterConfig) {
+  // Validation happens at construction (ClusterConfig::Validate), before
+  // any graph is built.
+  const auto& info = models::FindModel("AlexNet v2");
+  ClusterConfig config = EnvG(2, 1, false);
+  config.num_workers = 0;
+  EXPECT_THROW(Runner(info, config), std::invalid_argument);
+  config = EnvG(2, 1, false);
+  config.batch_factor = 0.0;
+  EXPECT_THROW(Runner(info, config), std::invalid_argument);
+  config = EnvG(2, 1, false);
+  config.chunk_bytes = -1;
+  EXPECT_THROW(Runner(info, config), std::invalid_argument);
 }
 
 TEST(Runner, EmptyResultAccessorsAreSafe) {
@@ -154,7 +165,7 @@ TEST_P(AllModelsRunnerTest, EndToEndInvariants) {
   const auto& info = models::FindModel(GetParam());
   for (const bool training : {false, true}) {
     Runner runner(info, EnvG(2, 1, training));
-    const auto tic = runner.Run(Method::kTic, 2, 13);
+    const auto tic = runner.Run("tic", 2, 13);
     EXPECT_GT(tic.Throughput(), 0.0) << info.name;
     for (const auto& it : tic.iterations) {
       EXPECT_GE(it.mean_efficiency, 0.0) << info.name;

@@ -1,0 +1,339 @@
+// ExperimentSpec / SweepSpec grammar: parse ↔ ToString round trips,
+// sweep expansion counts and ordering, and ClusterConfig validation.
+#include "runtime/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+namespace tictac::runtime {
+namespace {
+
+void ExpectThrowWith(const std::function<void()>& fn,
+                     const std::string& fragment) {
+  try {
+    fn();
+    FAIL() << "expected std::invalid_argument containing '" << fragment
+           << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(ExperimentSpec, ParsesTheIssueStyleSpec) {
+  const auto spec = ExperimentSpec::Parse(
+      "envG:workers=8:ps=4:training model=VGG-16 policy=tac");
+  EXPECT_EQ(spec.cluster.env, "envG");
+  EXPECT_EQ(spec.cluster.workers, 8);
+  EXPECT_EQ(spec.cluster.ps, 4);
+  EXPECT_TRUE(spec.cluster.training);
+  EXPECT_EQ(spec.model, "VGG-16");
+  EXPECT_EQ(spec.policy, "tac");
+  EXPECT_EQ(spec.iterations, 10);  // default
+  EXPECT_EQ(spec.seed, 1u);        // default
+}
+
+TEST(ExperimentSpec, ModelNamesMayContainSpaces) {
+  const auto spec = ExperimentSpec::Parse(
+      "envC:workers=2:ps=1:inference model=Inception v2 policy=tic");
+  EXPECT_EQ(spec.model, "Inception v2");
+  EXPECT_EQ(spec.cluster.env, "envC");
+  EXPECT_FALSE(spec.cluster.training);
+}
+
+TEST(ExperimentSpec, RoundTripIdentity) {
+  const char* specs[] = {
+      "envG:workers=8:ps=4:training model=VGG-16 policy=tac",
+      "envC:workers=2:ps=1:inference model=Inception v2 policy=random:7 "
+      "iterations=3 seed=99",
+      "envG:workers=4:ps=2:training:batch=0.5:chunk=4194304:"
+      "enforce=chain:sigma=0.3 model=AlexNet v2 policy=reverse:tic",
+      "envG:workers=2:ps=1:training:jitter=0.1:ooo=0 model=VGG-19",
+      "envG:workers=4:ps=1:training:speeds=1,1,1,0.5 model=Inception v1",
+  };
+  for (const char* text : specs) {
+    const auto spec = ExperimentSpec::Parse(text);
+    const auto reparsed = ExperimentSpec::Parse(spec.ToString());
+    EXPECT_EQ(spec, reparsed) << text;
+    EXPECT_EQ(spec.ToString(), reparsed.ToString()) << text;
+  }
+}
+
+TEST(ExperimentSpec, RoundTripsDoublesNeedingFullPrecision) {
+  // 0.1 + 0.2 needs 17 significant digits; a 15-digit emit would parse
+  // back to a different double (and alias Session cache keys).
+  ExperimentSpec spec;
+  spec.model = "VGG-16";
+  spec.cluster.jitter_sigma = 0.1 + 0.2;
+  spec.cluster.batch_factor = 1.0 / 3.0;
+  const auto reparsed = ExperimentSpec::Parse(spec.ToString());
+  EXPECT_EQ(spec, reparsed);
+  // Friendly values still print short.
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(0.1), "0.1");
+}
+
+TEST(ExperimentSpec, ByteSuffixesAndEnforcementTokens) {
+  const auto spec = ExperimentSpec::Parse(
+      "envG:workers=4:ps=2:inference:chunk=4M:enforce=priority "
+      "model=VGG-16");
+  EXPECT_EQ(spec.cluster.chunk_bytes, 4ll << 20);
+  EXPECT_EQ(spec.cluster.enforcement, Enforcement::kPriorityOnly);
+  const auto kib = ExperimentSpec::Parse(
+      "envG:workers=4:ps=2:inference:chunk=512KiB model=VGG-16");
+  EXPECT_EQ(kib.cluster.chunk_bytes, 512ll << 10);
+}
+
+TEST(ExperimentSpec, ActionableParseErrors) {
+  ExpectThrowWith([] { ExperimentSpec::Parse(""); }, "empty");
+  ExpectThrowWith([] { ExperimentSpec::Parse("envG:workers=4 policy=tic"); },
+                  "model=");
+  ExpectThrowWith(
+      [] { ExperimentSpec::Parse("envX:workers=4 model=VGG-16"); }, "envX");
+  ExpectThrowWith(
+      [] {
+        ExperimentSpec::Parse("envG:workerz=4:ps=1 model=VGG-16");
+      },
+      "workerz");
+  ExpectThrowWith(
+      [] {
+        ExperimentSpec::Parse("envG:workers=four:ps=1 model=VGG-16");
+      },
+      "integer");
+  ExpectThrowWith(
+      [] {
+        ExperimentSpec::Parse(
+            "envG:workers=4:ps=1 model=VGG-16 frobnicate=1");
+      },
+      "frobnicate");
+  // Duplicate field tokens would be silent last-wins otherwise.
+  ExpectThrowWith(
+      [] {
+        SweepSpec::Parse("envG:workers=4:ps=1 models=VGG-16 "
+                         "policies=baseline,tic policies=tac");
+      },
+      "duplicate");
+  ExpectThrowWith(
+      [] {
+        SweepSpec::Parse("envG:workers=4:ps=1 models=VGG-16 seed=1 seed=2");
+      },
+      "duplicate");
+  ExpectThrowWith(
+      [] {
+        ExperimentSpec::Parse(
+            "envG:workers=4:ps=1 model=VGG-16 iterations=0");
+      },
+      "iterations");
+  // Lists belong to sweeps.
+  ExpectThrowWith(
+      [] {
+        ExperimentSpec::Parse("envG:workers=2,4:ps=1 model=VGG-16");
+      },
+      "SweepSpec");
+  // Out-of-int-range axes fail instead of truncating/wrapping.
+  ExpectThrowWith(
+      [] {
+        ExperimentSpec::Parse("envG:workers=4294967297:ps=1 model=VGG-16");
+      },
+      "workers");
+  ExpectThrowWith(
+      [] {
+        ExperimentSpec::Parse(
+            "envG:workers=4:ps=1:chunk=8589934592G model=VGG-16");
+      },
+      "overflow");
+}
+
+TEST(ExperimentSpec, SeedsBeyondInt64RoundTrip) {
+  ExperimentSpec spec;
+  spec.model = "VGG-16";
+  spec.seed = 1ull << 63;  // not representable as a signed 64-bit value
+  const auto reparsed = ExperimentSpec::Parse(spec.ToString());
+  EXPECT_EQ(reparsed.seed, 1ull << 63);
+  EXPECT_EQ(spec, reparsed);
+}
+
+TEST(ClusterConfig, ValidateRejectsOutOfRangeFields) {
+  ClusterConfig config = EnvG(4, 1, true);
+  EXPECT_NO_THROW(config.Validate());
+
+  config.num_workers = 0;
+  ExpectThrowWith([&] { config.Validate(); }, "num_workers");
+  config = EnvG(4, 1, true);
+  config.num_ps = 0;
+  ExpectThrowWith([&] { config.Validate(); }, "num_ps");
+  config = EnvG(4, 1, true);
+  config.batch_factor = -1.0;
+  ExpectThrowWith([&] { config.Validate(); }, "batch_factor");
+  config = EnvG(4, 1, true);
+  config.chunk_bytes = -5;
+  ExpectThrowWith([&] { config.Validate(); }, "chunk_bytes");
+  config = EnvG(4, 1, true);
+  config.worker_speed_factors = {1.0, 1.0};  // 2 factors, 4 workers
+  ExpectThrowWith([&] { config.Validate(); }, "worker_speed_factors");
+  config.worker_speed_factors = {1.0, 1.0, 1.0, 0.0};
+  ExpectThrowWith([&] { config.Validate(); }, "worker_speed_factors[3]");
+  config = EnvG(4, 1, true);
+  config.sim.out_of_order_probability = 1.5;  // typo for 0.15
+  ExpectThrowWith([&] { config.Validate(); }, "out_of_order_probability");
+  config = EnvG(4, 1, true);
+  config.tac_oracle_sigma = std::numeric_limits<double>::quiet_NaN();
+  ExpectThrowWith([&] { config.Validate(); }, "tac_oracle_sigma");
+  config = EnvG(4, 1, true);
+  config.sim.jitter_sigma = -0.1;
+  ExpectThrowWith([&] { config.Validate(); }, "jitter_sigma");
+  config = EnvG(4, 1, true);
+  config.batch_factor = std::numeric_limits<double>::infinity();
+  ExpectThrowWith([&] { config.Validate(); }, "batch_factor");
+  config = EnvG(4, 1, true);
+  config.worker_speed_factors = {1.0, 1.0, 1.0,
+                                 std::numeric_limits<double>::infinity()};
+  ExpectThrowWith([&] { config.Validate(); }, "worker_speed_factors[3]");
+}
+
+TEST(ClusterConfig, SimOverridesValidatedAtParseTime) {
+  ExpectThrowWith(
+      [] {
+        ExperimentSpec::Parse("envG:workers=2:ps=1:ooo=1.5 model=VGG-16");
+      },
+      "out_of_order_probability");
+  ExpectThrowWith(
+      [] {
+        ExperimentSpec::Parse(
+            "envG:workers=2:ps=1:sigma=nan model=VGG-16");
+      },
+      "tac_oracle_sigma");
+}
+
+TEST(ClusterSpec, BuildAppliesOverridesOnTopOfEnv) {
+  ClusterSpec spec;
+  spec.env = "envC";
+  spec.workers = 3;
+  spec.ps = 2;
+  spec.training = true;
+  spec.batch_factor = 2.0;
+  spec.chunk_bytes = 1024;
+  spec.enforcement = Enforcement::kDagChain;
+  spec.tac_oracle_sigma = 0.25;
+  spec.jitter_sigma = 0.5;
+  spec.out_of_order = 0.0;
+  const ClusterConfig config = spec.Build();
+  const ClusterConfig reference = EnvC(3, 2, true);
+  EXPECT_EQ(config.num_workers, 3);
+  EXPECT_EQ(config.num_ps, 2);
+  EXPECT_TRUE(config.training);
+  EXPECT_EQ(config.batch_factor, 2.0);
+  EXPECT_EQ(config.chunk_bytes, 1024);
+  EXPECT_EQ(config.enforcement, Enforcement::kDagChain);
+  EXPECT_EQ(config.tac_oracle_sigma, 0.25);
+  EXPECT_EQ(config.sim.jitter_sigma, 0.5);
+  EXPECT_EQ(config.sim.out_of_order_probability, 0.0);
+  // Untouched platform constants come from the environment.
+  EXPECT_EQ(config.platform.compute_rate, reference.platform.compute_rate);
+  EXPECT_EQ(config.platform.bandwidth_bps,
+            reference.platform.bandwidth_bps);
+}
+
+TEST(ClusterSpec, ParseTimeValidation) {
+  // ExperimentSpec::Parse materializes the cluster once so a structurally
+  // valid but out-of-range spec fails at parse time, not at Run time.
+  ExpectThrowWith(
+      [] {
+        ExperimentSpec::Parse(
+            "envG:workers=4:ps=1:speeds=1,1 model=VGG-16");
+      },
+      "worker_speed_factors");
+  ExpectThrowWith(
+      [] { ExperimentSpec::Parse("envG:workers=0:ps=1 model=VGG-16"); },
+      "workers");
+}
+
+TEST(SweepSpec, ExpansionCountsAndOrdering) {
+  const auto sweep = SweepSpec::Parse(
+      "envG:workers=2,4:ps=1,2:task=inference,training "
+      "models=VGG-16,Inception v2 policies=baseline,tic seed=5");
+  EXPECT_EQ(sweep.size(), 2u * 2u * 2u * 2u * 2u);
+  const auto specs = sweep.Expand();
+  ASSERT_EQ(specs.size(), sweep.size());
+
+  // Policy varies fastest; model slowest.
+  EXPECT_EQ(specs[0].model, "VGG-16");
+  EXPECT_EQ(specs[0].policy, "baseline");
+  EXPECT_FALSE(specs[0].cluster.training);
+  EXPECT_EQ(specs[0].cluster.workers, 2);
+  EXPECT_EQ(specs[0].cluster.ps, 1);
+  EXPECT_EQ(specs[1].policy, "tic");
+  EXPECT_EQ(specs[1].model, specs[0].model);
+  EXPECT_EQ(specs[2].cluster.ps, 2);
+  EXPECT_EQ(specs[16].model, "Inception v2");
+
+  // Every spec carries the shared scalars.
+  for (const auto& spec : specs) {
+    EXPECT_EQ(spec.seed, 5u);
+    EXPECT_EQ(spec.iterations, 10);
+  }
+
+  // Deterministic: re-expansion is identical.
+  EXPECT_EQ(specs, sweep.Expand());
+}
+
+TEST(SweepSpec, RoundTripIdentity) {
+  const char* sweeps[] = {
+      "envG:workers=1,2,4,8:ps=1:inference models=VGG-16 "
+      "policies=baseline,tic iterations=10 seed=1",
+      "envC:workers=4:ps=1,2:task=inference,training:batch=0.5,1,2 "
+      "models=Inception v2,AlexNet v2 policies=tic,tac seed=7",
+      "envG:workers=2:ps=1:training:chunk=0,4194304:enforce=priority,gate "
+      "models=VGG-19 policies=tac",
+      "envG:workers=2:ps=1:training:sigma=0,0.3,1 models=VGG-16 "
+      "policies=tac",
+  };
+  for (const char* text : sweeps) {
+    const auto sweep = SweepSpec::Parse(text);
+    const auto reparsed = SweepSpec::Parse(sweep.ToString());
+    EXPECT_EQ(sweep, reparsed) << text;
+    EXPECT_EQ(sweep.ToString(), reparsed.ToString()) << text;
+  }
+}
+
+TEST(SweepSpec, SingularAliasesAndDefaults) {
+  const auto sweep =
+      SweepSpec::Parse("envG:workers=4:ps=1 model=VGG-16 policy=tac");
+  EXPECT_EQ(sweep.models, std::vector<std::string>{"VGG-16"});
+  EXPECT_EQ(sweep.policies, std::vector<std::string>{"tac"});
+  EXPECT_EQ(sweep.size(), 1u);
+  // A sweep with all-singleton axes is exactly one ExperimentSpec.
+  const auto spec = ExperimentSpec::Parse(
+      "envG:workers=4:ps=1 model=VGG-16 policy=tac");
+  EXPECT_EQ(sweep.Expand().front(), spec);
+}
+
+TEST(SweepSpec, RejectsEmptyAxes) {
+  ExpectThrowWith([] { SweepSpec().Expand(); }, "models");
+  ExpectThrowWith([] { SweepSpec::Parse("envG:workers=4 policies=tic"); },
+                  "model=");
+  // Every axis fails loudly when emptied programmatically — a zero-spec
+  // sweep is a bug, not an empty result.
+  SweepSpec sweep;
+  sweep.models = {"VGG-16"};
+  sweep.policies.clear();
+  ExpectThrowWith([&] { sweep.Expand(); }, "policies");
+  sweep.policies = {"tic"};
+  sweep.workers.clear();
+  ExpectThrowWith([&] { sweep.Expand(); }, "workers");
+}
+
+TEST(EnforcementTokens, RoundTrip) {
+  for (const Enforcement e :
+       {Enforcement::kPriorityOnly, Enforcement::kHandoffGate,
+        Enforcement::kDagChain}) {
+    EXPECT_EQ(ParseEnforcement(EnforcementToken(e)), e);
+  }
+  EXPECT_THROW(ParseEnforcement("dag"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tictac::runtime

@@ -10,8 +10,8 @@ namespace {
 
 TEST(Overlap, InUnitInterval) {
   Runner runner(models::FindModel("Inception v1"), EnvG(2, 1, true));
-  for (const auto method : {Method::kBaseline, Method::kTic}) {
-    const auto result = runner.Run(method, 4, 3);
+  for (const char* policy : {"baseline", "tic"}) {
+    const auto result = runner.Run(policy, 4, 3);
     for (const auto& it : result.iterations) {
       EXPECT_GE(it.overlap_fraction, 0.0);
       EXPECT_LE(it.overlap_fraction, 1.0 + 1e-9);
@@ -23,8 +23,8 @@ TEST(Overlap, SchedulingImprovesOverlap) {
   // The whole point of TicTac: better orders overlap communication with
   // computation.
   Runner runner(models::FindModel("Inception v2"), EnvG(4, 1, false));
-  const auto base = runner.Run(Method::kBaseline, 6, 5);
-  const auto tic = runner.Run(Method::kTic, 6, 5);
+  const auto base = runner.Run("baseline", 6, 5);
+  const auto tic = runner.Run("tic", 6, 5);
   EXPECT_GT(tic.MeanOverlap(), base.MeanOverlap());
   EXPECT_GT(tic.MeanOverlap(), 0.5);
 }
@@ -34,8 +34,8 @@ TEST(Stragglers, SlowWorkerDominatesIterationTime) {
   Runner uniform(models::FindModel("Inception v1"), config);
   config.worker_speed_factors = {1.0, 1.0, 1.0, 0.5};  // one 2x-slow worker
   Runner skewed(models::FindModel("Inception v1"), config);
-  const auto fast = uniform.Run(Method::kTic, 4, 9);
-  const auto slow = skewed.Run(Method::kTic, 4, 9);
+  const auto fast = uniform.Run("tic", 4, 9);
+  const auto slow = skewed.Run("tic", 4, 9);
   EXPECT_GT(slow.MeanIterationTime(), fast.MeanIterationTime() * 1.1);
   // The slow worker finishes last in (almost) every iteration.
   for (const auto& it : slow.iterations) {
@@ -52,15 +52,28 @@ TEST(Stragglers, SchedulingCannotFixHardwareStragglers) {
   auto config = EnvG(4, 1, true);
   config.worker_speed_factors = {1.0, 1.0, 1.0, 0.6};
   Runner runner(models::FindModel("Inception v2"), config);
-  const auto tic = runner.Run(Method::kTic, 5, 11);
+  const auto tic = runner.Run("tic", 5, 11);
   EXPECT_GT(tic.MeanStragglerPct(), 5.0);
 }
 
 TEST(Stragglers, RejectsNonPositiveSpeed) {
+  // ClusterConfig::Validate rejects the config at Runner construction.
   auto config = EnvG(2, 1, true);
   config.worker_speed_factors = {1.0, 0.0};
-  Runner runner(models::FindModel("AlexNet v2"), config);
-  EXPECT_THROW(runner.Run(Method::kTic, 1, 1), std::invalid_argument);
+  EXPECT_THROW(Runner(models::FindModel("AlexNet v2"), config),
+               std::invalid_argument);
+}
+
+TEST(Stragglers, RejectsSpeedFactorCountMismatch) {
+  auto config = EnvG(2, 1, true);
+  config.worker_speed_factors = {1.0, 1.0, 1.0};  // 3 factors, 2 workers
+  try {
+    Runner runner(models::FindModel("AlexNet v2"), config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("worker_speed_factors"),
+              std::string::npos);
+  }
 }
 
 }  // namespace
