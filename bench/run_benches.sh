@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Runs the scheduling-overhead benchmark suite and emits google-benchmark
-# JSON, seeding the repo's perf trajectory: check BENCH_sched.json numbers
-# against the previous run before landing scheduling-path changes.
+# Runs the scheduling-overhead and multi-job interference benchmark
+# suites and emits one merged google-benchmark JSON, seeding the repo's
+# perf trajectory: check BENCH_sched.json numbers against the previous
+# run before landing scheduling-path changes.
 #
-# Besides the TIC/TAC scheduling costs, the suite's BM_SessionSweep cases
-# record the wall-clock of a representative experiment grid through
-# harness::Session's executor — serial (/1) vs one thread per core — so
-# the sweep-parallelism win lands in BENCH_sched.json too; the summary
-# below echoes those entries and the measured speedup.
+# Besides the TIC/TAC scheduling costs, bench_sched_overhead's
+# BM_SessionSweep cases record the wall-clock of a representative
+# experiment grid through harness::Session's executor — serial (/1) vs
+# one thread per core — and bench_multijob's BM_MultiJob* cases record
+# the contended-simulation cost plus per-policy slowdown/fairness
+# counters; the summary below echoes both.
 #
 # Usage: bench/run_benches.sh [build_dir] [out.json] [extra benchmark args]
 #   BENCH_MIN_TIME=0.2 bench/run_benches.sh build-release
@@ -34,10 +36,42 @@ fi
   --benchmark_min_time="${BENCH_MIN_TIME:-0.05}" \
   "$@"
 
+# Multi-job interference cases are appended to the same JSON (the merge
+# needs python3; the benchmark itself still runs and prints without it).
+MULTIJOB_BIN="${BUILD_DIR}/bench_multijob"
+if [[ -x "${MULTIJOB_BIN}" ]]; then
+  MULTIJOB_OUT="$(mktemp)"
+  trap 'rm -f "${MULTIJOB_OUT}"' EXIT
+  "${MULTIJOB_BIN}" \
+    --benchmark_out="${MULTIJOB_OUT}" \
+    --benchmark_out_format=json \
+    --benchmark_min_time="${BENCH_MIN_TIME:-0.05}" \
+    "$@"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${OUT}" "${MULTIJOB_OUT}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    merged = json.load(f)
+with open(sys.argv[2]) as f:
+    extra = json.load(f)
+merged.setdefault("benchmarks", []).extend(extra.get("benchmarks", []))
+with open(sys.argv[1], "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+EOF
+  else
+    echo "note: python3 not found — multi-job rows not merged into ${OUT}" >&2
+  fi
+else
+  echo "note: ${MULTIJOB_BIN} not found — BENCH JSON has no multi-job rows" >&2
+fi
+
 echo "wrote ${OUT}"
 
-# Sweep executor wall-clock, serial vs parallel, from the JSON just
-# written (best effort: skipped when python3 is unavailable).
+# Sweep executor wall-clock and multi-job interference, from the JSON
+# just written (best effort: skipped when python3 is unavailable).
 if command -v python3 >/dev/null 2>&1; then
   python3 - "${OUT}" <<'EOF'
 import json
@@ -55,5 +89,16 @@ if rows:
         serial = rows[0]["real_time"]
         best = min(b["real_time"] for b in rows[1:])
         print(f"  serial vs parallel speedup: {serial / best:.2f}x")
+multijob = [b for b in data.get("benchmarks", [])
+            if b.get("name", "").startswith("BM_MultiJob")]
+if multijob:
+    print("multi-job interference (BM_MultiJob*):")
+    for b in multijob:
+        slowdown = b.get("mean_slowdown")
+        fairness = b.get("fairness")
+        extras = ""
+        if slowdown is not None and fairness is not None:
+            extras = f" (mean slowdown {slowdown:.3f}x, fairness {fairness:.3f})"
+        print(f"  {b['name']}: {b['real_time']:.1f} {b['time_unit']}{extras}")
 EOF
 fi

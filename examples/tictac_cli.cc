@@ -14,6 +14,12 @@
 //       --sweep "envG:workers=2,4,8:ps=1 models=VGG-16,Inception v2
 //       policies=baseline,tic,tac". Emits an aligned table by default,
 //       CSV or JSON on request; rows are deterministic for any N.
+//   tictac_cli multijob --jobs "<multijob spec>" [--no-isolated] [--json]
+//       Co-locate N jobs on one shared PS fabric and report per-job
+//       makespans plus slowdown/fairness against isolated runs, e.g.
+//       --jobs "2x{envG:workers=4:ps=2:training model=ResNet-101 v1
+//       policy=tac}". Grammar: [COUNTx]{<experiment spec>}[@offset_s],
+//       whitespace-separated (runtime/multijob.h, DESIGN.md §6).
 //   tictac_cli simulate <model> [--workers N] [--ps N] [--training]
 //                       [--policy <name>] [--iterations N] [--env envC]
 //       Simulate a cluster and report throughput / E / stragglers.
@@ -52,9 +58,10 @@ struct Args {
   bool training = false;
   std::string policy = "tic";
   int iterations = 10;
-  // run/sweep: the joined spec text plus output/executor options.
+  // run/sweep/multijob: the joined spec text plus output/executor options.
   std::string spec_text;
   int parallelism = 0;  // 0 = default (all cores for sweep)
+  bool no_isolated = false;  // multijob: skip the isolated references
   enum class Emit { kTable, kCsv, kJson } emit = Emit::kTable;
 };
 
@@ -67,6 +74,8 @@ int Usage() {
          "  tictac_cli run --spec \"<spec>\"\n"
          "  tictac_cli sweep --sweep \"<sweep>\" [--parallel N] "
          "[--csv|--json]\n"
+         "  tictac_cli multijob --jobs \"<multijob>\" [--no-isolated] "
+         "[--json]\n"
          "  tictac_cli simulate <model> [--workers N] [--ps N] "
          "[--training] [--policy <name>] [--iterations N] [--env envC]\n"
          "  tictac_cli compare <model> [--workers N] [--ps N] "
@@ -78,6 +87,9 @@ int Usage() {
          "sweep grammar: comma lists on any axis, e.g. "
          "envG:workers=2,4,8:ps=1 models=VGG-16,Inception v2 "
          "policies=baseline,tic\n"
+         "multijob grammar: [COUNTx]{<spec>}[@offset_s] groups, e.g. "
+         "2x{envG:workers=4:ps=2:training model=ResNet-101 v1 "
+         "policy=tac}\n"
          "policies (see `tictac_cli policies`): ";
   bool first = true;
   for (const auto& name : core::PolicyRegistry::Global().List()) {
@@ -123,8 +135,9 @@ bool Parse(int argc, char** argv, Args& args) {
     return true;
   }
   int i = 2;
-  const bool spec_command =
-      args.command == "run" || args.command == "sweep";
+  const bool spec_command = args.command == "run" ||
+                            args.command == "sweep" ||
+                            args.command == "multijob";
   if (!spec_command && args.command != "models" &&
       args.command != "policies") {
     if (i >= argc) return false;
@@ -150,12 +163,30 @@ bool Parse(int argc, char** argv, Args& args) {
                    "\"envG:workers=8:ps=2:training ... iterations=5\"\n";
       return false;
     }
-    if (!spec_command &&
-        (flag == "--spec" || flag == "--sweep" || flag == "--parallel" ||
-         flag == "--csv" || flag == "--json")) {
-      std::cerr << args.command << ": " << flag
-                << " is only accepted by the run/sweep commands\n";
-      return false;
+    // Each spec command owns a specific flag set: run --spec, sweep
+    // --sweep/--parallel/--csv/--json, multijob --jobs/--no-isolated/
+    // --json. Rejecting the rest keeps the rule above symmetric — no
+    // command silently ignores a flag it never reads.
+    const bool spec_family = flag == "--spec" || flag == "--sweep" ||
+                             flag == "--jobs" || flag == "--no-isolated" ||
+                             flag == "--parallel" || flag == "--csv" ||
+                             flag == "--json";
+    if (spec_family) {
+      const bool allowed =
+          (args.command == "run" && flag == "--spec") ||
+          (args.command == "sweep" &&
+           (flag == "--sweep" || flag == "--parallel" || flag == "--csv" ||
+            flag == "--json")) ||
+          (args.command == "multijob" &&
+           (flag == "--jobs" || flag == "--no-isolated" ||
+            flag == "--json"));
+      if (!allowed) {
+        std::cerr << args.command << ": " << flag
+                  << " is not accepted (--spec belongs to run; "
+                     "--sweep/--parallel/--csv/--json to sweep; "
+                     "--jobs/--no-isolated/--json to multijob)\n";
+        return false;
+      }
     }
     if (flag == "--training") {
       args.training = true;
@@ -173,10 +204,12 @@ bool Parse(int argc, char** argv, Args& args) {
       args.policy = v;
     } else if (flag == "--iterations") {
       if (!ParseIntFlag(next(), args.iterations)) return false;
-    } else if (flag == "--spec" || flag == "--sweep") {
+    } else if (flag == "--spec" || flag == "--sweep" || flag == "--jobs") {
       const char* v = next();
       if (!v) return false;
       append_spec(v);
+    } else if (flag == "--no-isolated") {
+      args.no_isolated = true;
     } else if (flag == "--parallel") {
       if (!ParseIntFlag(next(), args.parallelism)) return false;
       if (args.parallelism < 1) {
@@ -294,6 +327,40 @@ int CmdSweep(const Args& args) {
   return 0;
 }
 
+int CmdMultiJob(const Args& args) {
+  if (args.spec_text.empty()) {
+    std::cerr << "multijob: missing job list (use --jobs "
+                 "\"2x{<experiment spec>} {<experiment spec>}@0.05\")\n";
+    return 2;
+  }
+  const auto spec = runtime::MultiJobSpec::Parse(args.spec_text);
+  harness::Session session;
+  const harness::MultiJobReport report =
+      session.RunMultiJob(spec, /*with_isolated=*/!args.no_isolated);
+  if (args.emit == Args::Emit::kJson) {
+    std::cout << report.ToJson();
+    return 0;
+  }
+  std::cerr << "multijob: " << spec.jobs.size() << " jobs, "
+            << spec.TotalWorkers() << " workers on "
+            << spec.jobs.front().spec.cluster.ps << " shared PS ("
+            << spec.jobs.front().spec.cluster.env << ")\n";
+  std::cout << "combined: mean iteration "
+            << util::Fmt(report.result.combined.MeanIterationTime() * 1e3, 2)
+            << " ms, aggregate throughput "
+            << util::Fmt(report.result.combined.Throughput(), 1)
+            << " samples/s\n";
+  report.ToTable().Print(std::cout);
+  if (!report.isolated.empty()) {
+    std::cout << "interference: mean slowdown "
+              << util::Fmt(report.interference.mean_slowdown, 3) << "x, max "
+              << util::Fmt(report.interference.max_slowdown, 3)
+              << "x, Jain fairness "
+              << util::Fmt(report.interference.fairness, 3) << "\n";
+  }
+  return 0;
+}
+
 int CmdSimulate(const Args& args) {
   runtime::ExperimentSpec spec;
   spec.model = models::FindModel(args.model).name;
@@ -346,6 +413,7 @@ int main(int argc, char** argv) {
     if (args.command == "schedule") return CmdSchedule(args);
     if (args.command == "run") return CmdRun(args);
     if (args.command == "sweep") return CmdSweep(args);
+    if (args.command == "multijob") return CmdMultiJob(args);
     if (args.command == "simulate") return CmdSimulate(args);
     if (args.command == "compare") return CmdCompare(args);
     if (args.command == "export-graph" || args.command == "export-dot") {

@@ -9,6 +9,8 @@
 // pathological measurements; callers that need a bounded value clamp.
 #pragma once
 
+#include <vector>
+
 #include "core/graph.h"
 #include "core/time_oracle.h"
 
@@ -30,5 +32,36 @@ double Efficiency(const MakespanBounds& bounds, double makespan);
 
 // Eq. 4. Returns 0 when lower == 0.
 double Speedup(const MakespanBounds& bounds);
+
+// --- multi-job fairness / interference (DESIGN.md §6) ----------------------
+
+// Jain's fairness index over per-job resource shares:
+//   J = (Σ x)² / (n · Σ x²)
+// 1 = perfectly fair, 1/n = one job takes everything. Shares must be
+// >= 0 (throws std::invalid_argument otherwise); an empty or all-zero
+// sample carries no contention information and returns 1.
+double JainFairness(const std::vector<double>& shares);
+
+// Per-job slowdown of a shared-cluster run against the same jobs run in
+// isolation, plus the aggregate fairness of the contention outcome.
+struct InterferenceStats {
+  // shared_time / isolated_time per job; > 1 = the job lost time to
+  // contention, 1 = unaffected.
+  std::vector<double> slowdown;
+  // isolated_time / shared_time per job (the "normalized progress" of
+  // co-scheduling literature); <= 1 in the common case.
+  std::vector<double> normalized_progress;
+  double mean_slowdown = 1.0;
+  double max_slowdown = 1.0;
+  // Jain index over normalized progress: 1 = contention hit every job
+  // equally, lower = some jobs absorbed most of the interference.
+  double fairness = 1.0;
+};
+
+// `shared` and `isolated` hold one per-job iteration time each (same
+// order). Sizes must match and be >= 1, and every time must be > 0;
+// throws std::invalid_argument naming the offending entry otherwise.
+InterferenceStats ComputeInterference(const std::vector<double>& shared,
+                                      const std::vector<double>& isolated);
 
 }  // namespace tictac::core

@@ -8,6 +8,7 @@
 
 #include "models/zoo.h"
 #include "util/csv.h"
+#include "util/json.h"
 
 namespace tictac::harness {
 namespace {
@@ -15,16 +16,7 @@ namespace {
 // Lossless (shortest-round-trip) double formatting so emitted tables
 // support bit-identity comparisons across runs.
 using runtime::FormatDouble;
-
-std::string JsonEscape(const std::string& value) {
-  std::string escaped;
-  escaped.reserve(value.size());
-  for (const char c : value) {
-    if (c == '"' || c == '\\') escaped += '\\';
-    escaped += c;
-  }
-  return escaped;
-}
+using util::JsonEscape;
 
 ResultRow MakeRow(const runtime::ExperimentSpec& spec,
                   const runtime::ExperimentResult& result) {
@@ -145,6 +137,116 @@ util::Table ResultTable::ToTable() const {
                   util::Fmt(row.max_straggler_pct, 1)});
   }
   return table;
+}
+
+util::Table MultiJobReport::ToTable() const {
+  const bool have_isolated = !isolated.empty();
+  std::vector<std::string> headers = {"Job",     "Model",     "Policy",
+                                      "Offset",  "Iter (ms)", "Throughput",
+                                      "E",       "Overlap"};
+  if (have_isolated) headers.push_back("Slowdown");
+  util::Table table(headers);
+  for (std::size_t j = 0; j < result.jobs.size(); ++j) {
+    const runtime::ExperimentSpec& job = spec.jobs[j].spec;
+    std::vector<std::string> row = {
+        std::to_string(j),
+        job.model,
+        job.policy,
+        util::Fmt(spec.jobs[j].start_offset * 1e3, 1) + " ms",
+        util::Fmt(result.jobs[j].MeanIterationTime() * 1e3, 2),
+        util::Fmt(result.jobs[j].Throughput(), 1),
+        util::Fmt(result.jobs[j].MeanEfficiency(), 3),
+        util::Fmt(result.jobs[j].MeanOverlap(), 3)};
+    if (have_isolated) {
+      row.push_back(util::Fmt(interference.slowdown[j], 3) + "x");
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+std::string MultiJobReport::ToJson() const {
+  const bool have_isolated = !isolated.empty();
+  std::string json = "{\n";
+  json += "  \"spec\": \"" + JsonEscape(spec.ToString()) + "\",\n";
+  json += "  \"combined\": {\"mean_iteration_s\": " +
+          FormatDouble(result.combined.MeanIterationTime()) +
+          ", \"throughput\": " + FormatDouble(result.combined.Throughput()) +
+          "},\n";
+  json += "  \"jobs\": [";
+  for (std::size_t j = 0; j < result.jobs.size(); ++j) {
+    const runtime::ExperimentSpec& job = spec.jobs[j].spec;
+    json += j == 0 ? "\n" : ",\n";
+    json += "    {\"job\": " + std::to_string(j);
+    json += ", \"model\": \"" + JsonEscape(job.model) + "\"";
+    json += ", \"policy\": \"" + JsonEscape(job.policy) + "\"";
+    json += ", \"start_offset_s\": " +
+            FormatDouble(spec.jobs[j].start_offset);
+    json += ", \"mean_iteration_s\": " +
+            FormatDouble(result.jobs[j].MeanIterationTime());
+    json += ", \"throughput\": " + FormatDouble(result.jobs[j].Throughput());
+    json += ", \"mean_efficiency\": " +
+            FormatDouble(result.jobs[j].MeanEfficiency());
+    json += ", \"mean_overlap\": " +
+            FormatDouble(result.jobs[j].MeanOverlap());
+    if (have_isolated) {
+      json += ", \"isolated_iteration_s\": " +
+              FormatDouble(isolated[j].MeanIterationTime());
+      json += ", \"slowdown\": " + FormatDouble(interference.slowdown[j]);
+    }
+    json += "}";
+  }
+  json += "\n  ]";
+  if (have_isolated) {
+    json += ",\n  \"mean_slowdown\": " +
+            FormatDouble(interference.mean_slowdown);
+    json += ",\n  \"max_slowdown\": " +
+            FormatDouble(interference.max_slowdown);
+    json += ",\n  \"fairness\": " + FormatDouble(interference.fairness);
+  }
+  json += "\n}\n";
+  return json;
+}
+
+MultiJobReport Session::RunMultiJob(const runtime::MultiJobSpec& spec,
+                                    bool with_isolated) {
+  return RunMultiJob(runtime::MultiJobRunner(spec),  // validates the spec
+                     with_isolated);
+}
+
+MultiJobReport Session::RunMultiJob(const runtime::MultiJobRunner& runner,
+                                    bool with_isolated) {
+  const runtime::MultiJobSpec& spec = runner.spec();
+  MultiJobReport report;
+  report.spec = spec;
+  report.result = runner.Run();
+  if (with_isolated) {
+    report.isolated.reserve(spec.jobs.size());
+    std::vector<double> shared;
+    std::vector<double> isolated;
+    for (std::size_t j = 0; j < spec.jobs.size(); ++j) {
+      // One job alone on the fabric IS the single-job path (the
+      // bandwidth scale degenerates to 1), so Run()'s cached Runner is
+      // the isolated reference. Replicas ("2x{...}") are deterministic
+      // duplicates of the same spec — simulate once, reuse the result.
+      std::size_t twin = j;
+      for (std::size_t k = 0; k < j; ++k) {
+        if (spec.jobs[k].spec == spec.jobs[j].spec) {
+          twin = k;
+          break;
+        }
+      }
+      if (twin < j) {
+        report.isolated.push_back(report.isolated[twin]);
+      } else {
+        report.isolated.push_back(Run(spec.jobs[j].spec));
+      }
+      shared.push_back(report.result.jobs[j].MeanIterationTime());
+      isolated.push_back(report.isolated.back().MeanIterationTime());
+    }
+    report.interference = core::ComputeInterference(shared, isolated);
+  }
+  return report;
 }
 
 const runtime::Runner& Session::runner(const runtime::ExperimentSpec& spec) {

@@ -21,6 +21,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/metrics.h"
+#include "runtime/multijob.h"
 #include "runtime/runner.h"
 #include "runtime/spec.h"
 #include "util/table.h"
@@ -76,6 +78,27 @@ class ResultTable {
   std::vector<ResultRow> rows_;
 };
 
+// One executed multi-job experiment: the shared-fabric result, the
+// per-job isolated references (each job alone on the fabric — exactly
+// the single-job Session path, so cached Runners are reused), and the
+// interference statistics derived from the two.
+struct MultiJobReport {
+  runtime::MultiJobSpec spec;
+  runtime::MultiJobResult result;
+  // isolated[j] matches result.jobs[j]; empty when isolated references
+  // were not requested.
+  std::vector<runtime::ExperimentResult> isolated;
+  // From mean iteration times, shared vs isolated; default-initialized
+  // (slowdown 1, fairness 1) when isolated references were skipped.
+  core::InterferenceStats interference;
+
+  // Human-readable per-job summary (job, model, policy, offset, iter
+  // time, throughput, slowdown when isolated references exist).
+  util::Table ToTable() const;
+  // JSON object: spec, combined metrics, per-job array, interference.
+  std::string ToJson() const;
+};
+
 class Session {
  public:
   Session() = default;
@@ -99,6 +122,19 @@ class Session {
   ResultTable RunAll(const std::vector<runtime::ExperimentSpec>& specs,
                      int parallelism = 1);
   ResultTable RunAll(const runtime::SweepSpec& sweep, int parallelism = 1);
+
+  // Executes a multi-job experiment on the shared fabric
+  // (runtime::MultiJobRunner) and, when `with_isolated` is true, each
+  // job alone through Run() — reusing this Session's Runner cache — to
+  // derive per-job slowdown and Jain fairness. The multi-job runner
+  // itself is not cached: its schedules depend on the co-located worker
+  // total, not on any one (model, cluster) key. The second overload
+  // reuses a caller-built runner (its construction — per-job scheduling
+  // and the shared-fabric lowering — is the expensive part). Thread-safe.
+  MultiJobReport RunMultiJob(const runtime::MultiJobSpec& spec,
+                             bool with_isolated = true);
+  MultiJobReport RunMultiJob(const runtime::MultiJobRunner& runner,
+                             bool with_isolated = true);
 
   // Hardware concurrency, with a floor of 1 (and 4 when unknown).
   static int DefaultParallelism();

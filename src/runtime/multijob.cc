@@ -1,0 +1,380 @@
+#include "runtime/multijob.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+#include "models/zoo.h"
+
+namespace tictac::runtime {
+namespace {
+
+[[noreturn]] void Fail(const std::string& message) {
+  throw std::invalid_argument("multijob: " + message);
+}
+
+// Construction cost is one full Runner (graph build + dependency
+// analysis + schedule) per job and a combined fabric of 2·T·S channel
+// resources, so an over-generous job count turns a one-line spec into
+// minutes of work; 64 co-located jobs is far beyond any realistic
+// shared-PS scenario.
+constexpr long long kMaxJobs = 64;
+
+}  // namespace
+
+std::string MultiJobSpec::ToString() const {
+  std::string text = "jobs=";
+  std::size_t i = 0;
+  bool first = true;
+  while (i < jobs.size()) {
+    std::size_t run = 1;
+    while (i + run < jobs.size() && jobs[i + run] == jobs[i]) ++run;
+    if (!first) text += ' ';
+    first = false;
+    if (run > 1) text += std::to_string(run) + "x";
+    text += '{' + jobs[i].spec.ToString() + '}';
+    if (jobs[i].start_offset != 0.0) {
+      text += '@' + FormatDouble(jobs[i].start_offset);
+    }
+    i += run;
+  }
+  return text;
+}
+
+MultiJobSpec MultiJobSpec::Parse(std::string_view text) {
+  MultiJobSpec spec;
+  std::size_t pos = 0;
+  const auto skip_ws = [&] {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  };
+  skip_ws();
+  if (text.substr(pos, 5) == "jobs=") pos += 5;
+  while (true) {
+    skip_ws();
+    if (pos >= text.size()) break;
+    // Optional replication count: "2x{...}".
+    long long count = 1;
+    if (std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      std::size_t digits = pos;
+      while (digits < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[digits]))) {
+        ++digits;
+      }
+      if (digits >= text.size() || text[digits] != 'x') {
+        Fail("expected COUNTx{...} at '" + std::string(text.substr(pos)) +
+             "'");
+      }
+      const std::string digits_text(text.substr(pos, digits - pos));
+      try {
+        count = std::stoll(digits_text);
+      } catch (const std::out_of_range&) {
+        count = -1;  // out of any acceptable range: fail below, loudly
+      }
+      if (count < 1 || count > kMaxJobs) {
+        Fail("job count must be in [1, " + std::to_string(kMaxJobs) +
+             "], got " + digits_text);
+      }
+      pos = digits + 1;
+    }
+    if (pos >= text.size() || text[pos] != '{') {
+      Fail("expected '{' opening a job spec at '" +
+           std::string(text.substr(pos)) + "'");
+    }
+    const std::size_t close = text.find('}', pos + 1);
+    if (close == std::string_view::npos) {
+      Fail("unterminated job spec (missing '}') in '" + std::string(text) +
+           "'");
+    }
+    MultiJobEntry entry;
+    entry.spec = ExperimentSpec::Parse(text.substr(pos + 1, close - pos - 1));
+    pos = close + 1;
+    if (pos < text.size() && text[pos] == '@') {
+      std::size_t end = pos + 1;
+      while (end < text.size() &&
+             !std::isspace(static_cast<unsigned char>(text[end]))) {
+        ++end;
+      }
+      const std::string value(text.substr(pos + 1, end - pos - 1));
+      try {
+        std::size_t consumed = 0;
+        entry.start_offset = std::stod(value, &consumed);
+        if (consumed != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        Fail("@offset expects a number of seconds, got '" + value + "'");
+      }
+      pos = end;
+    }
+    for (long long c = 0; c < count; ++c) spec.jobs.push_back(entry);
+  }
+  if (spec.jobs.empty()) {
+    Fail("no jobs found — expected at least one [COUNTx]{<experiment spec>} "
+         "group");
+  }
+  spec.Validate();
+  return spec;
+}
+
+void MultiJobSpec::Validate() const {
+  if (jobs.empty()) Fail("need >= 1 job");
+  if (jobs.size() > static_cast<std::size_t>(kMaxJobs)) {
+    Fail("at most " + std::to_string(kMaxJobs) + " jobs per fabric, got " +
+         std::to_string(jobs.size()));
+  }
+  const ExperimentSpec& head = jobs.front().spec;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const ExperimentSpec& job = jobs[j].spec;
+    const std::string where = "job " + std::to_string(j) + " ('" +
+                              job.ToString() + "') ";
+    job.BuildCluster();  // per-job cluster validity, loud field names
+    if (job.cluster.env != head.cluster.env) {
+      Fail(where + "declares env " + job.cluster.env +
+           " but the fabric is " + head.cluster.env +
+           " — all jobs share one environment");
+    }
+    if (job.cluster.ps != head.cluster.ps) {
+      Fail(where + "declares ps=" + std::to_string(job.cluster.ps) +
+           " but the shared PS fleet has " +
+           std::to_string(head.cluster.ps) +
+           " servers — all jobs must declare the same ps=");
+    }
+    if (job.iterations != head.iterations || job.seed != head.seed) {
+      Fail(where +
+           "declares iterations/seed different from job 0 — the combined "
+           "fabric is simulated as one unit, so iterations= and seed= must "
+           "match across jobs");
+    }
+    if (job.cluster.jitter_sigma != head.cluster.jitter_sigma ||
+        job.cluster.out_of_order != head.cluster.out_of_order) {
+      Fail(where +
+           "overrides jitter=/ooo= differently from job 0 — simulation "
+           "options are global to a run");
+    }
+    if (!(jobs[j].start_offset >= 0.0) || std::isinf(jobs[j].start_offset)) {
+      Fail(where + "has start offset " +
+           std::to_string(jobs[j].start_offset) +
+           " — offsets must be finite and >= 0");
+    }
+  }
+}
+
+int MultiJobSpec::TotalWorkers() const {
+  int total = 0;
+  for (const MultiJobEntry& job : jobs) total += job.spec.cluster.workers;
+  return total;
+}
+
+MultiJobLowering LowerSharedCluster(
+    const std::vector<JobLoweringInput>& jobs) {
+  if (jobs.empty()) Fail("LowerSharedCluster needs >= 1 job");
+  const int S = jobs.front().config.num_ps;
+  long long total = 0;
+  for (const JobLoweringInput& job : jobs) {
+    if (job.config.num_ps != S) {
+      Fail("all jobs must share the PS fleet: got num_ps=" +
+           std::to_string(job.config.num_ps) + " vs " + std::to_string(S));
+    }
+    total += job.config.num_workers;
+  }
+  if (total > (1 << 20)) {
+    Fail("total workers across jobs must be <= 1048576, got " +
+         std::to_string(total));
+  }
+  const int T = static_cast<int>(total);
+
+  MultiJobLowering out;
+  out.total_workers = T;
+  out.num_ps = S;
+  Lowering& combined = out.combined;
+  combined.num_workers = T;
+  combined.num_resources = T + 2 * T * S + S;
+  combined.worker_tasks.resize(static_cast<std::size_t>(T));
+  combined.worker_recv_tasks.resize(static_cast<std::size_t>(T));
+  combined.transfer_param.resize(static_cast<std::size_t>(T));
+
+  int base_w = 0;
+  int delay_resources = 0;
+  for (const JobLoweringInput& job : jobs) {
+    Lowering local =
+        LowerCluster(job.graph, job.schedule, job.ps_of_param, job.config);
+    const int W = job.config.num_workers;
+
+    MultiJobLowering::JobSlice slice;
+    slice.first_worker = base_w;
+    if (job.start_offset > 0.0) {
+      // Arrival offset: a delay task on its own resource, gating every
+      // source task of the job below. Added *before* the job's range so
+      // the slice stays the contiguous LowerCluster output.
+      sim::Task delay;
+      delay.duration = job.start_offset;
+      delay.resource = T + 2 * T * S + S + delay_resources;
+      ++delay_resources;
+      slice.delay_task = static_cast<sim::TaskId>(combined.tasks.size());
+      combined.tasks.push_back(std::move(delay));
+    } else if (job.start_offset < 0.0) {
+      Fail("start_offset must be >= 0, got " +
+           std::to_string(job.start_offset));
+    }
+    const auto offset = static_cast<sim::TaskId>(combined.tasks.size());
+    slice.first_task = offset;
+
+    // Single-job resource index -> combined-fabric index. Identity when
+    // this is the only job (base_w == 0, T == W).
+    const auto remap_resource = [&](int r) {
+      if (r < W) return base_w + r;  // worker computation
+      if (r < W + W * S) {           // downlink channel (s -> w)
+        const int w = (r - W) / S;
+        const int s = (r - W) % S;
+        return T + (base_w + w) * S + s;
+      }
+      if (r < W + 2 * W * S) {  // uplink channel (w -> s)
+        const int w = (r - W - W * S) / S;
+        const int s = (r - W - W * S) % S;
+        return T + T * S + (base_w + w) * S + s;
+      }
+      return T + 2 * T * S + (r - W - 2 * W * S);  // shared PS CPU
+    };
+
+    for (const sim::Task& local_task : local.tasks) {
+      sim::Task task = local_task;
+      task.resource = remap_resource(task.resource);
+      for (sim::TaskId& p : task.preds) p += offset;
+      // Hand-off counters are per (job, worker): renumbering by global
+      // worker keeps every group disjoint across jobs.
+      if (task.gate_group >= 0) task.gate_group += base_w;
+      if (task.worker >= 0) task.worker += base_w;
+      if (slice.delay_task >= 0 && task.preds.empty()) {
+        task.preds.push_back(slice.delay_task);
+      }
+      combined.tasks.push_back(std::move(task));
+    }
+    for (int w = 0; w < W; ++w) {
+      const auto local_w = static_cast<std::size_t>(w);
+      const auto global_w = static_cast<std::size_t>(base_w + w);
+      for (sim::TaskId t : local.worker_tasks[local_w]) {
+        combined.worker_tasks[global_w].push_back(t + offset);
+      }
+      for (sim::TaskId t : local.worker_recv_tasks[local_w]) {
+        combined.worker_recv_tasks[global_w].push_back(t + offset);
+      }
+      combined.transfer_param[global_w] = local.transfer_param[local_w];
+    }
+    slice.last_task = static_cast<sim::TaskId>(combined.tasks.size());
+    slice.start_offset = job.start_offset;
+    slice.lowering = std::move(local);
+    out.jobs.push_back(std::move(slice));
+    base_w += W;
+  }
+  combined.num_resources += delay_resources;
+  return out;
+}
+
+sim::SimResult SliceResult(const sim::SimResult& combined,
+                           const MultiJobLowering::JobSlice& job) {
+  const auto first = static_cast<std::size_t>(job.first_task);
+  const auto last = static_cast<std::size_t>(job.last_task);
+  sim::SimResult out;
+  out.start.assign(combined.start.begin() + static_cast<std::ptrdiff_t>(first),
+                   combined.start.begin() + static_cast<std::ptrdiff_t>(last));
+  out.end.assign(combined.end.begin() + static_cast<std::ptrdiff_t>(first),
+                 combined.end.begin() + static_cast<std::ptrdiff_t>(last));
+  if (job.start_offset != 0.0) {
+    // The job's own clock starts at its arrival: waiting for the offset
+    // is not execution time (and must not read as contention slowdown
+    // or negative Eq.-3 efficiency downstream).
+    for (double& start : out.start) start -= job.start_offset;
+    for (double& end : out.end) end -= job.start_offset;
+  }
+  for (const double end : out.end) out.makespan = std::max(out.makespan, end);
+  for (const sim::TaskId t : combined.start_order) {
+    if (t >= job.first_task && t < job.last_task) {
+      out.start_order.push_back(t - job.first_task);
+    }
+  }
+  return out;
+}
+
+MultiJobRunner::MultiJobRunner(MultiJobSpec spec) : spec_(std::move(spec)) {
+  spec_.Validate();
+  const int T = spec_.TotalWorkers();
+  runners_.reserve(spec_.jobs.size());
+  schedules_.reserve(spec_.jobs.size());
+  scheduled_.reserve(spec_.jobs.size());
+  for (const MultiJobEntry& entry : spec_.jobs) {
+    ClusterConfig config = entry.spec.BuildCluster();
+    // Every PS NIC is time-shared by the pair-channels of ALL jobs'
+    // workers, not just this job's: scale the platform bandwidth by
+    // W_j / T so LowerCluster's and MakeSchedule's per-channel figure
+    // (bandwidth / W_j) comes out as the contended bandwidth / T.
+    // Exactly 1.0 — bit-identical — for a single job.
+    config.platform.bandwidth_bps *=
+        static_cast<double>(config.num_workers) / static_cast<double>(T);
+    runners_.push_back(std::make_unique<Runner>(
+        models::FindModel(entry.spec.model), config));
+    const Runner& runner = *runners_.back();
+    schedules_.push_back(runner.MakeSchedule(entry.spec.policy));
+    scheduled_.push_back(
+        schedules_.back().size() == runner.worker_graph().size() &&
+        schedules_.back().CoversAllRecvs(runner.worker_graph()));
+  }
+
+  std::vector<JobLoweringInput> inputs;
+  inputs.reserve(spec_.jobs.size());
+  for (std::size_t j = 0; j < spec_.jobs.size(); ++j) {
+    inputs.push_back(JobLoweringInput{
+        runners_[j]->worker_graph(), schedules_[j], runners_[j]->ps_of_param(),
+        runners_[j]->config(), spec_.jobs[j].start_offset});
+  }
+  lowering_ = LowerSharedCluster(inputs);
+
+  sim_options_ = runners_.front()->config().sim;
+  bool any_scheduled = false;
+  for (const bool covered : scheduled_) any_scheduled |= covered;
+  sim_options_.enforce_gates = any_scheduled;
+}
+
+MultiJobResult MultiJobRunner::Run() const {
+  return Run(spec_.jobs.front().spec.iterations,
+             spec_.jobs.front().spec.seed);
+}
+
+MultiJobResult MultiJobRunner::Run(int iterations,
+                                   std::uint64_t seed) const {
+  if (iterations < 1) {
+    throw std::invalid_argument("MultiJobRunner: iterations must be >= 1");
+  }
+  sim::TaskGraphSim sim = lowering_.combined.BuildSim();
+
+  MultiJobResult result;
+  result.jobs.resize(spec_.jobs.size());
+  double combined_samples = 0.0;
+  for (std::size_t j = 0; j < spec_.jobs.size(); ++j) {
+    const ExperimentSpec& job = spec_.jobs[j].spec;
+    // Same expression (and evaluation order) as Runner::Run.
+    const double samples = models::FindModel(job.model).standard_batch *
+                           job.cluster.batch_factor * job.cluster.workers;
+    result.jobs[j].samples_per_iteration = samples;
+    result.jobs[j].iterations.reserve(static_cast<std::size_t>(iterations));
+    combined_samples += samples;
+  }
+  result.combined.samples_per_iteration = combined_samples;
+  result.combined.iterations.reserve(static_cast<std::size_t>(iterations));
+
+  for (int i = 0; i < iterations; ++i) {
+    const sim::SimResult run =
+        sim.Run(sim_options_, seed + static_cast<std::uint64_t>(i));
+    result.combined.iterations.push_back(
+        ComputeIterationStats(lowering_.combined, run));
+    for (std::size_t j = 0; j < lowering_.jobs.size(); ++j) {
+      const sim::SimResult sliced = SliceResult(run, lowering_.jobs[j]);
+      result.jobs[j].iterations.push_back(
+          ComputeIterationStats(lowering_.jobs[j].lowering, sliced));
+    }
+  }
+  return result;
+}
+
+}  // namespace tictac::runtime

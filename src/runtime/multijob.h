@@ -1,0 +1,213 @@
+// Multi-job shared-cluster lowering (DESIGN.md §6): composes N
+// independently-specified jobs onto ONE parameter-server fabric, so
+// transfers from different jobs genuinely contend for the PS NICs and
+// the PS bookkeeping CPUs — the regime ByteScheduler/P3-style systems
+// target — while each job keeps its own workers, model, schedule and
+// policy.
+//
+// Resource layout of the combined fabric (T = Σ_j W_j workers, S shared
+// parameter servers; identical to runtime/lowering.h with W := T, so a
+// 1-job lowering degenerates to the single-job layout *bit for bit*):
+//   [0, T)                      worker computation, job j's workers at
+//                                 [base_w(j), base_w(j) + W_j)
+//   [T, T + T*S)                downlink channels (PS s -> global worker g)
+//   [T + T*S, T + 2*T*S)        uplink channels (global worker g -> PS s)
+//   [T + 2*T*S, T + 2*T*S + S)  PS bookkeeping CPUs — SHARED across jobs:
+//                                 reads/aggregates/updates of all jobs
+//                                 queue on the same S resources
+//   [T + 2*T*S + S, ...)        one arrival-delay resource per job with a
+//                                 start offset > 0
+//
+// Each PS NIC is time-shared by the T pair-channels of ALL jobs, so the
+// per-channel bandwidth is bandwidth/T — adding a co-located job slows
+// every transfer in the fabric, and the per-job schedules are computed
+// against that contended oracle (MultiJobRunner scales each job's
+// platform bandwidth by W_j/T before handing it to runtime::Runner,
+// whose MakeSchedule divides by W_j; the product is bandwidth/T).
+//
+// The combined task graph runs through the existing sim::TaskGraphSim
+// unchanged — tasks, resources, priorities and per-(job, worker) gate
+// groups are all it ever sees. SliceResult() cuts the combined SimResult
+// back into per-job SimResults so runtime::ComputeIterationStats yields
+// per-job makespans/efficiency/overlap with the exact single-job code.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/schedule.h"
+#include "runtime/lowering.h"
+#include "runtime/runner.h"
+#include "runtime/spec.h"
+
+namespace tictac::runtime {
+
+// One job of a multi-job experiment: a complete single-job spec plus an
+// arrival offset (seconds after t = 0 before any of the job's tasks may
+// start — the staggered-arrival scenario family).
+struct MultiJobEntry {
+  ExperimentSpec spec;
+  double start_offset = 0.0;
+
+  friend bool operator==(const MultiJobEntry&,
+                         const MultiJobEntry&) = default;
+};
+
+// N jobs sharing one PS fabric. Text form (round-trips exactly):
+//
+//   jobs=2x{envG:workers=4:ps=2:training model=ResNet-101 v1 policy=tac
+//   iterations=10 seed=1} {envG:workers=2:ps=2 model=VGG-16
+//   policy=baseline iterations=10 seed=1}@0.05
+//
+// Grammar:
+//   multijob := ["jobs="] group (ws group)*
+//   group    := [COUNT "x"] "{" experiment-spec "}" ["@" OFFSET_SECONDS]
+//
+// `COUNT x` replicates the group (2x{...} = two identical co-located
+// jobs); `@offset` delays every replica's arrival. ToString() collapses
+// consecutive identical entries back into the counted form. At most 64
+// jobs per fabric — each job costs a full Runner construction, so the
+// cap keeps a one-line spec from encoding minutes of setup work.
+struct MultiJobSpec {
+  std::vector<MultiJobEntry> jobs;
+
+  // Canonical text form; Parse(ToString()) == *this.
+  std::string ToString() const;
+
+  // Throws std::invalid_argument (naming the bad token) on malformed
+  // input. The parsed spec is Validate()d before being returned.
+  static MultiJobSpec Parse(std::string_view text);
+
+  // The fabric-sharing rules: >= 1 job; every job declares the same env,
+  // the same ps= count (it is one shared PS fleet), the same
+  // iterations/seed (the combined graph is simulated as one unit), and
+  // the same jitter/ooo overrides (sim options are global to a run);
+  // offsets must be finite and >= 0. Model, policy, workers, training,
+  // batch, chunk, enforcement, sigma and speeds may differ per job.
+  // Throws std::invalid_argument naming the offending job and field.
+  void Validate() const;
+
+  // Sum of the jobs' worker counts (the T of the resource layout).
+  int TotalWorkers() const;
+
+  friend bool operator==(const MultiJobSpec&, const MultiJobSpec&) = default;
+};
+
+// The combined fabric plus the per-job slices needed to cut metrics back
+// out of a combined SimResult.
+struct MultiJobLowering {
+  // Whole-fabric task graph: num_workers = T, worker tables indexed by
+  // global worker id. update_task/worker_sink are left empty (parameter
+  // indices are per-job; use the slices' lowerings).
+  Lowering combined;
+
+  struct JobSlice {
+    // The job's own LowerCluster output, untouched (job-local task ids
+    // and resources): feed it ComputeIterationStats together with
+    // SliceResult's job-local SimResult.
+    Lowering lowering;
+    // The job's contiguous task range in the combined graph:
+    // combined id = first_task + local id, range [first_task, last_task).
+    sim::TaskId first_task = 0;
+    sim::TaskId last_task = 0;
+    // Global id of the job's first worker (base_w).
+    int first_worker = 0;
+    // Combined id of the arrival-delay task, -1 when start_offset == 0.
+    sim::TaskId delay_task = -1;
+    // The job's arrival offset, repeated here so SliceResult can shift
+    // the slice onto the job's own clock.
+    double start_offset = 0.0;
+  };
+  std::vector<JobSlice> jobs;
+
+  int total_workers = 0;
+  int num_ps = 0;
+};
+
+// One job's already-scheduled inputs to the shared-fabric lowering. The
+// config's platform must already carry the contended bandwidth scaling
+// (bandwidth_bps · W_j / T) — MultiJobRunner does this; callers invoking
+// LowerSharedCluster directly are responsible for it.
+struct JobLoweringInput {
+  const core::Graph& graph;
+  const core::Schedule& schedule;
+  const std::vector<int>& ps_of_param;
+  const ClusterConfig& config;
+  double start_offset = 0.0;
+};
+
+// Lowers every job with runtime::LowerCluster and merges the results
+// onto the shared fabric: task ids are offset per job, resources remapped
+// into the combined layout (PS CPUs collapse onto the shared S), gate
+// groups renumbered by global worker so enforcement counters never
+// collide across jobs, and a start_offset > 0 becomes a delay task every
+// source task of the job depends on. All jobs must declare the same
+// num_ps. A single zero-offset job reproduces LowerCluster bit for bit.
+MultiJobLowering LowerSharedCluster(const std::vector<JobLoweringInput>& jobs);
+
+// Cuts the combined SimResult down to one job's slice: start/end are
+// re-indexed to job-local task ids and shifted onto the job's own clock
+// (its nominal arrival, start_offset, becomes t = 0, so waiting to
+// arrive is not billed as contention slowdown or Eq.-3 inefficiency);
+// makespan is the slice's own max shifted end — the job's completion
+// time since arrival, the quantity per-job throughput and interference
+// are measured against. start_order keeps the job's tasks, re-indexed.
+// (Under jitter the delay task's simulated duration may differ slightly
+// from the nominal offset, so shifted starts can be marginally
+// negative; metrics only consume differences and maxima.)
+sim::SimResult SliceResult(const sim::SimResult& combined,
+                           const MultiJobLowering::JobSlice& job);
+
+// Combined + per-job views of one multi-job experiment. jobs[j] is
+// sliced from the same simulated executions the combined result
+// summarizes, so for every iteration i:
+//   combined.iterations[i].makespan ==
+//       max_j (jobs[j].iterations[i].makespan + start_offset_j)
+// (each task belongs to exactly one job; delay tasks never finish
+// last). With all offsets zero — the common case — the combined
+// makespan is exactly the max over per-job makespans.
+struct MultiJobResult {
+  ExperimentResult combined;
+  std::vector<ExperimentResult> jobs;
+};
+
+// Builds and runs a multi-job experiment. Construction validates the
+// spec, computes each job's schedule against the contended oracle, and
+// lowers the shared fabric; Run() then simulates the spec's iterations.
+// A 1-job MultiJobRunner reproduces the single-job Session/Runner path
+// bit for bit (pinned by tests/multijob_test.cc).
+class MultiJobRunner {
+ public:
+  explicit MultiJobRunner(MultiJobSpec spec);
+
+  // The per-job Runners hold the graphs lowering_ points into.
+  MultiJobRunner(const MultiJobRunner&) = delete;
+  MultiJobRunner& operator=(const MultiJobRunner&) = delete;
+
+  // Simulates spec().jobs[0].spec.iterations iterations (validated equal
+  // across jobs), seeds seed + i as the single-job path does. Thread-safe
+  // (const, all mutable state is per-call).
+  MultiJobResult Run() const;
+  MultiJobResult Run(int iterations, std::uint64_t seed) const;
+
+  const MultiJobSpec& spec() const { return spec_; }
+  const MultiJobLowering& lowering() const { return lowering_; }
+  int total_workers() const { return lowering_.total_workers; }
+
+ private:
+  MultiJobSpec spec_;
+  // One Runner per job, constructed with the contended-bandwidth config;
+  // supplies the worker graph, PropertyIndex-backed scheduling, and
+  // parameter sharding.
+  std::vector<std::unique_ptr<Runner>> runners_;
+  std::vector<core::Schedule> schedules_;
+  // Whether job j's schedule covers all its recvs (gates enforced).
+  std::vector<bool> scheduled_;
+  MultiJobLowering lowering_;
+  sim::SimOptions sim_options_;
+};
+
+}  // namespace tictac::runtime

@@ -60,6 +60,65 @@ double OverlapFraction(std::vector<std::pair<double, double>> comm,
 
 }  // namespace
 
+IterationStats ComputeIterationStats(const Lowering& lowering,
+                                     const sim::SimResult& run) {
+  IterationStats stats;
+  stats.makespan = run.makespan;
+
+  // Per-worker partition makespan, scheduling efficiency (Eq. 3) from
+  // this iteration's *measured* op times (as §3.2 does), and the
+  // communication/computation overlap fraction.
+  double efficiency_sum = 0.0;
+  double overlap_sum = 0.0;
+  for (int w = 0; w < lowering.num_workers; ++w) {
+    double finish = 0.0;
+    double upper = 0.0;
+    std::map<int, double> per_resource;
+    std::vector<std::pair<double, double>> comm;
+    std::vector<std::pair<double, double>> comp;
+    for (sim::TaskId t : lowering.worker_tasks[static_cast<std::size_t>(w)]) {
+      const auto ti = static_cast<std::size_t>(t);
+      finish = std::max(finish, run.end[ti]);
+      const double measured = run.end[ti] - run.start[ti];
+      upper += measured;
+      per_resource[lowering.tasks[ti].resource] += measured;
+      (core::IsCommunication(lowering.tasks[ti].kind) ? comm : comp)
+          .emplace_back(run.start[ti], run.end[ti]);
+    }
+    double lower = 0.0;
+    for (const auto& [r, total] : per_resource) lower = std::max(lower, total);
+    stats.worker_finish.push_back(finish);
+    core::MakespanBounds bounds{upper, lower};
+    efficiency_sum += core::Efficiency(bounds, finish);
+    overlap_sum += OverlapFraction(comm, comp);
+  }
+  stats.mean_efficiency =
+      efficiency_sum / static_cast<double>(lowering.num_workers);
+  stats.overlap_fraction =
+      overlap_sum / static_cast<double>(lowering.num_workers);
+
+  const double t_max =
+      *std::max_element(stats.worker_finish.begin(), stats.worker_finish.end());
+  const double t_min =
+      *std::min_element(stats.worker_finish.begin(), stats.worker_finish.end());
+  stats.straggler_pct = t_max > 0.0 ? 100.0 * (t_max - t_min) / t_max : 0.0;
+
+  // Worker 0 parameter arrival order (§2.2's observation).
+  {
+    const auto& recvs = lowering.worker_recv_tasks[0];
+    const auto& params = lowering.transfer_param[0];
+    std::vector<std::size_t> idx(recvs.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return run.end[static_cast<std::size_t>(recvs[a])] <
+             run.end[static_cast<std::size_t>(recvs[b])];
+    });
+    stats.recv_order.reserve(idx.size());
+    for (std::size_t j : idx) stats.recv_order.push_back(params[j]);
+  }
+  return stats;
+}
+
 double ExperimentResult::MeanIterationTime() const {
   if (iterations.empty()) return 0.0;
   double sum = 0.0;
@@ -170,64 +229,9 @@ ExperimentResult Runner::Run(const core::SchedulingPolicy& policy,
   result.iterations.reserve(static_cast<std::size_t>(iterations));
 
   for (int i = 0; i < iterations; ++i) {
-    const sim::SimResult run = sim.Run(options, seed + static_cast<std::uint64_t>(i));
-
-    IterationStats stats;
-    stats.makespan = run.makespan;
-
-    // Per-worker partition makespan, scheduling efficiency (Eq. 3) from
-    // this iteration's *measured* op times (as §3.2 does), and the
-    // communication/computation overlap fraction.
-    double efficiency_sum = 0.0;
-    double overlap_sum = 0.0;
-    for (int w = 0; w < lowering.num_workers; ++w) {
-      double finish = 0.0;
-      double upper = 0.0;
-      std::map<int, double> per_resource;
-      std::vector<std::pair<double, double>> comm;
-      std::vector<std::pair<double, double>> comp;
-      for (sim::TaskId t : lowering.worker_tasks[static_cast<std::size_t>(w)]) {
-        const auto ti = static_cast<std::size_t>(t);
-        finish = std::max(finish, run.end[ti]);
-        const double measured = run.end[ti] - run.start[ti];
-        upper += measured;
-        per_resource[lowering.tasks[ti].resource] += measured;
-        (core::IsCommunication(lowering.tasks[ti].kind) ? comm : comp)
-            .emplace_back(run.start[ti], run.end[ti]);
-      }
-      double lower = 0.0;
-      for (const auto& [r, total] : per_resource) lower = std::max(lower, total);
-      stats.worker_finish.push_back(finish);
-      core::MakespanBounds bounds{upper, lower};
-      efficiency_sum += core::Efficiency(bounds, finish);
-      overlap_sum += OverlapFraction(comm, comp);
-    }
-    stats.mean_efficiency =
-        efficiency_sum / static_cast<double>(lowering.num_workers);
-    stats.overlap_fraction =
-        overlap_sum / static_cast<double>(lowering.num_workers);
-
-    const double t_max =
-        *std::max_element(stats.worker_finish.begin(), stats.worker_finish.end());
-    const double t_min =
-        *std::min_element(stats.worker_finish.begin(), stats.worker_finish.end());
-    stats.straggler_pct = t_max > 0.0 ? 100.0 * (t_max - t_min) / t_max : 0.0;
-
-    // Worker 0 parameter arrival order (§2.2's observation).
-    {
-      const auto& recvs = lowering.worker_recv_tasks[0];
-      const auto& params = lowering.transfer_param[0];
-      std::vector<std::size_t> idx(recvs.size());
-      std::iota(idx.begin(), idx.end(), 0);
-      std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-        return run.end[static_cast<std::size_t>(recvs[a])] <
-               run.end[static_cast<std::size_t>(recvs[b])];
-      });
-      stats.recv_order.reserve(idx.size());
-      for (std::size_t j : idx) stats.recv_order.push_back(params[j]);
-    }
-
-    result.iterations.push_back(std::move(stats));
+    const sim::SimResult run =
+        sim.Run(options, seed + static_cast<std::uint64_t>(i));
+    result.iterations.push_back(ComputeIterationStats(lowering, run));
   }
   return result;
 }

@@ -30,6 +30,16 @@ struct IterationStats {
   double overlap_fraction = 0.0;
 };
 
+// Statistics of one simulated iteration of `lowering`: per-worker
+// partition makespans, Eq.-3 scheduling efficiency from the iteration's
+// measured op times, communication/computation overlap, straggler share,
+// and worker-0's parameter arrival order. `run` must be the SimResult of
+// lowering's own task graph (the multi-job runner slices its combined
+// result into per-job SimResults first, runtime/multijob.h).
+// stats.makespan is run.makespan.
+IterationStats ComputeIterationStats(const Lowering& lowering,
+                                     const sim::SimResult& run);
+
 struct ExperimentResult {
   std::vector<IterationStats> iterations;
   double samples_per_iteration = 0.0;

@@ -1,6 +1,9 @@
 #include "trace/calibrate.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/stats.h"
@@ -35,6 +38,21 @@ Calibration CalibratePlatform(const runtime::Lowering& lowering,
   }
   if (bytes.size() < 2 || compute_samples == 0) {
     throw std::runtime_error("not enough samples to calibrate");
+  }
+
+  // util::FitLine returns the default fit (slope 0) on zero x-variance,
+  // which the slope check below would misreport as a bad fit; the real
+  // problem is a degenerate sample set, so diagnose it as such.
+  const auto [min_bytes, max_bytes] =
+      std::minmax_element(bytes.begin(), bytes.end());
+  if (*min_bytes == *max_bytes) {
+    throw std::runtime_error(
+        "transfer calibration is degenerate: all " +
+        std::to_string(bytes.size()) +
+        " transfer samples have the same size (" +
+        std::to_string(static_cast<std::int64_t>(*min_bytes)) +
+        " bytes) — at least two distinct transfer sizes are needed to "
+        "separate latency from bandwidth");
   }
 
   const util::LinearFit fit = util::FitLine(bytes, transfer_time);

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/json.h"
+
 namespace tictac::trace {
 
 std::vector<Span> CollectSpans(const runtime::Lowering& lowering,
@@ -39,10 +41,14 @@ std::string ToChromeTraceJson(const std::vector<Span>& spans) {
   for (const Span& span : spans) {
     if (!first) os << ",\n";
     first = false;
-    os << R"({"name":")" << span.name << R"(","ph":"X","pid":0,"tid":)"
-       << span.resource << R"(,"ts":)" << span.start * 1e6 << R"(,"dur":)"
-       << (span.end - span.start) * 1e6 << R"(,"cat":")"
-       << core::ToString(span.kind) << R"("})";
+    // Span names embed op names from user-loaded graphs (core/io), so
+    // they may contain '"', '\' or control characters; emitting them
+    // verbatim would produce JSON chrome://tracing rejects.
+    os << R"({"name":")" << util::JsonEscape(span.name)
+       << R"(","ph":"X","pid":0,"tid":)" << span.resource << R"(,"ts":)"
+       << span.start * 1e6 << R"(,"dur":)" << (span.end - span.start) * 1e6
+       << R"(,"cat":")" << util::JsonEscape(core::ToString(span.kind))
+       << R"("})";
   }
   os << "\n]\n";
   return os.str();

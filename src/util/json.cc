@@ -1,0 +1,47 @@
+#include "util/json.h"
+
+#include <cstdio>
+
+namespace tictac::util {
+
+std::string JsonEscape(std::string_view value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char raw : value) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\b':
+        escaped += "\\b";
+        break;
+      case '\f':
+        escaped += "\\f";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          escaped += buffer;
+        } else {
+          escaped += raw;
+        }
+    }
+  }
+  return escaped;
+}
+
+}  // namespace tictac::util

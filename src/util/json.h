@@ -1,0 +1,19 @@
+// Minimal JSON emission helpers shared by every module that writes JSON
+// by hand (trace export, result tables, bench summaries). There is no
+// JSON *parser* here on purpose — the repo only ever emits JSON.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace tictac::util {
+
+// Escapes `value` for embedding between the quotes of a JSON string
+// literal: '"' and '\\' are backslash-escaped, the named control escapes
+// (\b \f \n \r \t) are used where they exist, and any other control
+// character (< 0x20) becomes a \u00XX sequence. Everything else —
+// including non-ASCII bytes, which JSON passes through verbatim inside
+// UTF-8 documents — is copied unchanged.
+std::string JsonEscape(std::string_view value);
+
+}  // namespace tictac::util

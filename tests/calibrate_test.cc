@@ -77,6 +77,38 @@ TEST(Calibrate, CalibratedOracleSchedulesAnotherModel) {
   EXPECT_TRUE(schedule.CoversAllRecvs(other_graph));
 }
 
+TEST(Calibrate, DiagnosesEqualByteSizesAsDegenerate) {
+  // All transfers the same size: util::FitLine returns its default
+  // (slope 0) on zero x-variance, which used to be misreported as
+  // "non-positive slope". The real problem — a degenerate sample set —
+  // must be named, with the byte value and sample count.
+  core::Graph graph;
+  const core::OpId r0 = graph.AddRecv("recv0", 1 << 20, /*param=*/0);
+  const core::OpId r1 = graph.AddRecv("recv1", 1 << 20, /*param=*/1);
+  const core::OpId c = graph.AddCompute("compute", /*cost=*/5.0);
+  graph.AddEdge(r0, c);
+  graph.AddEdge(r1, c);
+
+  runtime::ClusterConfig config = runtime::EnvG(2, 1, /*training=*/false);
+  config.sim.jitter_sigma = 0.0;
+  config.sim.out_of_order_probability = 0.0;
+  const runtime::Lowering lowering = runtime::LowerCluster(
+      graph, core::Schedule(), /*ps_of_param=*/{0, 0}, config);
+  sim::TaskGraphSim sim = lowering.BuildSim();
+  const sim::SimResult result = sim.Run(config.sim, 1);
+
+  try {
+    CalibratePlatform(lowering, result, graph, config.num_workers);
+    FAIL() << "expected a degenerate-calibration error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("degenerate"), std::string::npos) << message;
+    EXPECT_NE(message.find("1048576"), std::string::npos) << message;
+    EXPECT_NE(message.find("2 transfer samples"), std::string::npos)
+        << message;
+  }
+}
+
 TEST(Calibrate, RejectsBadArguments) {
   Fixture f;
   sim::TaskGraphSim sim = f.lowering.BuildSim();

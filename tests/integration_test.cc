@@ -2,7 +2,6 @@
 // expressed through the declarative ExperimentSpec / Session API.
 #include <gtest/gtest.h>
 
-#include "harness/experiments.h"
 #include "harness/session.h"
 #include "models/zoo.h"
 #include "util/stats.h"
@@ -133,39 +132,6 @@ TEST(Integration, MorePsImprovesCommBoundThroughput) {
           .Throughput();
   EXPECT_GT(ps4, ps1 * 1.5);
 }
-
-// The one-PR deprecated wrappers must agree bit-for-bit with the Session
-// path they shadow.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-TEST(Integration, DeprecatedWrappersMatchSession) {
-  const auto& info = models::FindModel("Inception v1");
-  const auto config = runtime::EnvG(4, 1, false);
-  harness::Session session;
-  const auto spec = Spec("Inception v1", "envG", 4, 1, false, "tic", 9, 4);
-
-  EXPECT_EQ(harness::MeasureThroughput(info, config, "tic", 9, 4),
-            session.Run(spec).Throughput());
-
-  const auto row = harness::MeasureSpeedup(info, config, "tic", 9, 4);
-  auto baseline = spec;
-  baseline.policy = "baseline";
-  EXPECT_EQ(row.baseline_throughput, session.Run(baseline).Throughput());
-  EXPECT_EQ(row.scheduled_throughput, session.Run(spec).Throughput());
-
-  const auto direct = harness::RunExperiment(info, config, "tic", 9, 4);
-  const auto via_session = session.Run(spec);
-  ASSERT_EQ(direct.iterations.size(), via_session.iterations.size());
-  for (std::size_t i = 0; i < direct.iterations.size(); ++i) {
-    EXPECT_EQ(direct.iterations[i].makespan,
-              via_session.iterations[i].makespan);
-  }
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 }  // namespace
 }  // namespace tictac

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 namespace tictac::core {
 namespace {
 
@@ -77,6 +80,55 @@ TEST(Metrics, UntaggedOpsSplitByKind) {
   // Communication (3+2) on the default channel vs compute (4).
   EXPECT_DOUBLE_EQ(bounds.lower, 5.0);
   EXPECT_DOUBLE_EQ(bounds.upper, 9.0);
+}
+
+TEST(Metrics, JainFairnessEndpoints) {
+  EXPECT_DOUBLE_EQ(JainFairness({1.0, 1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairness({5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairness({1.0, 0.0}), 0.5);       // max unfair, n = 2
+  EXPECT_DOUBLE_EQ(JainFairness({1.0, 0.0, 0.0}),
+                   1.0 / 3.0);                           // max unfair, n = 3
+  EXPECT_DOUBLE_EQ(JainFairness({}), 1.0);               // no information
+  EXPECT_DOUBLE_EQ(JainFairness({0.0, 0.0}), 1.0);       // no information
+  EXPECT_NEAR(JainFairness({4.0, 1.0}), 25.0 / 34.0, 1e-12);
+  EXPECT_THROW(JainFairness({1.0, -0.5}), std::invalid_argument);
+}
+
+TEST(Metrics, JainFairnessIsScaleInvariant) {
+  const std::vector<double> shares{0.7, 1.1, 0.9};
+  std::vector<double> scaled;
+  for (const double s : shares) scaled.push_back(s * 42.0);
+  EXPECT_NEAR(JainFairness(shares), JainFairness(scaled), 1e-12);
+}
+
+TEST(Metrics, ComputeInterferenceSlowdownsAndFairness) {
+  // Job 0 doubled its iteration time under contention, job 1 unaffected.
+  const InterferenceStats stats =
+      ComputeInterference({2.0, 3.0}, {1.0, 3.0});
+  ASSERT_EQ(stats.slowdown.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.slowdown[0], 2.0);
+  EXPECT_DOUBLE_EQ(stats.slowdown[1], 1.0);
+  EXPECT_DOUBLE_EQ(stats.normalized_progress[0], 0.5);
+  EXPECT_DOUBLE_EQ(stats.normalized_progress[1], 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_slowdown, 1.5);
+  EXPECT_DOUBLE_EQ(stats.max_slowdown, 2.0);
+  // Jain over {0.5, 1.0}: 2.25 / (2 * 1.25) = 0.9.
+  EXPECT_DOUBLE_EQ(stats.fairness, 0.9);
+}
+
+TEST(Metrics, ComputeInterferenceEqualImpactIsPerfectlyFair) {
+  const InterferenceStats stats =
+      ComputeInterference({2.0, 6.0}, {1.0, 3.0});  // both slowed 2x
+  EXPECT_DOUBLE_EQ(stats.fairness, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_slowdown, 2.0);
+}
+
+TEST(Metrics, ComputeInterferenceRejectsBadInput) {
+  EXPECT_THROW(ComputeInterference({}, {}), std::invalid_argument);
+  EXPECT_THROW(ComputeInterference({1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ComputeInterference({1.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(ComputeInterference({-1.0}, {1.0}), std::invalid_argument);
 }
 
 TEST(Metrics, EmptyGraph) {

@@ -1,0 +1,304 @@
+// Multi-job shared-cluster lowering (DESIGN.md §6): spec grammar
+// round-trips, fabric-sharing validation, the 1-job bit-identity with
+// the single-job Session path, per-job/combined slicing consistency,
+// genuine cross-job contention, and arrival offsets.
+#include "runtime/multijob.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "harness/session.h"
+
+namespace tictac::runtime {
+namespace {
+
+ExperimentSpec Job(const std::string& model, int workers, int ps,
+                   bool training, const std::string& policy,
+                   int iterations = 3, std::uint64_t seed = 5) {
+  ExperimentSpec spec;
+  spec.model = model;
+  spec.cluster.workers = workers;
+  spec.cluster.ps = ps;
+  spec.cluster.training = training;
+  spec.policy = policy;
+  spec.iterations = iterations;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(MultiJobSpec, ToStringRoundTripsAndCollapsesReplicas) {
+  MultiJobSpec spec;
+  spec.jobs.push_back({Job("Inception v1", 4, 2, true, "tac"), 0.0});
+  spec.jobs.push_back({Job("Inception v1", 4, 2, true, "tac"), 0.0});
+  spec.jobs.push_back({Job("VGG-16", 2, 2, false, "baseline"), 0.05});
+
+  const std::string text = spec.ToString();
+  EXPECT_NE(text.find("2x{"), std::string::npos) << text;
+  EXPECT_NE(text.find("}@0.05"), std::string::npos) << text;
+  EXPECT_EQ(MultiJobSpec::Parse(text), spec);
+}
+
+TEST(MultiJobSpec, ParseExpandsCountsAndAcceptsJobsPrefix) {
+  const auto with_prefix = MultiJobSpec::Parse(
+      "jobs=2x{envG:workers=2:ps=1:training model=Inception v1 policy=tic "
+      "iterations=3 seed=5}");
+  ASSERT_EQ(with_prefix.jobs.size(), 2u);
+  EXPECT_EQ(with_prefix.jobs[0], with_prefix.jobs[1]);
+  EXPECT_EQ(with_prefix.jobs[0].spec.model, "Inception v1");
+
+  const auto without_prefix = MultiJobSpec::Parse(
+      "2x{envG:workers=2:ps=1:training model=Inception v1 policy=tic "
+      "iterations=3 seed=5}");
+  EXPECT_EQ(with_prefix, without_prefix);
+}
+
+TEST(MultiJobSpec, ParseRejectsMalformedInput) {
+  EXPECT_THROW(MultiJobSpec::Parse(""), std::invalid_argument);
+  EXPECT_THROW(MultiJobSpec::Parse("jobs="), std::invalid_argument);
+  EXPECT_THROW(MultiJobSpec::Parse("2x"), std::invalid_argument);
+  EXPECT_THROW(MultiJobSpec::Parse("0x{envG:workers=2:ps=1 model=VGG-16}"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      MultiJobSpec::Parse("{envG:workers=2:ps=1 model=VGG-16"),  // no '}'
+      std::invalid_argument);
+  EXPECT_THROW(
+      MultiJobSpec::Parse(
+          "{envG:workers=2:ps=1 model=VGG-16 iterations=3 seed=5}@later"),
+      std::invalid_argument);
+}
+
+TEST(MultiJobSpec, ValidateEnforcesTheSharedFabric) {
+  MultiJobSpec mismatched_ps;
+  mismatched_ps.jobs.push_back({Job("VGG-16", 2, 1, false, "tic"), 0.0});
+  mismatched_ps.jobs.push_back({Job("VGG-16", 2, 2, false, "tic"), 0.0});
+  EXPECT_THROW(mismatched_ps.Validate(), std::invalid_argument);
+
+  MultiJobSpec mismatched_env;
+  mismatched_env.jobs.push_back({Job("VGG-16", 2, 1, false, "tic"), 0.0});
+  mismatched_env.jobs.push_back({Job("VGG-16", 2, 1, false, "tic"), 0.0});
+  mismatched_env.jobs[1].spec.cluster.env = "envC";
+  EXPECT_THROW(mismatched_env.Validate(), std::invalid_argument);
+
+  MultiJobSpec mismatched_seed;
+  mismatched_seed.jobs.push_back({Job("VGG-16", 2, 1, false, "tic"), 0.0});
+  mismatched_seed.jobs.push_back(
+      {Job("VGG-16", 2, 1, false, "tic", 3, /*seed=*/9), 0.0});
+  EXPECT_THROW(mismatched_seed.Validate(), std::invalid_argument);
+
+  MultiJobSpec negative_offset;
+  negative_offset.jobs.push_back({Job("VGG-16", 2, 1, false, "tic"), -1.0});
+  EXPECT_THROW(negative_offset.Validate(), std::invalid_argument);
+
+  MultiJobSpec empty;
+  EXPECT_THROW(empty.Validate(), std::invalid_argument);
+}
+
+// The acceptance bar of the subsystem: one job on the shared fabric IS
+// the single-job path, bit for bit — same schedule (the bandwidth scale
+// degenerates to exactly 1), same task graph, same seeds, same stats.
+TEST(MultiJob, SingleJobBitIdenticalToSession) {
+  const ExperimentSpec spec = Job("Inception v1", 2, 1, true, "tac");
+  MultiJobSpec multi;
+  multi.jobs.push_back({spec, 0.0});
+
+  harness::Session session;
+  const ExperimentResult single = session.Run(spec);
+  const MultiJobRunner runner(multi);
+  const MultiJobResult shared = runner.Run();
+
+  ASSERT_EQ(shared.jobs.size(), 1u);
+  for (const ExperimentResult* result :
+       {&shared.jobs[0], &shared.combined}) {
+    ASSERT_EQ(result->iterations.size(), single.iterations.size());
+    for (std::size_t i = 0; i < single.iterations.size(); ++i) {
+      EXPECT_EQ(result->iterations[i].makespan,
+                single.iterations[i].makespan);
+      EXPECT_EQ(result->iterations[i].worker_finish,
+                single.iterations[i].worker_finish);
+      EXPECT_EQ(result->iterations[i].straggler_pct,
+                single.iterations[i].straggler_pct);
+      EXPECT_EQ(result->iterations[i].mean_efficiency,
+                single.iterations[i].mean_efficiency);
+      EXPECT_EQ(result->iterations[i].overlap_fraction,
+                single.iterations[i].overlap_fraction);
+      EXPECT_EQ(result->iterations[i].recv_order,
+                single.iterations[i].recv_order);
+    }
+    EXPECT_EQ(result->samples_per_iteration, single.samples_per_iteration);
+    EXPECT_EQ(result->Throughput(), single.Throughput());
+    EXPECT_EQ(result->MeanIterationTime(), single.MeanIterationTime());
+    EXPECT_EQ(result->UniqueRecvOrders(), single.UniqueRecvOrders());
+  }
+}
+
+TEST(MultiJob, SingleJobLoweringMatchesLowerCluster) {
+  MultiJobSpec multi;
+  multi.jobs.push_back({Job("Inception v1", 2, 1, true, "tic"), 0.0});
+  const MultiJobRunner runner(multi);
+  const MultiJobLowering& lowering = runner.lowering();
+
+  ASSERT_EQ(lowering.jobs.size(), 1u);
+  const Lowering& local = lowering.jobs[0].lowering;
+  EXPECT_EQ(lowering.combined.num_resources, local.num_resources);
+  EXPECT_EQ(lowering.combined.tasks.size(), local.tasks.size());
+  EXPECT_EQ(lowering.jobs[0].first_task, 0);
+  EXPECT_EQ(lowering.jobs[0].delay_task, -1);
+  for (std::size_t t = 0; t < local.tasks.size(); ++t) {
+    EXPECT_EQ(lowering.combined.tasks[t].resource, local.tasks[t].resource);
+    EXPECT_EQ(lowering.combined.tasks[t].duration, local.tasks[t].duration);
+    EXPECT_EQ(lowering.combined.tasks[t].preds, local.tasks[t].preds);
+    EXPECT_EQ(lowering.combined.tasks[t].gate_group,
+              local.tasks[t].gate_group);
+  }
+}
+
+// Each task belongs to exactly one job, so the combined makespan is the
+// max over the per-job makespans, iteration by iteration — the "sums
+// consistently" criterion.
+TEST(MultiJob, CombinedMakespanIsMaxOverJobs) {
+  MultiJobSpec multi;
+  multi.jobs.push_back({Job("Inception v1", 2, 2, true, "tac"), 0.0});
+  multi.jobs.push_back({Job("VGG-16", 2, 2, false, "baseline"), 0.0});
+  const MultiJobRunner runner(multi);
+  const MultiJobResult result = runner.Run();
+
+  ASSERT_EQ(result.jobs.size(), 2u);
+  for (std::size_t i = 0; i < result.combined.iterations.size(); ++i) {
+    double max_job = 0.0;
+    for (const ExperimentResult& job : result.jobs) {
+      max_job = std::max(max_job, job.iterations[i].makespan);
+    }
+    EXPECT_EQ(result.combined.iterations[i].makespan, max_job);
+  }
+  EXPECT_EQ(result.combined.samples_per_iteration,
+            result.jobs[0].samples_per_iteration +
+                result.jobs[1].samples_per_iteration);
+}
+
+TEST(MultiJob, SharedFabricLayoutCollapsesPsResources) {
+  MultiJobSpec multi;
+  multi.jobs.push_back({Job("Inception v1", 2, 2, true, "tic"), 0.0});
+  multi.jobs.push_back({Job("Inception v1", 3, 2, true, "tic"), 0.0});
+  const MultiJobRunner runner(multi);
+  const MultiJobLowering& lowering = runner.lowering();
+
+  const int T = lowering.total_workers;
+  const int S = lowering.num_ps;
+  EXPECT_EQ(T, 5);
+  EXPECT_EQ(S, 2);
+  EXPECT_EQ(lowering.combined.num_resources, T + 2 * T * S + S);
+  // Both jobs' PS-side tasks (read/aggregate/update) land on the shared
+  // S bookkeeping CPUs at the top of the layout.
+  const int ps_base = T + 2 * T * S;
+  for (const MultiJobLowering::JobSlice& slice : lowering.jobs) {
+    bool saw_ps_task = false;
+    for (sim::TaskId t = slice.first_task; t < slice.last_task; ++t) {
+      const sim::Task& task = lowering.combined.tasks[
+          static_cast<std::size_t>(t)];
+      if (task.worker < 0) {
+        EXPECT_GE(task.resource, ps_base);
+        EXPECT_LT(task.resource, ps_base + S);
+        saw_ps_task = true;
+      }
+    }
+    EXPECT_TRUE(saw_ps_task);
+  }
+}
+
+// Co-locating a second job must genuinely slow both down: the PS NICs
+// are time-shared by every worker in the fabric and the PS CPUs are
+// shared simulator resources.
+TEST(MultiJob, ContentionSlowsEveryJob) {
+  MultiJobSpec multi;
+  multi.jobs.push_back({Job("Inception v1", 2, 1, true, "tac"), 0.0});
+  multi.jobs.push_back({Job("Inception v1", 2, 1, true, "tac"), 0.0});
+
+  harness::Session session;
+  const harness::MultiJobReport report = session.RunMultiJob(multi);
+  ASSERT_EQ(report.interference.slowdown.size(), 2u);
+  for (const double slowdown : report.interference.slowdown) {
+    EXPECT_GT(slowdown, 1.05);
+  }
+  // Identical jobs must absorb the contention symmetrically.
+  EXPECT_GT(report.interference.fairness, 0.99);
+  EXPECT_GE(report.interference.max_slowdown,
+            report.interference.mean_slowdown);
+}
+
+TEST(MultiJob, RunMultiJobWithoutIsolatedSkipsReferences) {
+  MultiJobSpec multi;
+  multi.jobs.push_back({Job("Inception v1", 2, 1, false, "tic"), 0.0});
+  harness::Session session;
+  const harness::MultiJobReport report =
+      session.RunMultiJob(multi, /*with_isolated=*/false);
+  EXPECT_TRUE(report.isolated.empty());
+  EXPECT_EQ(report.interference.mean_slowdown, 1.0);
+  EXPECT_FALSE(report.result.jobs.empty());
+}
+
+// An arrival offset holds back every task of the delayed job: nothing
+// of it may start before offset seconds.
+TEST(MultiJob, StartOffsetDelaysTheJob) {
+  ExperimentSpec spec = Job("Inception v1", 2, 1, true, "tac");
+  spec.cluster.jitter_sigma = 0.0;  // the delay task's duration is exact
+  spec.cluster.out_of_order = 0.0;
+
+  MultiJobSpec plain;
+  plain.jobs.push_back({spec, 0.0});
+  MultiJobSpec delayed;
+  delayed.jobs.push_back({spec, 0.5});
+
+  const MultiJobRunner runner(delayed);
+  const MultiJobLowering::JobSlice& slice = runner.lowering().jobs[0];
+  EXPECT_GE(slice.delay_task, 0);
+  sim::TaskGraphSim sim = runner.lowering().combined.BuildSim();
+  sim::SimOptions options = spec.BuildCluster().sim;
+  options.enforce_gates = true;
+  const sim::SimResult run = sim.Run(options, spec.seed);
+  for (sim::TaskId t = slice.first_task; t < slice.last_task; ++t) {
+    EXPECT_GE(run.start[static_cast<std::size_t>(t)], 0.5);
+  }
+
+  // Per-job metrics run on the job's own clock (arrival = t = 0):
+  // waiting for the offset is not billed as execution time, so the
+  // delayed job's makespan stays in the ballpark of the plain run while
+  // the combined fabric timeline carries the full offset.
+  const MultiJobResult base = MultiJobRunner(plain).Run();
+  const MultiJobResult shifted = MultiJobRunner(delayed).Run();
+  for (std::size_t i = 0; i < base.jobs[0].iterations.size(); ++i) {
+    EXPECT_LT(shifted.jobs[0].iterations[i].makespan,
+              base.jobs[0].iterations[i].makespan + 0.5);
+    EXPECT_NEAR(shifted.combined.iterations[i].makespan,
+                shifted.jobs[0].iterations[i].makespan + 0.5, 1e-9);
+  }
+
+  // A lone delayed job suffers no contention, so its slowdown against
+  // the isolated reference must be ~1, not offset/iteration-time.
+  harness::Session session;
+  const harness::MultiJobReport report = session.RunMultiJob(delayed);
+  EXPECT_GT(report.interference.slowdown[0], 0.8);
+  EXPECT_LT(report.interference.slowdown[0], 1.2);
+}
+
+TEST(MultiJob, MixedEnforcementJobsCoexist) {
+  // A gated TAC job next to an ungated baseline job: gates stay on for
+  // the scheduled job only, and both slices stay internally consistent.
+  MultiJobSpec multi;
+  multi.jobs.push_back({Job("Inception v1", 2, 1, true, "tac"), 0.0});
+  multi.jobs.push_back({Job("AlexNet v2", 2, 1, false, "baseline"), 0.0});
+  const MultiJobRunner runner(multi);
+  const MultiJobResult result = runner.Run();
+  for (const ExperimentResult& job : result.jobs) {
+    for (const IterationStats& it : job.iterations) {
+      EXPECT_GT(it.makespan, 0.0);
+      for (const double finish : it.worker_finish) {
+        EXPECT_LE(finish, it.makespan + 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tictac::runtime
