@@ -1,0 +1,82 @@
+// Cluster-scheduler service SLOs (DESIGN.md §7): an open system of
+// bursty job arrivals played through sched::SchedulerService, one case
+// per (transfer-scheduling policy × placement policy). The timed loop
+// measures the full service run — arrival replay, admission, placement,
+// incremental re-lowering, and the per-iteration simulations — while the
+// SLO counters (p50/p99 slowdown vs isolated, windowed Jain fairness,
+// utilization, queueing delay) ride into BENCH_sched.json via
+// bench/run_benches.sh, so scheduler changes that shift tail latency or
+// fairness show up in the archived perf trajectory.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "runtime/spec.h"
+#include "sched/service.h"
+
+namespace {
+
+tictac::sched::ServiceConfig Config(const std::string& policy,
+                                    const std::string& placement) {
+  tictac::sched::ServiceConfig config;
+  // Pairs of jobs arriving together keep every placement policy honest:
+  // round-robin splits a burst, best-fit packs it.
+  config.arrivals = tictac::sched::ArrivalSpec::Parse("bursty:rate=8:burst=2");
+  config.workload = {tictac::runtime::ExperimentSpec::Parse(
+      "envG:workers=2:ps=1:training model=Inception v1 policy=" + policy +
+      " iterations=2 seed=3")};
+  config.fabrics = 2;
+  config.duration = 0.5;
+  config.placement = placement;
+  config.max_jobs_per_fabric = 4;
+  config.seed = 9;
+  return config;
+}
+
+void BM_ServiceOpenSystem(benchmark::State& state, const char* policy,
+                          const char* placement) {
+  const tictac::sched::ServiceConfig config = Config(policy, placement);
+  // One untimed run supplies the (deterministic) SLO counters.
+  const tictac::sched::ServiceReport report =
+      tictac::sched::SchedulerService(config).Run();
+  for (auto _ : state) {
+    tictac::sched::SchedulerService service(config);
+    benchmark::DoNotOptimize(service.Run());
+  }
+  state.counters["p50_slowdown"] = report.p50_slowdown;
+  state.counters["p99_slowdown"] = report.p99_slowdown;
+  state.counters["mean_fairness"] = report.mean_fairness;
+  state.counters["utilization"] = report.utilization;
+  state.counters["mean_queue_delay_ms"] = report.mean_queue_delay_s * 1e3;
+  state.counters["jobs"] =
+      static_cast<double>(report.counters.completed);
+  state.counters["property_index_builds"] =
+      static_cast<double>(report.counters.property_index_builds);
+  state.SetLabel(std::to_string(report.counters.arrivals) + " arrivals, " +
+                 std::to_string(report.counters.sim_runs) + " sims, " +
+                 std::to_string(report.counters.fabric_relowerings) +
+                 " re-lowerings");
+}
+
+// The full (scheduling policy × placement policy) grid of the tentpole's
+// SLO study: how transfer ordering and job placement jointly shape tail
+// slowdown.
+#define SERVICE_CASE(tag, policy, placement)                 \
+  BENCHMARK_CAPTURE(BM_ServiceOpenSystem, tag, policy, placement) \
+      ->Unit(benchmark::kMillisecond)
+
+SERVICE_CASE(baseline_least_loaded, "baseline", "least-loaded");
+SERVICE_CASE(baseline_round_robin, "baseline", "round-robin");
+SERVICE_CASE(baseline_best_fit, "baseline", "best-fit-bytes");
+SERVICE_CASE(tic_least_loaded, "tic", "least-loaded");
+SERVICE_CASE(tic_round_robin, "tic", "round-robin");
+SERVICE_CASE(tic_best_fit, "tic", "best-fit-bytes");
+SERVICE_CASE(tac_least_loaded, "tac", "least-loaded");
+SERVICE_CASE(tac_round_robin, "tac", "round-robin");
+SERVICE_CASE(tac_best_fit, "tac", "best-fit-bytes");
+
+#undef SERVICE_CASE
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -7,9 +7,12 @@
 # Besides the TIC/TAC scheduling costs, bench_sched_overhead's
 # BM_SessionSweep cases record the wall-clock of a representative
 # experiment grid through harness::Session's executor — serial (/1) vs
-# one thread per core — and bench_multijob's BM_MultiJob* cases record
+# one thread per core — bench_multijob's BM_MultiJob* cases record
 # the contended-simulation cost plus per-policy slowdown/fairness
-# counters; the summary below echoes both.
+# counters, and bench_service's BM_ServiceOpenSystem cases record the
+# open-system scheduler-service SLOs (p99 slowdown, windowed fairness,
+# utilization, queueing delay) per (policy x placement); the summary
+# below echoes all three.
 #
 # Usage: bench/run_benches.sh [build_dir] [out.json] [extra benchmark args]
 #   BENCH_MIN_TIME=0.2 bench/run_benches.sh build-release
@@ -36,19 +39,15 @@ fi
   --benchmark_min_time="${BENCH_MIN_TIME:-0.05}" \
   "$@"
 
-# Multi-job interference cases are appended to the same JSON (the merge
-# needs python3; the benchmark itself still runs and prints without it).
-MULTIJOB_BIN="${BUILD_DIR}/bench_multijob"
-if [[ -x "${MULTIJOB_BIN}" ]]; then
-  MULTIJOB_OUT="$(mktemp)"
-  trap 'rm -f "${MULTIJOB_OUT}"' EXIT
-  "${MULTIJOB_BIN}" \
-    --benchmark_out="${MULTIJOB_OUT}" \
-    --benchmark_out_format=json \
-    --benchmark_min_time="${BENCH_MIN_TIME:-0.05}" \
-    "$@"
+# Multi-job interference and scheduler-service cases are merged into the
+# same JSON, idempotently: rows are keyed by benchmark name, so a
+# re-run (or a partial re-run against an existing BENCH_sched.json)
+# replaces entries in place instead of duplicating them. The merge needs
+# python3; the benchmarks themselves still run and print without it.
+merge_rows() {
+  local extra="$1"
   if command -v python3 >/dev/null 2>&1; then
-    python3 - "${OUT}" "${MULTIJOB_OUT}" <<'EOF'
+    python3 - "${OUT}" "${extra}" <<'EOF'
 import json
 import sys
 
@@ -56,17 +55,39 @@ with open(sys.argv[1]) as f:
     merged = json.load(f)
 with open(sys.argv[2]) as f:
     extra = json.load(f)
-merged.setdefault("benchmarks", []).extend(extra.get("benchmarks", []))
+rows = merged.setdefault("benchmarks", [])
+index = {row.get("name"): i for i, row in enumerate(rows)}
+for row in extra.get("benchmarks", []):
+    i = index.get(row.get("name"))
+    if i is None:
+        index[row.get("name")] = len(rows)
+        rows.append(row)
+    else:
+        rows[i] = row
 with open(sys.argv[1], "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
 EOF
   else
-    echo "note: python3 not found — multi-job rows not merged into ${OUT}" >&2
+    echo "note: python3 not found — rows of ${extra} not merged into ${OUT}" >&2
   fi
-else
-  echo "note: ${MULTIJOB_BIN} not found — BENCH JSON has no multi-job rows" >&2
-fi
+}
+
+EXTRA_OUT="$(mktemp)"
+trap 'rm -f "${EXTRA_OUT}"' EXIT
+for extra_bench in bench_multijob bench_service; do
+  EXTRA_BIN="${BUILD_DIR}/${extra_bench}"
+  if [[ -x "${EXTRA_BIN}" ]]; then
+    "${EXTRA_BIN}" \
+      --benchmark_out="${EXTRA_OUT}" \
+      --benchmark_out_format=json \
+      --benchmark_min_time="${BENCH_MIN_TIME:-0.05}" \
+      "$@"
+    merge_rows "${EXTRA_OUT}"
+  else
+    echo "note: ${EXTRA_BIN} not found — BENCH JSON has no ${extra_bench} rows" >&2
+  fi
+done
 
 echo "wrote ${OUT}"
 
@@ -99,6 +120,19 @@ if multijob:
         extras = ""
         if slowdown is not None and fairness is not None:
             extras = f" (mean slowdown {slowdown:.3f}x, fairness {fairness:.3f})"
+        print(f"  {b['name']}: {b['real_time']:.1f} {b['time_unit']}{extras}")
+service = [b for b in data.get("benchmarks", [])
+           if b.get("name", "").startswith("BM_Service")]
+if service:
+    print("scheduler-service SLOs (BM_ServiceOpenSystem, policy x placement):")
+    for b in service:
+        p99 = b.get("p99_slowdown")
+        fairness = b.get("mean_fairness")
+        util = b.get("utilization")
+        extras = ""
+        if p99 is not None:
+            extras = (f" (p99 slowdown {p99:.3f}x, fairness {fairness:.3f},"
+                      f" utilization {util:.3f})")
         print(f"  {b['name']}: {b['real_time']:.1f} {b['time_unit']}{extras}")
 EOF
 fi

@@ -20,6 +20,18 @@
 //       --jobs "2x{envG:workers=4:ps=2:training model=ResNet-101 v1
 //       policy=tac}". Grammar: [COUNTx]{<experiment spec>}[@offset_s],
 //       whitespace-separated (runtime/multijob.h, DESIGN.md §6).
+//   tictac_cli serve --arrivals "<arrival spec>" [--fabrics K]
+//                    [--duration T] [--job "<experiment spec>"]...
+//                    [--placement <name>] [--max-jobs N] [--queue N]
+//                    [--seed N] [--trace out.json] [--json]
+//       Long-running cluster-scheduler service (DESIGN.md §7): an open
+//       system where jobs arrive over time (poisson:rate=...,
+//       bursty:rate=...:burst=..., or trace:<csv>), are admitted and
+//       placed onto one of K shared PS fabrics, and SLO metrics
+//       (p50/p99 slowdown, windowed Jain fairness, utilization,
+//       queueing delay) are reported. --job gives the synthetic
+//       workload templates (repeatable, cycled); --trace dumps the
+//       per-job record array as JSON.
 //   tictac_cli simulate <model> [--workers N] [--ps N] [--training]
 //                       [--policy <name>] [--iterations N] [--env envC]
 //       Simulate a cluster and report throughput / E / stragglers.
@@ -33,9 +45,12 @@
 // Policy names are core::PolicyRegistry specs ("tic", "tac", "random:7",
 // "reverse:tac", ...). The spec/sweep grammar is documented in
 // DESIGN.md §5 and runtime/spec.h.
+#include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/io.h"
 #include "core/policy_registry.h"
@@ -43,6 +58,7 @@
 #include "harness/session.h"
 #include "models/builder.h"
 #include "models/zoo.h"
+#include "sched/placement.h"
 #include "util/table.h"
 
 using namespace tictac;
@@ -63,6 +79,16 @@ struct Args {
   int parallelism = 0;  // 0 = default (all cores for sweep)
   bool no_isolated = false;  // multijob: skip the isolated references
   enum class Emit { kTable, kCsv, kJson } emit = Emit::kTable;
+  // serve: the service configuration (defaults mirror ServiceConfig).
+  std::string arrivals;
+  std::vector<std::string> serve_jobs;  // --job templates, repeatable
+  int fabrics = 1;
+  double duration = 10.0;
+  std::string placement = "least-loaded";
+  int max_jobs = 8;
+  int queue = 64;
+  std::uint64_t seed = 1;
+  std::string trace_out;  // --trace: per-job JSON records file
 };
 
 int Usage() {
@@ -76,6 +102,9 @@ int Usage() {
          "[--csv|--json]\n"
          "  tictac_cli multijob --jobs \"<multijob>\" [--no-isolated] "
          "[--json]\n"
+         "  tictac_cli serve --arrivals \"<arrival>\" [--fabrics K] "
+         "[--duration T] [--job \"<spec>\"]... [--placement <name>] "
+         "[--max-jobs N] [--queue N] [--seed N] [--trace FILE] [--json]\n"
          "  tictac_cli simulate <model> [--workers N] [--ps N] "
          "[--training] [--policy <name>] [--iterations N] [--env envC]\n"
          "  tictac_cli compare <model> [--workers N] [--ps N] "
@@ -87,10 +116,20 @@ int Usage() {
          "sweep grammar: comma lists on any axis, e.g. "
          "envG:workers=2,4,8:ps=1 models=VGG-16,Inception v2 "
          "policies=baseline,tic\n"
-         "multijob grammar: [COUNTx]{<spec>}[@offset_s] groups, e.g. "
+         "multijob grammar: whitespace-separated [COUNTx]{<spec>}[@offset_s]"
+         " groups — COUNTx replicates the braced experiment spec, @offset_s "
+         "delays its start by offset_s seconds (both optional), e.g. "
          "2x{envG:workers=4:ps=2:training model=ResNet-101 v1 "
-         "policy=tac}\n"
-         "policies (see `tictac_cli policies`): ";
+         "policy=tac} {envG:workers=2:ps=2 model=VGG-16}@0.05\n"
+         "arrival grammar: poisson:rate=R | bursty:rate=R:burst=B | "
+         "trace:<csv of `t,<spec>` rows>\n"
+         "placements: ";
+  bool first_placement = true;
+  for (const auto& name : sched::PlacementPolicyNames()) {
+    std::cerr << (first_placement ? "" : ", ") << name;
+    first_placement = false;
+  }
+  std::cerr << "\npolicies (see `tictac_cli policies`): ";
   bool first = true;
   for (const auto& name : core::PolicyRegistry::Global().List()) {
     std::cerr << (first ? "" : ", ") << name;
@@ -127,6 +166,32 @@ bool ParseIntFlag(const char* value, int& out) {
   }
 }
 
+bool ParseDoubleFlag(const char* value, double& out) {
+  if (!value) return false;
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    if (consumed != std::strlen(value)) return false;
+    out = parsed;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool ParseSeedFlag(const char* value, std::uint64_t& out) {
+  if (!value) return false;
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long parsed = std::stoull(value, &consumed);
+    if (consumed != std::strlen(value)) return false;
+    out = parsed;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 bool Parse(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.command = argv[1];
@@ -137,7 +202,8 @@ bool Parse(int argc, char** argv, Args& args) {
   int i = 2;
   const bool spec_command = args.command == "run" ||
                             args.command == "sweep" ||
-                            args.command == "multijob";
+                            args.command == "multijob" ||
+                            args.command == "serve";
   if (!spec_command && args.command != "models" &&
       args.command != "policies") {
     if (i >= argc) return false;
@@ -165,12 +231,18 @@ bool Parse(int argc, char** argv, Args& args) {
     }
     // Each spec command owns a specific flag set: run --spec, sweep
     // --sweep/--parallel/--csv/--json, multijob --jobs/--no-isolated/
-    // --json. Rejecting the rest keeps the rule above symmetric — no
-    // command silently ignores a flag it never reads.
+    // --json, serve its service knobs. Rejecting the rest keeps the rule
+    // above symmetric — no command silently ignores a flag it never
+    // reads.
+    const bool serve_family =
+        flag == "--arrivals" || flag == "--fabrics" ||
+        flag == "--duration" || flag == "--job" || flag == "--placement" ||
+        flag == "--max-jobs" || flag == "--queue" || flag == "--seed" ||
+        flag == "--trace";
     const bool spec_family = flag == "--spec" || flag == "--sweep" ||
                              flag == "--jobs" || flag == "--no-isolated" ||
                              flag == "--parallel" || flag == "--csv" ||
-                             flag == "--json";
+                             flag == "--json" || serve_family;
     if (spec_family) {
       const bool allowed =
           (args.command == "run" && flag == "--spec") ||
@@ -179,12 +251,15 @@ bool Parse(int argc, char** argv, Args& args) {
             flag == "--json")) ||
           (args.command == "multijob" &&
            (flag == "--jobs" || flag == "--no-isolated" ||
-            flag == "--json"));
+            flag == "--json")) ||
+          (args.command == "serve" && (serve_family || flag == "--json"));
       if (!allowed) {
         std::cerr << args.command << ": " << flag
                   << " is not accepted (--spec belongs to run; "
                      "--sweep/--parallel/--csv/--json to sweep; "
-                     "--jobs/--no-isolated/--json to multijob)\n";
+                     "--jobs/--no-isolated/--json to multijob; "
+                     "--arrivals/--fabrics/--duration/--job/--placement/"
+                     "--max-jobs/--queue/--seed/--trace/--json to serve)\n";
         return false;
       }
     }
@@ -210,6 +285,32 @@ bool Parse(int argc, char** argv, Args& args) {
       append_spec(v);
     } else if (flag == "--no-isolated") {
       args.no_isolated = true;
+    } else if (flag == "--arrivals") {
+      const char* v = next();
+      if (!v) return false;
+      args.arrivals = v;
+    } else if (flag == "--job") {
+      const char* v = next();
+      if (!v) return false;
+      args.serve_jobs.emplace_back(v);
+    } else if (flag == "--fabrics") {
+      if (!ParseIntFlag(next(), args.fabrics)) return false;
+    } else if (flag == "--duration") {
+      if (!ParseDoubleFlag(next(), args.duration)) return false;
+    } else if (flag == "--placement") {
+      const char* v = next();
+      if (!v) return false;
+      args.placement = v;
+    } else if (flag == "--max-jobs") {
+      if (!ParseIntFlag(next(), args.max_jobs)) return false;
+    } else if (flag == "--queue") {
+      if (!ParseIntFlag(next(), args.queue)) return false;
+    } else if (flag == "--seed") {
+      if (!ParseSeedFlag(next(), args.seed)) return false;
+    } else if (flag == "--trace") {
+      const char* v = next();
+      if (!v) return false;
+      args.trace_out = v;
     } else if (flag == "--parallel") {
       if (!ParseIntFlag(next(), args.parallelism)) return false;
       if (args.parallelism < 1) {
@@ -222,8 +323,10 @@ bool Parse(int argc, char** argv, Args& args) {
       args.emit = Args::Emit::kJson;
     } else if (flag == "--list-policies") {
       args.command = "policies";
-    } else if (spec_command && flag.rfind("--", 0) != 0) {
-      // Unquoted spec text: join the stray tokens back together.
+    } else if (spec_command && args.command != "serve" &&
+               flag.rfind("--", 0) != 0) {
+      // Unquoted spec text: join the stray tokens back together. (serve
+      // takes its specs through --arrivals/--job, never positionally.)
       append_spec(flag);
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
@@ -361,6 +464,56 @@ int CmdMultiJob(const Args& args) {
   return 0;
 }
 
+int CmdServe(const Args& args) {
+  if (args.arrivals.empty()) {
+    std::cerr << "serve: missing arrival process (use --arrivals "
+                 "\"poisson:rate=40\", \"bursty:rate=4:burst=8\", or "
+                 "\"trace:arrivals.csv\")\n";
+    return 2;
+  }
+  sched::ServiceConfig config;
+  config.arrivals = sched::ArrivalSpec::Parse(args.arrivals);
+  for (const std::string& job : args.serve_jobs) {
+    config.workload.push_back(runtime::ExperimentSpec::Parse(job));
+  }
+  if (config.workload.empty() &&
+      config.arrivals.kind != sched::ArrivalSpec::Kind::kTrace) {
+    // A small default template so `serve --arrivals ...` works out of
+    // the box; real studies pass their own --job specs.
+    config.workload.push_back(runtime::ExperimentSpec::Parse(
+        "envG:workers=4:ps=2:training model=Inception v2 policy=tac "
+        "iterations=5"));
+  }
+  config.fabrics = args.fabrics;
+  config.duration = args.duration;
+  config.placement = args.placement;
+  config.max_jobs_per_fabric = args.max_jobs;
+  config.admission_queue_capacity = args.queue;
+  config.seed = args.seed;
+  harness::Session session;
+  const sched::ServiceReport report = session.RunService(config);
+  if (!args.trace_out.empty()) {
+    std::ofstream out(args.trace_out);
+    if (!out) {
+      std::cerr << "serve: cannot write trace file '" << args.trace_out
+                << "'\n";
+      return 1;
+    }
+    out << report.JobTraceJson();
+    std::cerr << "serve: wrote " << report.jobs.size() << " job records to "
+              << args.trace_out << "\n";
+  }
+  if (args.emit == Args::Emit::kJson) {
+    std::cout << report.ToJson();
+    return 0;
+  }
+  std::cerr << "serve: " << report.counters.arrivals << " arrivals over "
+            << util::Fmt(config.duration, 2) << " s on " << config.fabrics
+            << " fabric(s), placement " << config.placement << "\n";
+  report.ToTable().Print(std::cout);
+  return 0;
+}
+
 int CmdSimulate(const Args& args) {
   runtime::ExperimentSpec spec;
   spec.model = models::FindModel(args.model).name;
@@ -414,6 +567,7 @@ int main(int argc, char** argv) {
     if (args.command == "run") return CmdRun(args);
     if (args.command == "sweep") return CmdSweep(args);
     if (args.command == "multijob") return CmdMultiJob(args);
+    if (args.command == "serve") return CmdServe(args);
     if (args.command == "simulate") return CmdSimulate(args);
     if (args.command == "compare") return CmdCompare(args);
     if (args.command == "export-graph" || args.command == "export-dot") {

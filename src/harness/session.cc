@@ -9,6 +9,7 @@
 #include "models/zoo.h"
 #include "util/csv.h"
 #include "util/json.h"
+#include "util/stats.h"
 
 namespace tictac::harness {
 namespace {
@@ -139,12 +140,31 @@ util::Table ResultTable::ToTable() const {
   return table;
 }
 
+std::vector<double> MultiJobReport::IterationSlowdowns(std::size_t j) const {
+  std::vector<double> ratios;
+  if (j >= isolated.size() || j >= result.jobs.size()) return ratios;
+  const auto& shared = result.jobs[j].iterations;
+  const auto& alone = isolated[j].iterations;
+  const std::size_t n = std::min(shared.size(), alone.size());
+  ratios.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alone[i].makespan > 0.0) {
+      ratios.push_back(shared[i].makespan / alone[i].makespan);
+    }
+  }
+  return ratios;
+}
+
 util::Table MultiJobReport::ToTable() const {
   const bool have_isolated = !isolated.empty();
   std::vector<std::string> headers = {"Job",     "Model",     "Policy",
                                       "Offset",  "Iter (ms)", "Throughput",
                                       "E",       "Overlap"};
-  if (have_isolated) headers.push_back("Slowdown");
+  if (have_isolated) {
+    headers.push_back("Slowdown");
+    headers.push_back("p50");
+    headers.push_back("p99");
+  }
   util::Table table(headers);
   for (std::size_t j = 0; j < result.jobs.size(); ++j) {
     const runtime::ExperimentSpec& job = spec.jobs[j].spec;
@@ -158,7 +178,10 @@ util::Table MultiJobReport::ToTable() const {
         util::Fmt(result.jobs[j].MeanEfficiency(), 3),
         util::Fmt(result.jobs[j].MeanOverlap(), 3)};
     if (have_isolated) {
+      const std::vector<double> ratios = IterationSlowdowns(j);
       row.push_back(util::Fmt(interference.slowdown[j], 3) + "x");
+      row.push_back(util::Fmt(util::Percentile(ratios, 0.5), 3) + "x");
+      row.push_back(util::Fmt(util::Percentile(ratios, 0.99), 3) + "x");
     }
     table.AddRow(std::move(row));
   }
@@ -190,9 +213,14 @@ std::string MultiJobReport::ToJson() const {
     json += ", \"mean_overlap\": " +
             FormatDouble(result.jobs[j].MeanOverlap());
     if (have_isolated) {
+      const std::vector<double> ratios = IterationSlowdowns(j);
       json += ", \"isolated_iteration_s\": " +
               FormatDouble(isolated[j].MeanIterationTime());
       json += ", \"slowdown\": " + FormatDouble(interference.slowdown[j]);
+      json += ", \"p50_slowdown\": " +
+              FormatDouble(util::Percentile(ratios, 0.5));
+      json += ", \"p99_slowdown\": " +
+              FormatDouble(util::Percentile(ratios, 0.99));
     }
     json += "}";
   }
@@ -202,6 +230,10 @@ std::string MultiJobReport::ToJson() const {
             FormatDouble(interference.mean_slowdown);
     json += ",\n  \"max_slowdown\": " +
             FormatDouble(interference.max_slowdown);
+    json += ",\n  \"p50_slowdown\": " +
+            FormatDouble(util::Percentile(interference.slowdown, 0.5));
+    json += ",\n  \"p99_slowdown\": " +
+            FormatDouble(util::Percentile(interference.slowdown, 0.99));
     json += ",\n  \"fairness\": " + FormatDouble(interference.fairness);
   }
   json += "\n}\n";
@@ -247,6 +279,11 @@ MultiJobReport Session::RunMultiJob(const runtime::MultiJobRunner& runner,
     report.interference = core::ComputeInterference(shared, isolated);
   }
   return report;
+}
+
+sched::ServiceReport Session::RunService(const sched::ServiceConfig& config) {
+  sched::SchedulerService service(config);
+  return service.Run();
 }
 
 const runtime::Runner& Session::runner(const runtime::ExperimentSpec& spec) {

@@ -25,6 +25,7 @@
 #include "runtime/multijob.h"
 #include "runtime/runner.h"
 #include "runtime/spec.h"
+#include "sched/service.h"
 #include "util/table.h"
 
 namespace tictac::harness {
@@ -92,8 +93,15 @@ struct MultiJobReport {
   // (slowdown 1, fairness 1) when isolated references were skipped.
   core::InterferenceStats interference;
 
+  // Per-iteration slowdown distribution of job `j`: the paired ratios
+  // shared.iterations[i].makespan / isolated.iterations[i].makespan
+  // (both runs execute the same iteration count with the same seeds, so
+  // the pairing is exact). Empty when isolated references were skipped.
+  std::vector<double> IterationSlowdowns(std::size_t j) const;
+
   // Human-readable per-job summary (job, model, policy, offset, iter
-  // time, throughput, slowdown when isolated references exist).
+  // time, throughput, and — when isolated references exist — mean plus
+  // p50/p99 per-iteration slowdown).
   util::Table ToTable() const;
   // JSON object: spec, combined metrics, per-job array, interference.
   std::string ToJson() const;
@@ -135,6 +143,14 @@ class Session {
                              bool with_isolated = true);
   MultiJobReport RunMultiJob(const runtime::MultiJobRunner& runner,
                              bool with_isolated = true);
+
+  // Plays a cluster-scheduler service run (sched::SchedulerService) to
+  // completion: open-system arrivals, admission, placement over K
+  // fabrics, SLO metrics. The service maintains its own Runner cache —
+  // shared-fabric runners are keyed by contention level, not only by
+  // (model, cluster) — so this call does not touch this Session's cache.
+  // Deterministic in the config alone.
+  sched::ServiceReport RunService(const sched::ServiceConfig& config);
 
   // Hardware concurrency, with a floor of 1 (and 4 when unknown).
   static int DefaultParallelism();

@@ -1,0 +1,207 @@
+#include "sched/arrival.h"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace tictac::sched {
+namespace {
+
+[[noreturn]] void Fail(const std::string& message) {
+  throw std::invalid_argument("arrival: " + message);
+}
+
+// Generous cap: a burst costs one fabric re-lowering per admitted job,
+// so a fat-fingered burst=1e9 would turn a one-line spec into hours.
+constexpr int kMaxBurst = 4096;
+
+// Parses "key=value" fields of a synthetic spec ("rate=40", "burst=8").
+double ParseNumberField(std::string_view field, std::string_view key) {
+  const std::string value(field.substr(key.size()));
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    if (consumed != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    Fail(std::string(key) + " expects a number, got '" + value + "'");
+  }
+}
+
+}  // namespace
+
+std::string ArrivalSpec::ToString() const {
+  switch (kind) {
+    case Kind::kPoisson:
+      return "poisson:rate=" + runtime::FormatDouble(rate);
+    case Kind::kBursty:
+      return "bursty:rate=" + runtime::FormatDouble(rate) +
+             ":burst=" + std::to_string(burst);
+    case Kind::kTrace:
+      return "trace:" + trace_path;
+  }
+  Fail("unknown arrival kind");
+}
+
+ArrivalSpec ArrivalSpec::Parse(std::string_view text) {
+  ArrivalSpec spec;
+  const std::size_t colon = text.find(':');
+  const std::string_view head = text.substr(0, colon);
+  if (head == "trace") {
+    spec.kind = Kind::kTrace;
+    // Everything after the first ':' is the path verbatim (paths may
+    // contain further colons).
+    if (colon == std::string_view::npos || colon + 1 >= text.size()) {
+      Fail("trace expects a file path, e.g. trace:arrivals.csv");
+    }
+    spec.trace_path = std::string(text.substr(colon + 1));
+    spec.Validate();
+    return spec;
+  }
+  if (head != "poisson" && head != "bursty") {
+    Fail("unknown arrival process '" + std::string(head) +
+         "' — expected poisson:rate=..., bursty:rate=...:burst=..., or "
+         "trace:<file>");
+  }
+  spec.kind = head == "poisson" ? Kind::kPoisson : Kind::kBursty;
+  bool saw_rate = false;
+  bool saw_burst = false;
+  std::size_t pos = colon;
+  while (pos != std::string_view::npos && pos < text.size()) {
+    const std::size_t next = text.find(':', pos + 1);
+    const std::string_view field =
+        text.substr(pos + 1, next == std::string_view::npos
+                                 ? std::string_view::npos
+                                 : next - pos - 1);
+    if (field.rfind("rate=", 0) == 0) {
+      spec.rate = ParseNumberField(field, "rate=");
+      saw_rate = true;
+    } else if (field.rfind("burst=", 0) == 0 && spec.kind == Kind::kBursty) {
+      const double value = ParseNumberField(field, "burst=");
+      if (value != std::floor(value)) {
+        Fail("burst= expects an integer, got '" + std::string(field) + "'");
+      }
+      spec.burst = static_cast<int>(value);
+      saw_burst = true;
+    } else {
+      Fail("unknown field '" + std::string(field) + "' in '" +
+           std::string(text) + "'");
+    }
+    pos = next;
+  }
+  if (!saw_rate) {
+    Fail(std::string(head) + " requires rate=, e.g. " + std::string(head) +
+         ":rate=40");
+  }
+  if (spec.kind == Kind::kBursty && !saw_burst) {
+    Fail("bursty requires burst=, e.g. bursty:rate=4:burst=8");
+  }
+  spec.Validate();
+  return spec;
+}
+
+void ArrivalSpec::Validate() const {
+  if (kind == Kind::kTrace) {
+    if (trace_path.empty()) Fail("trace path must be non-empty");
+    return;
+  }
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    Fail("rate must be finite and > 0, got " + runtime::FormatDouble(rate));
+  }
+  if (burst < 1 || burst > kMaxBurst) {
+    Fail("burst must be in [1, " + std::to_string(kMaxBurst) + "], got " +
+         std::to_string(burst));
+  }
+}
+
+namespace {
+
+std::vector<ArrivalEvent> ReadTrace(const std::string& path,
+                                    double duration) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("arrival: cannot read trace file '" + path +
+                             "'");
+  }
+  std::vector<ArrivalEvent> events;
+  std::string line;
+  std::size_t line_no = 0;
+  double prev_time = 0.0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const std::string where =
+        "trace '" + path + "' line " + std::to_string(line_no);
+    const std::size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      Fail(where + ": expected 't,<experiment spec>', got '" + line + "'");
+    }
+    ArrivalEvent event;
+    const std::string time_text = line.substr(0, comma);
+    try {
+      std::size_t consumed = 0;
+      event.time = std::stod(time_text, &consumed);
+      if (consumed != time_text.size()) throw std::invalid_argument(time_text);
+    } catch (const std::exception&) {
+      Fail(where + ": arrival time must be a number, got '" + time_text +
+           "'");
+    }
+    if (!std::isfinite(event.time) || event.time < 0.0) {
+      Fail(where + ": arrival time must be finite and >= 0, got " +
+           time_text);
+    }
+    if (event.time < prev_time) {
+      Fail(where + ": arrival times must be non-decreasing (" + time_text +
+           " after " + runtime::FormatDouble(prev_time) + ")");
+    }
+    prev_time = event.time;
+    try {
+      event.spec = runtime::ExperimentSpec::Parse(line.substr(comma + 1));
+    } catch (const std::invalid_argument& e) {
+      Fail(where + ": " + e.what());
+    }
+    if (event.time < duration) events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace
+
+std::vector<ArrivalEvent> GenerateArrivals(
+    const ArrivalSpec& spec,
+    const std::vector<runtime::ExperimentSpec>& workload, double duration,
+    std::uint64_t seed) {
+  spec.Validate();
+  if (!(duration > 0.0) || !std::isfinite(duration)) {
+    Fail("duration must be finite and > 0, got " +
+         runtime::FormatDouble(duration));
+  }
+  if (spec.kind == ArrivalSpec::Kind::kTrace) {
+    return ReadTrace(spec.trace_path, duration);
+  }
+  if (workload.empty()) {
+    Fail("synthetic arrivals need a non-empty workload pool of experiment "
+         "specs");
+  }
+  std::vector<ArrivalEvent> events;
+  util::Rng rng(seed);
+  const int per_event = spec.kind == ArrivalSpec::Kind::kBursty ? spec.burst
+                                                                : 1;
+  std::size_t job_index = 0;
+  // The first event arrives after one full gap — an empty cluster at
+  // t = 0 (standard open-system convention).
+  for (double t = rng.Exponential(spec.rate); t < duration;
+       t += rng.Exponential(spec.rate)) {
+    for (int b = 0; b < per_event; ++b) {
+      events.push_back(
+          ArrivalEvent{t, workload[job_index % workload.size()]});
+      ++job_index;
+    }
+  }
+  return events;
+}
+
+}  // namespace tictac::sched

@@ -1,0 +1,89 @@
+#include "sched/placement.h"
+
+#include <stdexcept>
+
+namespace tictac::sched {
+namespace {
+
+bool Eligible(const FabricLoad& load, int max_jobs_per_fabric) {
+  return load.active_jobs < max_jobs_per_fabric;
+}
+
+class LeastLoaded final : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "least-loaded"; }
+
+  int Place(const runtime::ExperimentSpec&,
+            const std::vector<FabricLoad>& loads, std::size_t,
+            int max_jobs_per_fabric) const override {
+    int best = -1;
+    for (std::size_t f = 0; f < loads.size(); ++f) {
+      if (!Eligible(loads[f], max_jobs_per_fabric)) continue;
+      if (best < 0 || loads[f].active_workers <
+                          loads[static_cast<std::size_t>(best)]
+                              .active_workers) {
+        best = static_cast<int>(f);
+      }
+    }
+    return best;
+  }
+};
+
+class RoundRobin final : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "round-robin"; }
+
+  int Place(const runtime::ExperimentSpec&,
+            const std::vector<FabricLoad>& loads, std::size_t decision_seq,
+            int max_jobs_per_fabric) const override {
+    // Start at the rotation point and take the first eligible fabric.
+    for (std::size_t step = 0; step < loads.size(); ++step) {
+      const std::size_t f = (decision_seq + step) % loads.size();
+      if (Eligible(loads[f], max_jobs_per_fabric)) {
+        return static_cast<int>(f);
+      }
+    }
+    return -1;
+  }
+};
+
+class BestFitBytes final : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "best-fit-bytes"; }
+
+  int Place(const runtime::ExperimentSpec&,
+            const std::vector<FabricLoad>& loads, std::size_t,
+            int max_jobs_per_fabric) const override {
+    int best = -1;
+    for (std::size_t f = 0; f < loads.size(); ++f) {
+      if (!Eligible(loads[f], max_jobs_per_fabric)) continue;
+      if (best < 0 || loads[f].active_param_mib >
+                          loads[static_cast<std::size_t>(best)]
+                              .active_param_mib) {
+        best = static_cast<int>(f);
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(std::string_view name) {
+  if (name == "least-loaded") return std::make_unique<LeastLoaded>();
+  if (name == "round-robin") return std::make_unique<RoundRobin>();
+  if (name == "best-fit-bytes") return std::make_unique<BestFitBytes>();
+  std::string known;
+  for (const std::string& policy : PlacementPolicyNames()) {
+    if (!known.empty()) known += ", ";
+    known += policy;
+  }
+  throw std::invalid_argument("placement: unknown policy '" +
+                              std::string(name) + "' — registered: " + known);
+}
+
+std::vector<std::string> PlacementPolicyNames() {
+  return {"least-loaded", "round-robin", "best-fit-bytes"};
+}
+
+}  // namespace tictac::sched

@@ -1,0 +1,60 @@
+// Placement policies for the cluster-scheduler service (DESIGN.md §7):
+// which of the K shared PS fabrics an admitted job lands on.
+//
+// Placement is intentionally decoupled from per-job transfer scheduling
+// (core::SchedulingPolicy): the former decides WHERE a job's pushes and
+// pulls contend, the latter in WHAT ORDER they drain once there. The
+// service sweeps both axes independently (bench/bench_service.cc).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/spec.h"
+
+namespace tictac::sched {
+
+// What a placement decision may look at: the current occupancy of one
+// fabric. Loads are indexed by fabric id, one entry per fabric.
+struct FabricLoad {
+  int active_jobs = 0;
+  int active_workers = 0;
+  // Sum of the resident jobs' model parameter sizes — the PS-side bytes
+  // the fabric's NICs and bookkeeping CPUs are serving.
+  double active_param_mib = 0.0;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Fabric index for `job`, or -1 to defer the job to the admission
+  // queue. Only fabrics with active_jobs < max_jobs_per_fabric are
+  // eligible; a policy must never return a full fabric. `decision_seq`
+  // counts placement decisions so far (round-robin's rotation state —
+  // policies themselves stay stateless and the service replayable).
+  virtual int Place(const runtime::ExperimentSpec& job,
+                    const std::vector<FabricLoad>& loads,
+                    std::size_t decision_seq,
+                    int max_jobs_per_fabric) const = 0;
+};
+
+// Factory by name, for --placement flags and bench sweeps:
+//   least-loaded    fewest active workers wins (ties: lowest fabric id)
+//   round-robin     rotate over fabrics, skipping full ones
+//   best-fit-bytes  fullest-by-parameter-bytes eligible fabric wins
+//                   (bin-packing best fit: pack jobs together so other
+//                   fabrics stay empty for future large arrivals)
+// Throws std::invalid_argument listing the registered names for an
+// unknown one.
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(std::string_view name);
+
+// The registered policy names, in the order listed above.
+std::vector<std::string> PlacementPolicyNames();
+
+}  // namespace tictac::sched

@@ -1,0 +1,587 @@
+#include "sched/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "core/metrics.h"
+#include "core/policy_registry.h"
+#include "models/zoo.h"
+#include "util/json.h"
+#include "util/stats.h"
+
+namespace tictac::sched {
+namespace {
+
+using runtime::FormatDouble;
+using util::JsonEscape;
+
+[[noreturn]] void Fail(const std::string& message) {
+  throw std::invalid_argument("service: " + message);
+}
+
+// LowerSharedCluster's per-fabric job bound (runtime/multijob.h caps
+// MultiJobSpec at 64 jobs for the same reason: each resident job costs a
+// full Runner analysis and 2·T·S channel resources).
+constexpr int kMaxJobsPerFabric = 64;
+constexpr int kMaxFabrics = 4096;
+
+double MeanOf(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+// Iterations completed by absolute cluster time `t` (fractional within
+// the in-flight iteration) — the progress curve windowed fairness
+// integrates.
+double ProgressAt(const JobRecord& record, double t) {
+  double progress = 0.0;
+  double start = record.admit_time;
+  for (const double duration : record.iteration_times) {
+    if (t >= start + duration) {
+      progress += 1.0;
+      start += duration;
+    } else if (t > start && duration > 0.0) {
+      return progress + (t - start) / duration;
+    } else {
+      break;
+    }
+  }
+  return progress;
+}
+
+}  // namespace
+
+void ServiceConfig::Validate() const {
+  arrivals.Validate();
+  if (fabrics < 1 || fabrics > kMaxFabrics) {
+    Fail("fabrics must be in [1, " + std::to_string(kMaxFabrics) +
+         "], got " + std::to_string(fabrics));
+  }
+  if (!(duration > 0.0) || !std::isfinite(duration)) {
+    Fail("duration must be finite and > 0, got " + FormatDouble(duration));
+  }
+  if (max_jobs_per_fabric < 1 || max_jobs_per_fabric > kMaxJobsPerFabric) {
+    Fail("max_jobs_per_fabric must be in [1, " +
+         std::to_string(kMaxJobsPerFabric) + "], got " +
+         std::to_string(max_jobs_per_fabric));
+  }
+  if (admission_queue_capacity < 0) {
+    Fail("admission_queue_capacity must be >= 0, got " +
+         std::to_string(admission_queue_capacity));
+  }
+  if (fairness_windows < 1 || fairness_windows > 4096) {
+    Fail("fairness_windows must be in [1, 4096], got " +
+         std::to_string(fairness_windows));
+  }
+  MakePlacementPolicy(placement);  // throws, listing the registered names
+  if (arrivals.kind != ArrivalSpec::Kind::kTrace && workload.empty()) {
+    Fail("synthetic arrivals need >= 1 workload experiment spec");
+  }
+}
+
+SchedulerService::SchedulerService(ServiceConfig config)
+    : config_(std::move(config)) {
+  config_.Validate();
+}
+
+const runtime::Runner& SchedulerService::GetRunner(
+    const runtime::ExperimentSpec& spec, double bandwidth_scale,
+    ServiceCounters& counters) {
+  // '\n' cannot appear in a model name or cluster spec (same argument as
+  // harness::Session's cache key).
+  const std::string key = spec.model + '\n' + spec.cluster.ToString() +
+                          '\n' + FormatDouble(bandwidth_scale);
+  const auto it = runners_.find(key);
+  if (it != runners_.end()) {
+    ++counters.runner_cache_hits;
+    return *it->second.runner;
+  }
+  runtime::ClusterConfig cluster = spec.BuildCluster();
+  // Same contention scaling as runtime::MultiJobRunner: every PS NIC is
+  // time-shared by ALL resident jobs' workers, so scale the platform
+  // bandwidth by W_j / T before the per-channel division by W_j. Exactly
+  // 1.0 — the untouched isolated config — for a lone job.
+  cluster.platform.bandwidth_bps *= bandwidth_scale;
+  ++counters.property_index_builds;
+  CachedRunner& entry = runners_[key];
+  entry.runner = std::make_unique<runtime::Runner>(
+      models::FindModel(spec.model), cluster);
+  return *entry.runner;
+}
+
+const SchedulerService::CachedSchedule& SchedulerService::GetSchedule(
+    const runtime::ExperimentSpec& spec, double bandwidth_scale,
+    ServiceCounters& counters) {
+  const std::string key = spec.model + '\n' + spec.cluster.ToString() +
+                          '\n' + FormatDouble(bandwidth_scale) + '\n' +
+                          spec.policy;
+  const auto it = schedules_.find(key);
+  if (it != schedules_.end()) {
+    ++counters.schedule_cache_hits;
+    return it->second;
+  }
+  const runtime::Runner& runner = GetRunner(spec, bandwidth_scale, counters);
+  ++counters.schedules_computed;
+  CachedSchedule& entry = schedules_[key];
+  entry.schedule = runner.MakeSchedule(spec.policy);
+  entry.covers_all_recvs =
+      entry.schedule.size() == runner.worker_graph().size() &&
+      entry.schedule.CoversAllRecvs(runner.worker_graph());
+  return entry;
+}
+
+double SchedulerService::IsolatedIterationTime(
+    const runtime::ExperimentSpec& spec, ServiceCounters& counters) {
+  const std::string key = spec.ToString();
+  const auto it = isolated_.find(key);
+  if (it != isolated_.end()) return it->second;
+  // Scale 1 is the single-job Session path: the job alone on a fabric.
+  const runtime::Runner& runner = GetRunner(spec, 1.0, counters);
+  const double mean = runner.Run(spec.policy, spec.iterations, spec.seed)
+                          .MeanIterationTime();
+  isolated_[key] = mean;
+  return mean;
+}
+
+ServiceReport SchedulerService::Run() {
+  ServiceReport report;
+  report.config = config_;
+  ServiceCounters& counters = report.counters;
+
+  const std::vector<ArrivalEvent> arrivals = GenerateArrivals(
+      config_.arrivals, config_.workload, config_.duration, config_.seed);
+
+  // Shared-fabric stream validation: any two jobs may be co-located, so
+  // the whole stream must agree on the fabric-global knobs (same rules
+  // as MultiJobSpec::Validate, except iterations/seed stay per-job:
+  // every job's iterations are simulated against its own seed).
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const runtime::ExperimentSpec& spec = arrivals[i].spec;
+    const std::string where =
+        "arrival " + std::to_string(i) + " ('" + spec.ToString() + "') ";
+    spec.BuildCluster();  // loud per-field cluster validation
+    core::PolicyRegistry::Global().Create(spec.policy);  // fail fast
+    if (spec.iterations < 1) {
+      Fail(where + "declares iterations=" + std::to_string(spec.iterations) +
+           " — must be >= 1");
+    }
+    const runtime::ExperimentSpec& head = arrivals.front().spec;
+    if (spec.cluster.env != head.cluster.env) {
+      Fail(where + "declares env " + spec.cluster.env +
+           " but the cluster is " + head.cluster.env +
+           " — all jobs share one environment");
+    }
+    if (spec.cluster.ps != head.cluster.ps) {
+      Fail(where + "declares ps=" + std::to_string(spec.cluster.ps) +
+           " but the shared PS fleets have " +
+           std::to_string(head.cluster.ps) +
+           " servers — all jobs must declare the same ps=");
+    }
+    if (spec.cluster.jitter_sigma != head.cluster.jitter_sigma ||
+        spec.cluster.out_of_order != head.cluster.out_of_order) {
+      Fail(where + "overrides jitter=/ooo= differently from arrival 0 — "
+                   "simulation options are global to a fabric");
+    }
+  }
+
+  // ---- event-loop state ----------------------------------------------------
+
+  struct ActiveJob {
+    int record = 0;              // index into report.jobs
+    int next_iteration = 0;      // completed iterations
+    double iteration_finish = 0.0;  // absolute finish of the in-flight one
+  };
+  struct Fabric {
+    std::vector<ActiveJob> jobs;  // order matches lowering.jobs slices
+    runtime::MultiJobLowering lowering;
+    std::unique_ptr<sim::TaskGraphSim> sim;
+    sim::SimOptions options;
+    bool dirty = false;  // membership changed since `lowering` was built
+  };
+  std::vector<Fabric> fabrics(static_cast<std::size_t>(config_.fabrics));
+
+  const std::unique_ptr<PlacementPolicy> placement =
+      MakePlacementPolicy(config_.placement);
+  std::deque<int> admission_queue;  // record indices, FIFO
+  std::size_t decisions = 0;        // placement decisions (round-robin state)
+
+  double now = 0.0;
+  double busy_fabric_time = 0.0;
+  double active_job_time = 0.0;
+
+  // Re-lowers ONE fabric from its current membership; every other fabric
+  // keeps its lowering, sim, and cached analyses untouched.
+  const auto relower = [&](Fabric& fabric) {
+    int total_workers = 0;
+    for (const ActiveJob& job : fabric.jobs) {
+      total_workers += report.jobs[static_cast<std::size_t>(job.record)]
+                           .spec.cluster.workers;
+    }
+    std::vector<runtime::JobLoweringInput> inputs;
+    inputs.reserve(fabric.jobs.size());
+    bool any_covered = false;
+    for (const ActiveJob& job : fabric.jobs) {
+      const runtime::ExperimentSpec& spec =
+          report.jobs[static_cast<std::size_t>(job.record)].spec;
+      const double scale = static_cast<double>(spec.cluster.workers) /
+                           static_cast<double>(total_workers);
+      const runtime::Runner& runner = GetRunner(spec, scale, counters);
+      const CachedSchedule& schedule = GetSchedule(spec, scale, counters);
+      any_covered |= schedule.covers_all_recvs;
+      inputs.push_back(runtime::JobLoweringInput{
+          runner.worker_graph(), schedule.schedule, runner.ps_of_param(),
+          runner.config(), /*start_offset=*/0.0});
+    }
+    fabric.lowering = runtime::LowerSharedCluster(inputs);
+    fabric.sim = std::make_unique<sim::TaskGraphSim>(
+        fabric.lowering.combined.BuildSim());
+    fabric.options = inputs.front().config.sim;
+    fabric.options.enforce_gates = any_covered;
+    fabric.dirty = false;
+    ++counters.fabric_relowerings;
+  };
+
+  // Simulates job `j`'s next iteration under the fabric's current mix
+  // and books its finish time. Seeded spec.seed + iteration index,
+  // matching the single-job Runner::Run convention bit for bit.
+  const auto schedule_iteration = [&](Fabric& fabric, std::size_t j) {
+    if (fabric.dirty) relower(fabric);
+    ActiveJob& job = fabric.jobs[j];
+    JobRecord& record = report.jobs[static_cast<std::size_t>(job.record)];
+    const sim::SimResult run = fabric.sim->Run(
+        fabric.options,
+        record.spec.seed + static_cast<std::uint64_t>(job.next_iteration));
+    ++counters.sim_runs;
+    const runtime::MultiJobLowering::JobSlice& slice = fabric.lowering.jobs[j];
+    double duration = 0.0;
+    for (sim::TaskId t = slice.first_task; t < slice.last_task; ++t) {
+      duration = std::max(duration, run.end[static_cast<std::size_t>(t)]);
+    }
+    job.iteration_finish = now + duration;
+    record.iteration_times.push_back(duration);
+  };
+
+  const auto fabric_loads = [&] {
+    std::vector<FabricLoad> loads(fabrics.size());
+    for (std::size_t f = 0; f < fabrics.size(); ++f) {
+      for (const ActiveJob& job : fabrics[f].jobs) {
+        const JobRecord& record =
+            report.jobs[static_cast<std::size_t>(job.record)];
+        ++loads[f].active_jobs;
+        loads[f].active_workers += record.spec.cluster.workers;
+        loads[f].active_param_mib +=
+            models::FindModel(record.spec.model).total_param_mib;
+      }
+    }
+    return loads;
+  };
+
+  // Places record `r` now if the policy finds an eligible fabric;
+  // returns the fabric index or -1.
+  const auto try_place = [&](int r) {
+    JobRecord& record = report.jobs[static_cast<std::size_t>(r)];
+    const int f = placement->Place(record.spec, fabric_loads(), decisions++,
+                                   config_.max_jobs_per_fabric);
+    if (f < 0) return -1;
+    Fabric& fabric = fabrics[static_cast<std::size_t>(f)];
+    if (static_cast<int>(fabric.jobs.size()) >= config_.max_jobs_per_fabric) {
+      Fail("placement policy '" + config_.placement +
+           "' returned full fabric " + std::to_string(f));
+    }
+    record.fabric = f;
+    record.admit_time = now;
+    fabric.jobs.push_back(ActiveJob{r, 0, 0.0});
+    fabric.dirty = true;
+    ++counters.admitted;
+    return f;
+  };
+
+  // Integrates utilization / mean-jobs-in-system up to time `t`.
+  const auto advance_clock = [&](double t) {
+    int busy = 0;
+    int active = 0;
+    for (const Fabric& fabric : fabrics) {
+      busy += fabric.jobs.empty() ? 0 : 1;
+      active += static_cast<int>(fabric.jobs.size());
+    }
+    busy_fabric_time += (t - now) * busy;
+    active_job_time += (t - now) * active;
+    now = t;
+  };
+
+  // ---- the event loop ------------------------------------------------------
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::size_t next_arrival = 0;
+  while (true) {
+    const double arrival_at = next_arrival < arrivals.size()
+                                  ? arrivals[next_arrival].time
+                                  : kInf;
+    double completion_at = kInf;
+    std::size_t completion_fabric = 0;
+    std::size_t completion_job = 0;
+    for (std::size_t f = 0; f < fabrics.size(); ++f) {
+      for (std::size_t j = 0; j < fabrics[f].jobs.size(); ++j) {
+        if (fabrics[f].jobs[j].iteration_finish < completion_at) {
+          completion_at = fabrics[f].jobs[j].iteration_finish;
+          completion_fabric = f;
+          completion_job = j;
+        }
+      }
+    }
+    if (arrival_at == kInf && completion_at == kInf) break;
+
+    if (completion_at <= arrival_at) {
+      // Iteration boundary first (at ties it frees capacity before the
+      // arrival is placed — a deterministic, work-conserving order).
+      advance_clock(completion_at);
+      Fabric& fabric = fabrics[completion_fabric];
+      ActiveJob& job = fabric.jobs[completion_job];
+      JobRecord& record = report.jobs[static_cast<std::size_t>(job.record)];
+      ++job.next_iteration;
+      if (job.next_iteration < record.spec.iterations) {
+        schedule_iteration(fabric, completion_job);
+        continue;
+      }
+      // The job drains: re-lower the affected fabric (lazily, on its
+      // next scheduled iteration) and pull from the admission queue.
+      record.completion_time = now;
+      ++counters.completed;
+      fabric.jobs.erase(fabric.jobs.begin() +
+                        static_cast<std::ptrdiff_t>(completion_job));
+      fabric.dirty = true;
+      std::vector<std::pair<std::size_t, int>> admitted;  // (fabric, record)
+      while (!admission_queue.empty()) {
+        const int r = admission_queue.front();
+        const int placed = try_place(r);
+        if (placed < 0) break;  // FIFO: the head blocks the rest
+        admission_queue.pop_front();
+        admitted.emplace_back(static_cast<std::size_t>(placed), r);
+      }
+      for (const auto& [f, r] : admitted) {
+        Fabric& target = fabrics[f];
+        for (std::size_t j = 0; j < target.jobs.size(); ++j) {
+          if (target.jobs[j].record == r) {
+            schedule_iteration(target, j);
+            break;
+          }
+        }
+      }
+      continue;
+    }
+
+    // Arrival(s): admit every job arriving at this exact instant (a
+    // burst) before simulating first iterations, so one burst costs one
+    // re-lowering of each touched fabric, not one per job.
+    advance_clock(arrival_at);
+    std::vector<std::pair<std::size_t, int>> admitted;
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].time == arrival_at) {
+      const int r = static_cast<int>(report.jobs.size());
+      JobRecord record;
+      record.id = r;
+      record.spec = arrivals[next_arrival].spec;
+      record.arrival_time = arrival_at;
+      report.jobs.push_back(std::move(record));
+      ++counters.arrivals;
+      ++next_arrival;
+      const int placed = try_place(r);
+      if (placed >= 0) {
+        admitted.emplace_back(static_cast<std::size_t>(placed), r);
+      } else if (static_cast<int>(admission_queue.size()) <
+                 config_.admission_queue_capacity) {
+        admission_queue.push_back(r);
+        ++counters.queued;
+      } else {
+        report.jobs[static_cast<std::size_t>(r)].rejected = true;
+        ++counters.rejected;
+      }
+    }
+    for (const auto& [f, r] : admitted) {
+      Fabric& target = fabrics[f];
+      for (std::size_t j = 0; j < target.jobs.size(); ++j) {
+        if (target.jobs[j].record == r) {
+          schedule_iteration(target, j);
+          break;
+        }
+      }
+    }
+  }
+
+  report.makespan = now;
+
+  // ---- SLO aggregates ------------------------------------------------------
+
+  std::vector<double> slowdowns;
+  std::vector<double> delays;
+  for (JobRecord& record : report.jobs) {
+    if (record.rejected) continue;
+    record.mean_iter_s = MeanOf(record.iteration_times);
+    record.isolated_iter_s = IsolatedIterationTime(record.spec, counters);
+    record.slowdown = record.isolated_iter_s > 0.0
+                          ? record.mean_iter_s / record.isolated_iter_s
+                          : 1.0;
+    slowdowns.push_back(record.slowdown);
+    delays.push_back(record.QueueDelay());
+  }
+  if (!slowdowns.empty()) {
+    report.p50_slowdown = util::Percentile(slowdowns, 0.5);
+    report.p99_slowdown = util::Percentile(slowdowns, 0.99);
+    report.mean_slowdown = MeanOf(slowdowns);
+    report.max_slowdown = *std::max_element(slowdowns.begin(),
+                                            slowdowns.end());
+    report.mean_queue_delay_s = MeanOf(delays);
+    report.p50_queue_delay_s = util::Percentile(delays, 0.5);
+    report.p99_queue_delay_s = util::Percentile(delays, 0.99);
+  }
+  if (report.makespan > 0.0) {
+    report.utilization = busy_fabric_time /
+                         (static_cast<double>(config_.fabrics) *
+                          report.makespan);
+    report.mean_active_jobs = active_job_time / report.makespan;
+  }
+
+  // Jain fairness of normalized progress (1 = the job advanced at its
+  // isolated speed), per time window: catches transient unfairness a
+  // whole-run average hides.
+  report.window_fairness.assign(
+      static_cast<std::size_t>(config_.fairness_windows), 1.0);
+  if (report.makespan > 0.0) {
+    for (int w = 0; w < config_.fairness_windows; ++w) {
+      const double lo = report.makespan * w / config_.fairness_windows;
+      const double hi = report.makespan * (w + 1) / config_.fairness_windows;
+      std::vector<double> rates;
+      for (const JobRecord& record : report.jobs) {
+        if (record.rejected || record.iteration_times.empty()) continue;
+        const double from = std::max(lo, record.admit_time);
+        const double to = std::min(hi, record.completion_time);
+        if (to <= from) continue;
+        const double progress =
+            ProgressAt(record, to) - ProgressAt(record, from);
+        rates.push_back(progress * record.isolated_iter_s / (to - from));
+      }
+      if (!rates.empty()) {
+        report.window_fairness[static_cast<std::size_t>(w)] =
+            core::JainFairness(rates);
+      }
+    }
+  }
+  report.mean_fairness = MeanOf(report.window_fairness);
+  return report;
+}
+
+// ---- report emitters --------------------------------------------------------
+
+util::Table ServiceReport::ToTable() const {
+  util::Table table({"Metric", "Value"});
+  table.AddRow({"arrivals", config.arrivals.ToString()});
+  table.AddRow({"placement", config.placement});
+  table.AddRow({"fabrics", std::to_string(config.fabrics)});
+  table.AddRow({"duration (s)", util::Fmt(config.duration, 2)});
+  table.AddRow({"jobs arrived / completed",
+                std::to_string(counters.arrivals) + " / " +
+                    std::to_string(counters.completed)});
+  table.AddRow({"jobs queued / rejected",
+                std::to_string(counters.queued) + " / " +
+                    std::to_string(counters.rejected)});
+  table.AddRow({"makespan (s)", util::Fmt(makespan, 2)});
+  table.AddRow({"slowdown p50 / p99",
+                util::Fmt(p50_slowdown, 3) + "x / " +
+                    util::Fmt(p99_slowdown, 3) + "x"});
+  table.AddRow({"slowdown mean / max",
+                util::Fmt(mean_slowdown, 3) + "x / " +
+                    util::Fmt(max_slowdown, 3) + "x"});
+  table.AddRow({"queue delay mean / p99 (ms)",
+                util::Fmt(mean_queue_delay_s * 1e3, 2) + " / " +
+                    util::Fmt(p99_queue_delay_s * 1e3, 2)});
+  table.AddRow({"utilization", util::Fmt(utilization, 3)});
+  table.AddRow({"mean active jobs", util::Fmt(mean_active_jobs, 2)});
+  table.AddRow({"Jain fairness (mean over windows)",
+                util::Fmt(mean_fairness, 3)});
+  table.AddRow({"fabric re-lowerings",
+                std::to_string(counters.fabric_relowerings)});
+  table.AddRow({"property-index builds / cache hits",
+                std::to_string(counters.property_index_builds) + " / " +
+                    std::to_string(counters.runner_cache_hits)});
+  table.AddRow({"schedules computed / cache hits",
+                std::to_string(counters.schedules_computed) + " / " +
+                    std::to_string(counters.schedule_cache_hits)});
+  table.AddRow({"simulations run", std::to_string(counters.sim_runs)});
+  return table;
+}
+
+std::string ServiceReport::ToJson() const {
+  std::string json = "{\n";
+  json += "  \"arrivals\": \"" + JsonEscape(config.arrivals.ToString()) +
+          "\",\n";
+  json += "  \"placement\": \"" + JsonEscape(config.placement) + "\",\n";
+  json += "  \"fabrics\": " + std::to_string(config.fabrics) + ",\n";
+  json += "  \"duration_s\": " + FormatDouble(config.duration) + ",\n";
+  json += "  \"seed\": " + std::to_string(config.seed) + ",\n";
+  json += "  \"jobs\": {\"arrived\": " + std::to_string(counters.arrivals) +
+          ", \"admitted\": " + std::to_string(counters.admitted) +
+          ", \"queued\": " + std::to_string(counters.queued) +
+          ", \"rejected\": " + std::to_string(counters.rejected) +
+          ", \"completed\": " + std::to_string(counters.completed) + "},\n";
+  json += "  \"slo\": {\"p50_slowdown\": " + FormatDouble(p50_slowdown) +
+          ", \"p99_slowdown\": " + FormatDouble(p99_slowdown) +
+          ", \"mean_slowdown\": " + FormatDouble(mean_slowdown) +
+          ", \"max_slowdown\": " + FormatDouble(max_slowdown) +
+          ", \"mean_queue_delay_s\": " + FormatDouble(mean_queue_delay_s) +
+          ", \"p50_queue_delay_s\": " + FormatDouble(p50_queue_delay_s) +
+          ", \"p99_queue_delay_s\": " + FormatDouble(p99_queue_delay_s) +
+          ", \"utilization\": " + FormatDouble(utilization) +
+          ", \"mean_active_jobs\": " + FormatDouble(mean_active_jobs) +
+          ", \"mean_fairness\": " + FormatDouble(mean_fairness) +
+          ", \"makespan_s\": " + FormatDouble(makespan) + ",\n";
+  json += "    \"window_fairness\": [";
+  for (std::size_t w = 0; w < window_fairness.size(); ++w) {
+    json += (w == 0 ? "" : ", ") + FormatDouble(window_fairness[w]);
+  }
+  json += "]},\n";
+  json += "  \"counters\": {\"fabric_relowerings\": " +
+          std::to_string(counters.fabric_relowerings) +
+          ", \"property_index_builds\": " +
+          std::to_string(counters.property_index_builds) +
+          ", \"runner_cache_hits\": " +
+          std::to_string(counters.runner_cache_hits) +
+          ", \"schedules_computed\": " +
+          std::to_string(counters.schedules_computed) +
+          ", \"schedule_cache_hits\": " +
+          std::to_string(counters.schedule_cache_hits) +
+          ", \"sim_runs\": " + std::to_string(counters.sim_runs) + "}\n";
+  json += "}\n";
+  return json;
+}
+
+std::string ServiceReport::JobTraceJson() const {
+  std::string json = "[";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobRecord& job = jobs[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += "  {\"id\": " + std::to_string(job.id);
+    json += ", \"fabric\": " + std::to_string(job.fabric);
+    json += ", \"spec\": \"" + JsonEscape(job.spec.ToString()) + "\"";
+    json += ", \"arrival_s\": " + FormatDouble(job.arrival_time);
+    json += ", \"admit_s\": " + FormatDouble(job.admit_time);
+    json += ", \"completion_s\": " + FormatDouble(job.completion_time);
+    json += ", \"queue_delay_s\": " + FormatDouble(job.QueueDelay());
+    json += ", \"iterations\": " +
+            std::to_string(job.iteration_times.size());
+    json += ", \"mean_iter_s\": " + FormatDouble(job.mean_iter_s);
+    json += ", \"isolated_iter_s\": " + FormatDouble(job.isolated_iter_s);
+    json += ", \"slowdown\": " + FormatDouble(job.slowdown);
+    json += std::string(", \"rejected\": ") +
+            (job.rejected ? "true" : "false");
+    json += "}";
+  }
+  json += "\n]\n";
+  return json;
+}
+
+}  // namespace tictac::sched

@@ -1,0 +1,198 @@
+// Cluster-scheduler service (DESIGN.md §7): the open-system front end
+// over the multi-job shared-cluster simulator.
+//
+// The service runs a long-lived discrete-event loop at job-iteration
+// granularity over K shared PS fabrics:
+//
+//   arrival process (sched/arrival.h)
+//     -> admission (bounded FIFO queue, queueing-delay accounting)
+//       -> placement (sched/placement.h: which fabric)
+//         -> incremental re-lowering (ONLY the affected fabric is
+//            re-lowered on an arrival or drain; schedules and
+//            PropertyIndex dependency analyses are cached and reused,
+//            so the PR-2 incremental machinery is built once per
+//            distinct (model, cluster, contention level), never per
+//            event)
+//           -> SLO metrics over time (p50/p99 per-job slowdown vs the
+//              cached isolated baseline, windowed Jain fairness,
+//              utilization, queueing delay)
+//
+// Modeling choices (documented, deterministic):
+//   * Re-scheduling happens at iteration boundaries: a job's in-flight
+//     iteration finishes at the time computed when it started; the new
+//     fabric mix applies from its next iteration — exactly how a PS
+//     runtime reconfigures between steps, and what keeps replays
+//     bit-identical.
+//   * A job's iteration time under the current mix comes from one
+//     combined-fabric simulation (runtime::LowerSharedCluster of the
+//     resident jobs, seeded spec.seed + iteration index) sliced to the
+//     job. A lone job on a fabric therefore reproduces the single-job
+//     Session result bit for bit (the 1-job lowering degenerates
+//     exactly; pinned in tests/service_test.cc).
+//   * Same config + same seed => bit-identical ServiceReport (and
+//     ToJson() string), on every platform.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/schedule.h"
+#include "runtime/multijob.h"
+#include "runtime/runner.h"
+#include "sched/arrival.h"
+#include "sched/placement.h"
+#include "util/table.h"
+
+namespace tictac::sched {
+
+// Everything a service run depends on. Deterministic in this + nothing.
+struct ServiceConfig {
+  ArrivalSpec arrivals;
+  // Templates for synthetic arrival processes, cycled round-robin
+  // (ignored when arrivals is a trace — the trace carries its specs).
+  std::vector<runtime::ExperimentSpec> workload;
+  // Number of independent shared PS fabrics (the K of placement).
+  int fabrics = 1;
+  // Admission horizon in cluster seconds: arrivals stop at `duration`,
+  // resident and queued jobs then drain to completion.
+  double duration = 10.0;
+  // sched::MakePlacementPolicy name.
+  std::string placement = "least-loaded";
+  // Per-fabric co-location cap; arrivals beyond it queue.
+  int max_jobs_per_fabric = 8;
+  // Bounded admission queue; arrivals beyond it are rejected (counted).
+  int admission_queue_capacity = 64;
+  // Time windows for the Jain-fairness-over-time series.
+  int fairness_windows = 8;
+  // Seeds the arrival stream (per-job sim seeds come from each spec).
+  std::uint64_t seed = 1;
+
+  // Structural bounds (fabric/queue/window counts, duration, placement
+  // name, arrival spec). Job specs are validated against the shared
+  // fabric when the arrival stream is materialized. Throws
+  // std::invalid_argument naming the offending field.
+  void Validate() const;
+};
+
+// The service-side life of one submitted job.
+struct JobRecord {
+  int id = 0;
+  int fabric = -1;  // -1 while queued / when rejected
+  runtime::ExperimentSpec spec;
+  double arrival_time = 0.0;
+  double admit_time = 0.0;      // == arrival_time when placed immediately
+  double completion_time = 0.0;
+  bool rejected = false;
+  // Contended per-iteration durations, in execution order; iteration i
+  // ran over [admit + Σ<i, admit + Σ<=i).
+  std::vector<double> iteration_times;
+  double mean_iter_s = 0.0;
+  double isolated_iter_s = 0.0;  // cached single-job baseline
+  double slowdown = 1.0;         // mean_iter_s / isolated_iter_s
+
+  double QueueDelay() const { return admit_time - arrival_time; }
+};
+
+// Visibility into what the event loop actually did — the counters the
+// "no full-world recompute" tests pin (tests/service_test.cc).
+struct ServiceCounters {
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t queued = 0;    // admitted via the queue (delay > 0)
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  // Shared-fabric lowerings built — one per (arrival|drain) per affected
+  // fabric, never K at once.
+  std::uint64_t fabric_relowerings = 0;
+  // Runner constructions = PropertyIndex dependency analyses built. Stays
+  // bounded by the distinct (model, cluster, contention-level) set while
+  // arrivals grow unbounded: the reuse the subsystem is built around.
+  std::uint64_t property_index_builds = 0;
+  std::uint64_t runner_cache_hits = 0;
+  std::uint64_t schedules_computed = 0;
+  std::uint64_t schedule_cache_hits = 0;
+  std::uint64_t sim_runs = 0;
+};
+
+struct ServiceReport {
+  ServiceConfig config;
+  std::vector<JobRecord> jobs;  // by submission order (id)
+  ServiceCounters counters;
+
+  // Cluster clock when the last job drained (>= duration when any job
+  // was still running at the admission horizon; 0 for an empty stream).
+  double makespan = 0.0;
+
+  // SLO aggregates over completed jobs (neutral defaults when none).
+  double p50_slowdown = 1.0;
+  double p99_slowdown = 1.0;
+  double mean_slowdown = 1.0;
+  double max_slowdown = 1.0;
+  double mean_queue_delay_s = 0.0;
+  double p50_queue_delay_s = 0.0;
+  double p99_queue_delay_s = 0.0;
+  // Busy fabric-time / (fabrics * makespan): the fraction of fabric
+  // capacity that had >= 1 resident job.
+  double utilization = 0.0;
+  double mean_active_jobs = 0.0;
+  // Jain fairness of per-job normalized progress, per time window over
+  // [0, makespan] (config.fairness_windows entries; 1 where no job was
+  // active), plus its mean.
+  std::vector<double> window_fairness;
+  double mean_fairness = 1.0;
+
+  // Two-column SLO summary (metric, value).
+  util::Table ToTable() const;
+  // Summary JSON object (config echo, job counts, SLO block, counters);
+  // bit-identical across runs with the same config. Shape pinned in
+  // tests/service_test.cc.
+  std::string ToJson() const;
+  // Per-job records as a JSON array — the `serve --trace out.json` body.
+  std::string JobTraceJson() const;
+};
+
+// The long-running scheduler loop. Construction validates the config;
+// Run() materializes the arrival stream, validates it against the
+// shared-fabric rules (uniform env / ps= / jitter / ooo across all jobs;
+// iterations and seed are per-job), and plays the open system to
+// completion. Run() is deterministic and repeatable — internal caches
+// only make it faster, never different.
+class SchedulerService {
+ public:
+  explicit SchedulerService(ServiceConfig config);
+
+  ServiceReport Run();
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct CachedRunner {
+    std::unique_ptr<runtime::Runner> runner;
+  };
+  struct CachedSchedule {
+    core::Schedule schedule;
+    bool covers_all_recvs = false;
+  };
+
+  // Runner for (spec, bandwidth scale), built once per distinct key.
+  const runtime::Runner& GetRunner(const runtime::ExperimentSpec& spec,
+                                   double bandwidth_scale,
+                                   ServiceCounters& counters);
+  const CachedSchedule& GetSchedule(const runtime::ExperimentSpec& spec,
+                                    double bandwidth_scale,
+                                    ServiceCounters& counters);
+  double IsolatedIterationTime(const runtime::ExperimentSpec& spec,
+                               ServiceCounters& counters);
+
+  ServiceConfig config_;
+  // model + cluster + contended-bandwidth scale -> analyzed Runner
+  // (PropertyIndex built once; scale 1 doubles as the isolated baseline).
+  std::unordered_map<std::string, CachedRunner> runners_;
+  std::unordered_map<std::string, CachedSchedule> schedules_;
+  std::unordered_map<std::string, double> isolated_;
+};
+
+}  // namespace tictac::sched

@@ -5,6 +5,7 @@
 // explicitly seeded Rng so that experiments are reproducible run-to-run.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 #include <vector>
@@ -46,6 +47,30 @@ class Rng {
     return std::bernoulli_distribution(p)(engine_);
   }
 
+  // Exponential inter-arrival gap with the given rate (events/second);
+  // mean 1/rate. Implemented by inverse-CDF over the raw engine bits —
+  // not std::exponential_distribution, whose output differs across
+  // standard libraries — so a seeded arrival stream (sched::ArrivalSpec)
+  // is bit-identical on every platform. Requires rate > 0.
+  double Exponential(double rate) {
+    return -std::log(Canonical()) / rate;
+  }
+
+  // Poisson count with the given mean, via Knuth's product-of-uniforms
+  // (portable for the same reason as Exponential; O(mean) draws, fine
+  // for the modest burst/batch sizes the schedulers use). mean == 0
+  // returns 0; requires mean >= 0 and finite.
+  std::int64_t Poisson(double mean) {
+    const double limit = std::exp(-mean);
+    std::int64_t k = 0;
+    double product = 1.0;
+    do {
+      product *= Canonical();
+      ++k;
+    } while (product > limit);
+    return k - 1;
+  }
+
   // Uniformly selects an index in [0, n). Requires n > 0.
   std::size_t Index(std::size_t n) {
     return static_cast<std::size_t>(UniformInt(0, static_cast<std::int64_t>(n) - 1));
@@ -66,6 +91,13 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  // Uniform draw in (0, 1], 53-bit resolution, straight from the engine
+  // (mt19937_64 output is specified exactly, unlike the standard
+  // distributions). The +1 excludes 0 so log() is always finite.
+  double Canonical() {
+    return static_cast<double>((engine_() >> 11) + 1) * 0x1.0p-53;
+  }
+
   std::mt19937_64 engine_;
 };
 

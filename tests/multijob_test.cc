@@ -8,8 +8,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "harness/session.h"
+#include "util/stats.h"
 
 namespace tictac::runtime {
 namespace {
@@ -225,6 +227,43 @@ TEST(MultiJob, ContentionSlowsEveryJob) {
   EXPECT_GT(report.interference.fairness, 0.99);
   EXPECT_GE(report.interference.max_slowdown,
             report.interference.mean_slowdown);
+}
+
+// Pins MultiJobReport::ToJson's shape — downstream tooling parses these
+// keys, including the per-iteration p50/p99 slowdown distribution added
+// with the scheduler service.
+TEST(MultiJob, ReportJsonShapeIsPinned) {
+  MultiJobSpec multi;
+  multi.jobs.push_back({Job("Inception v1", 2, 1, true, "tac"), 0.0});
+  multi.jobs.push_back({Job("Inception v1", 2, 1, true, "tac"), 0.0});
+  harness::Session session;
+  const harness::MultiJobReport report = session.RunMultiJob(multi);
+  const std::string json = report.ToJson();
+  for (const char* key :
+       {"\"spec\": ", "\"combined\": {\"mean_iteration_s\": ",
+        "\"throughput\": ", "\"jobs\": [", "\"job\": 0", "\"job\": 1",
+        "\"model\": \"Inception v1\"", "\"policy\": \"tac\"",
+        "\"start_offset_s\": ", "\"mean_iteration_s\": ",
+        "\"mean_efficiency\": ", "\"mean_overlap\": ",
+        "\"isolated_iteration_s\": ", "\"slowdown\": ",
+        "\"p50_slowdown\": ", "\"p99_slowdown\": ", "\"mean_slowdown\": ",
+        "\"max_slowdown\": ", "\"fairness\": "}) {
+    EXPECT_NE(json.find(key), std::string::npos)
+        << "missing " << key << " in:\n" << json;
+  }
+  // Per-iteration percentiles sit inside the observed slowdown range.
+  const std::vector<double> ratios = report.IterationSlowdowns(0);
+  ASSERT_EQ(ratios.size(), 3u);  // one per iteration
+  const double p50 = util::Percentile(ratios, 0.5);
+  const double p99 = util::Percentile(ratios, 0.99);
+  EXPECT_GE(p99, p50);
+  EXPECT_GE(p50, *std::min_element(ratios.begin(), ratios.end()));
+  EXPECT_LE(p99, *std::max_element(ratios.begin(), ratios.end()));
+  // Without isolated references the slowdown keys must be absent.
+  const harness::MultiJobReport bare =
+      session.RunMultiJob(multi, /*with_isolated=*/false);
+  EXPECT_EQ(bare.ToJson().find("\"p50_slowdown\""), std::string::npos);
+  EXPECT_TRUE(bare.IterationSlowdowns(0).empty());
 }
 
 TEST(MultiJob, RunMultiJobWithoutIsolatedSkipsReferences) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "util/csv.h"
 #include "util/rng.h"
@@ -185,6 +186,69 @@ TEST(Csv, EscapesSpecialCharacters) {
   EXPECT_EQ(CsvEscape("plain"), "plain");
   EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
   EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  // 20k draws at rate 4: the sample mean of Exp(rate) concentrates
+  // around 1/rate (stderr ~ 1/(rate*sqrt(n)) ≈ 0.0018).
+  Rng rng(17);
+  const double rate = 4.0;
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.Exponential(rate);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20000.0, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ExponentialDeterministicForSameSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Exponential(2.5), b.Exponential(2.5));
+  }
+}
+
+TEST(Rng, PoissonMeanAndVarianceMatch) {
+  // Poisson(6): mean == variance == 6. 20k draws pin both to ~1%.
+  Rng rng(23);
+  const double mean = 6.0;
+  std::vector<double> draws;
+  draws.reserve(20000);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto k = rng.Poisson(mean);
+    EXPECT_GE(k, 0);
+    draws.push_back(static_cast<double>(k));
+    sum += static_cast<double>(k);
+  }
+  const double sample_mean = sum / 20000.0;
+  double var = 0.0;
+  for (const double k : draws) {
+    var += (k - sample_mean) * (k - sample_mean);
+  }
+  var /= 20000.0;
+  EXPECT_NEAR(sample_mean, mean, 0.1);
+  EXPECT_NEAR(var, mean, 0.25);
+}
+
+TEST(Rng, PoissonDeterministicForSameSeed) {
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Poisson(3.0), b.Poisson(3.0));
+  }
+}
+
+TEST(Rng, PoissonSmallMeanIsMostlyZeroOrOne) {
+  Rng rng(31);
+  int small = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (rng.Poisson(0.1) <= 1) ++small;
+  }
+  // P(X <= 1) for Poisson(0.1) is ~0.995.
+  EXPECT_GT(small, 980);
 }
 
 TEST(Csv, WritesRowsToFile) {
