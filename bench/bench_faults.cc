@@ -1,0 +1,89 @@
+// Robustness SLOs under injected faults (DESIGN.md §8): the same open
+// system as bench_service played against deterministic fault timelines,
+// one case per (placement policy × fault scenario). The timed loop
+// measures the full chaotic service run — fault compilation, eviction,
+// backoff, re-placement — while the robustness counters (tail slowdown,
+// goodput vs offered, retries, lost iterations, MTTR) ride into
+// BENCH_sched.json via bench/run_benches.sh, so recovery-path changes
+// that shift MTTR or goodput show up in the archived perf trajectory.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "fault/fault.h"
+#include "runtime/spec.h"
+#include "sched/service.h"
+
+namespace {
+
+tictac::sched::ServiceConfig Config(const std::string& placement,
+                                    const std::string& faults) {
+  tictac::sched::ServiceConfig config;
+  config.arrivals = tictac::sched::ArrivalSpec::Parse("poisson:rate=20");
+  config.workload = {tictac::runtime::ExperimentSpec::Parse(
+      "envG:workers=2:ps=1:training model=Inception v1 policy=tac "
+      "iterations=2 seed=3")};
+  config.fabrics = 2;
+  config.duration = 0.5;
+  config.placement = placement;
+  config.max_jobs_per_fabric = 4;
+  config.seed = 9;
+  config.faults = tictac::fault::FaultSpec::Parse(faults);
+  return config;
+}
+
+void BM_FaultRecovery(benchmark::State& state, const char* placement,
+                      const char* faults) {
+  const tictac::sched::ServiceConfig config = Config(placement, faults);
+  // One untimed run supplies the (deterministic) robustness counters.
+  const tictac::sched::ServiceReport report =
+      tictac::sched::SchedulerService(config).Run();
+  for (auto _ : state) {
+    tictac::sched::SchedulerService service(config);
+    benchmark::DoNotOptimize(service.Run());
+  }
+  state.counters["p99_slowdown"] = report.p99_slowdown;
+  state.counters["goodput_iters_per_s"] = report.goodput_iters_per_s;
+  state.counters["offered_iters_per_s"] = report.offered_iters_per_s;
+  state.counters["retries"] = static_cast<double>(report.counters.retries);
+  state.counters["lost_iterations"] =
+      static_cast<double>(report.counters.lost_iterations);
+  state.counters["failed_jobs"] =
+      static_cast<double>(report.counters.failed_jobs);
+  state.counters["mttr_ms"] = report.mttr_mean_s * 1e3;
+  state.SetLabel(std::to_string(report.counters.arrivals) + " arrivals, " +
+                 std::to_string(report.counters.faults_injected) +
+                 " faults, " + std::to_string(report.counters.completed) +
+                 " completed");
+}
+
+// Placement policies × fault scenarios: how the placement choice shapes
+// survival of stragglers, degraded links, flapping NICs, and crashes.
+#define FAULT_CASE(tag, placement, faults)                     \
+  BENCHMARK_CAPTURE(BM_FaultRecovery, tag, placement, faults)  \
+      ->Unit(benchmark::kMillisecond)
+
+FAULT_CASE(straggler_least_loaded, "least-loaded",
+           "straggler:worker=0:factor=4:at=0.1:for=0.3");
+FAULT_CASE(straggler_failure_aware, "failure-aware",
+           "straggler:worker=0:factor=4:at=0.1:for=0.3");
+FAULT_CASE(slowlink_least_loaded, "least-loaded",
+           "slowlink:nic=0:scale=0.25:at=0.1:for=0.3");
+FAULT_CASE(slowlink_failure_aware, "failure-aware",
+           "slowlink:nic=0:scale=0.25:at=0.1:for=0.3");
+FAULT_CASE(flap_least_loaded, "least-loaded",
+           "flap:nic=0:period=0.05:at=0.1:for=0.3");
+FAULT_CASE(flap_failure_aware, "failure-aware",
+           "flap:nic=0:period=0.05:at=0.1:for=0.3");
+FAULT_CASE(fabric_crash_least_loaded, "least-loaded",
+           "crash:fabric=0:at=0.2");
+FAULT_CASE(fabric_crash_failure_aware, "failure-aware",
+           "crash:fabric=0:at=0.2");
+FAULT_CASE(worker_crash_least_loaded, "least-loaded",
+           "crash:worker=0:at=0.2");
+
+#undef FAULT_CASE
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -9,10 +9,12 @@
 # experiment grid through harness::Session's executor — serial (/1) vs
 # one thread per core — bench_multijob's BM_MultiJob* cases record
 # the contended-simulation cost plus per-policy slowdown/fairness
-# counters, and bench_service's BM_ServiceOpenSystem cases record the
+# counters, bench_service's BM_ServiceOpenSystem cases record the
 # open-system scheduler-service SLOs (p99 slowdown, windowed fairness,
-# utilization, queueing delay) per (policy x placement); the summary
-# below echoes all three.
+# utilization, queueing delay) per (policy x placement), and
+# bench_faults' BM_FaultRecovery cases record the robustness SLOs
+# (goodput vs offered, retries, lost iterations, MTTR) per (placement x
+# fault scenario); the summary below echoes all four.
 #
 # Usage: bench/run_benches.sh [build_dir] [out.json] [extra benchmark args]
 #   BENCH_MIN_TIME=0.2 bench/run_benches.sh build-release
@@ -75,7 +77,7 @@ EOF
 
 EXTRA_OUT="$(mktemp)"
 trap 'rm -f "${EXTRA_OUT}"' EXIT
-for extra_bench in bench_multijob bench_service; do
+for extra_bench in bench_multijob bench_service bench_faults; do
   EXTRA_BIN="${BUILD_DIR}/${extra_bench}"
   if [[ -x "${EXTRA_BIN}" ]]; then
     "${EXTRA_BIN}" \
@@ -133,6 +135,19 @@ if service:
         if p99 is not None:
             extras = (f" (p99 slowdown {p99:.3f}x, fairness {fairness:.3f},"
                       f" utilization {util:.3f})")
+        print(f"  {b['name']}: {b['real_time']:.1f} {b['time_unit']}{extras}")
+faults = [b for b in data.get("benchmarks", [])
+          if b.get("name", "").startswith("BM_FaultRecovery")]
+if faults:
+    print("fault recovery SLOs (BM_FaultRecovery, placement x scenario):")
+    for b in faults:
+        goodput = b.get("goodput_iters_per_s")
+        retries = b.get("retries")
+        mttr = b.get("mttr_ms")
+        extras = ""
+        if goodput is not None:
+            extras = (f" (goodput {goodput:.1f} iters/s,"
+                      f" retries {retries:.0f}, MTTR {mttr:.1f} ms)")
         print(f"  {b['name']}: {b['real_time']:.1f} {b['time_unit']}{extras}")
 EOF
 fi

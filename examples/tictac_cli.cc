@@ -23,7 +23,8 @@
 //   tictac_cli serve --arrivals "<arrival spec>" [--fabrics K]
 //                    [--duration T] [--job "<experiment spec>"]...
 //                    [--placement <name>] [--max-jobs N] [--queue N]
-//                    [--seed N] [--trace out.json] [--json]
+//                    [--seed N] [--faults "<fault spec>"]
+//                    [--retry-budget N] [--trace out.json] [--json]
 //       Long-running cluster-scheduler service (DESIGN.md §7): an open
 //       system where jobs arrive over time (poisson:rate=...,
 //       bursty:rate=...:burst=..., or trace:<csv>), are admitted and
@@ -31,7 +32,10 @@
 //       (p50/p99 slowdown, windowed Jain fairness, utilization,
 //       queueing delay) are reported. --job gives the synthetic
 //       workload templates (repeatable, cycled); --trace dumps the
-//       per-job record array as JSON.
+//       per-job record array as JSON. --faults injects a deterministic
+//       fault timeline (DESIGN.md §8) — stragglers, slow links, NIC
+//       flaps, worker/fabric crashes — and the report grows MTTR,
+//       retry, lost-work, and goodput metrics.
 //   tictac_cli simulate <model> [--workers N] [--ps N] [--training]
 //                       [--policy <name>] [--iterations N] [--env envC]
 //       Simulate a cluster and report throughput / E / stragglers.
@@ -55,6 +59,7 @@
 #include "core/io.h"
 #include "core/policy_registry.h"
 #include "core/tic.h"
+#include "fault/fault.h"
 #include "harness/session.h"
 #include "models/builder.h"
 #include "models/zoo.h"
@@ -89,6 +94,8 @@ struct Args {
   int queue = 64;
   std::uint64_t seed = 1;
   std::string trace_out;  // --trace: per-job JSON records file
+  std::string faults;     // --faults: fault::FaultSpec grammar
+  int retry_budget = 3;   // --retry-budget: evictions before failure
 };
 
 int Usage() {
@@ -104,7 +111,8 @@ int Usage() {
          "[--json]\n"
          "  tictac_cli serve --arrivals \"<arrival>\" [--fabrics K] "
          "[--duration T] [--job \"<spec>\"]... [--placement <name>] "
-         "[--max-jobs N] [--queue N] [--seed N] [--trace FILE] [--json]\n"
+         "[--max-jobs N] [--queue N] [--seed N] [--faults \"<faults>\"] "
+         "[--retry-budget N] [--trace FILE] [--json]\n"
          "  tictac_cli simulate <model> [--workers N] [--ps N] "
          "[--training] [--policy <name>] [--iterations N] [--env envC]\n"
          "  tictac_cli compare <model> [--workers N] [--ps N] "
@@ -123,6 +131,10 @@ int Usage() {
          "policy=tac} {envG:workers=2:ps=2 model=VGG-16}@0.05\n"
          "arrival grammar: poisson:rate=R | bursty:rate=R:burst=B | "
          "trace:<csv of `t,<spec>` rows>\n"
+         "fault grammar:  ';'-joined clauses or trace:<csv>, e.g. "
+         "straggler:worker=2:factor=3:at=1:for=2; "
+         "slowlink:nic=0:scale=0.25:at=1:for=2; crash:worker=2:at=5; "
+         "crash:fabric=1:at=5; flap:nic=0:period=0.5:at=1:for=3\n"
          "placements: ";
   bool first_placement = true;
   for (const auto& name : sched::PlacementPolicyNames()) {
@@ -204,6 +216,16 @@ bool Parse(int argc, char** argv, Args& args) {
                             args.command == "sweep" ||
                             args.command == "multijob" ||
                             args.command == "serve";
+  // Name the offender before any positional-argument checks, so a bare
+  // `tictac_cli frobnicate` says what was wrong instead of just printing
+  // usage (pinned in tests/cli_smoke_test.cc).
+  if (!spec_command && args.command != "models" &&
+      args.command != "policies" && args.command != "schedule" &&
+      args.command != "simulate" && args.command != "compare" &&
+      args.command != "export-graph" && args.command != "export-dot") {
+    std::cerr << "unknown command: " << args.command << "\n";
+    return false;
+  }
   if (!spec_command && args.command != "models" &&
       args.command != "policies") {
     if (i >= argc) return false;
@@ -238,7 +260,7 @@ bool Parse(int argc, char** argv, Args& args) {
         flag == "--arrivals" || flag == "--fabrics" ||
         flag == "--duration" || flag == "--job" || flag == "--placement" ||
         flag == "--max-jobs" || flag == "--queue" || flag == "--seed" ||
-        flag == "--trace";
+        flag == "--trace" || flag == "--faults" || flag == "--retry-budget";
     const bool spec_family = flag == "--spec" || flag == "--sweep" ||
                              flag == "--jobs" || flag == "--no-isolated" ||
                              flag == "--parallel" || flag == "--csv" ||
@@ -259,7 +281,8 @@ bool Parse(int argc, char** argv, Args& args) {
                      "--sweep/--parallel/--csv/--json to sweep; "
                      "--jobs/--no-isolated/--json to multijob; "
                      "--arrivals/--fabrics/--duration/--job/--placement/"
-                     "--max-jobs/--queue/--seed/--trace/--json to serve)\n";
+                     "--max-jobs/--queue/--seed/--faults/--retry-budget/"
+                     "--trace/--json to serve)\n";
         return false;
       }
     }
@@ -311,6 +334,12 @@ bool Parse(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.trace_out = v;
+    } else if (flag == "--faults") {
+      const char* v = next();
+      if (!v) return false;
+      args.faults = v;
+    } else if (flag == "--retry-budget") {
+      if (!ParseIntFlag(next(), args.retry_budget)) return false;
     } else if (flag == "--parallel") {
       if (!ParseIntFlag(next(), args.parallelism)) return false;
       if (args.parallelism < 1) {
@@ -490,6 +519,10 @@ int CmdServe(const Args& args) {
   config.max_jobs_per_fabric = args.max_jobs;
   config.admission_queue_capacity = args.queue;
   config.seed = args.seed;
+  if (!args.faults.empty()) {
+    config.faults = fault::FaultSpec::Parse(args.faults);
+  }
+  config.retry_budget = args.retry_budget;
   harness::Session session;
   const sched::ServiceReport report = session.RunService(config);
   if (!args.trace_out.empty()) {
@@ -586,5 +619,6 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
+  std::cerr << "unknown command: " << args.command << "\n";
   return Usage();
 }

@@ -1,0 +1,382 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "runtime/spec.h"
+
+namespace tictac::fault {
+namespace {
+
+[[noreturn]] void Fail(const std::string& message) {
+  throw std::invalid_argument("fault: " + message);
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// A flap expands into one down window per cycle when the service compiles
+// it against an iteration; this bound keeps a one-line spec from encoding
+// millions of windows (same spirit as ArrivalSpec's burst cap).
+constexpr double kMaxFlapCycles = 4096.0;
+
+std::string_view KindName(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kStraggler:
+      return "straggler";
+    case FaultEvent::Kind::kSlowLink:
+      return "slowlink";
+    case FaultEvent::Kind::kCrashWorker:
+    case FaultEvent::Kind::kCrashFabric:
+      return "crash";
+    case FaultEvent::Kind::kFlap:
+      return "flap";
+  }
+  Fail("unknown fault kind");
+}
+
+double ParseNumberField(std::string_view field, std::string_view key) {
+  const std::string value(field.substr(key.size()));
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    if (consumed != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    Fail(std::string(key) + " expects a number, got '" + value + "'");
+  }
+}
+
+int ParseIntField(std::string_view field, std::string_view key) {
+  const double value = ParseNumberField(field, key);
+  if (value != std::floor(value)) {
+    Fail(std::string(key) + " expects an integer, got '" +
+         std::string(field.substr(key.size())) + "'");
+  }
+  return static_cast<int>(value);
+}
+
+// One `kind:key=value:...` clause. `where` prefixes error messages (the
+// clause itself inline, or "trace '...' line N" for trace rows).
+FaultEvent ParseEvent(std::string_view text, const std::string& where) {
+  const std::size_t colon = text.find(':');
+  const std::string_view head = text.substr(0, colon);
+  FaultEvent event;
+  bool saw_worker = false;
+  bool saw_fabric = false;
+  bool saw_nic = false;
+  bool saw_factor = false;
+  bool saw_scale = false;
+  bool saw_at = false;
+  bool saw_for = false;
+  bool saw_period = false;
+  if (head == "straggler") {
+    event.kind = FaultEvent::Kind::kStraggler;
+  } else if (head == "slowlink") {
+    event.kind = FaultEvent::Kind::kSlowLink;
+  } else if (head == "crash") {
+    event.kind = FaultEvent::Kind::kCrashFabric;  // refined below
+  } else if (head == "flap") {
+    event.kind = FaultEvent::Kind::kFlap;
+  } else {
+    Fail(where + "unknown fault kind '" + std::string(head) +
+         "' — expected straggler, slowlink, crash, flap, or trace:<file>");
+  }
+  std::size_t pos = colon;
+  while (pos != std::string_view::npos && pos < text.size()) {
+    const std::size_t next = text.find(':', pos + 1);
+    const std::string_view field =
+        text.substr(pos + 1, next == std::string_view::npos
+                                 ? std::string_view::npos
+                                 : next - pos - 1);
+    if (field.rfind("worker=", 0) == 0) {
+      event.worker = ParseIntField(field, "worker=");
+      saw_worker = true;
+    } else if (field.rfind("fabric=", 0) == 0) {
+      event.fabric = ParseIntField(field, "fabric=");
+      saw_fabric = true;
+    } else if (field.rfind("nic=", 0) == 0) {
+      event.nic = ParseIntField(field, "nic=");
+      saw_nic = true;
+    } else if (field.rfind("factor=", 0) == 0) {
+      event.factor = ParseNumberField(field, "factor=");
+      saw_factor = true;
+    } else if (field.rfind("scale=", 0) == 0) {
+      event.scale = ParseNumberField(field, "scale=");
+      saw_scale = true;
+    } else if (field.rfind("at=", 0) == 0) {
+      event.at = ParseNumberField(field, "at=");
+      saw_at = true;
+    } else if (field.rfind("for=", 0) == 0) {
+      event.duration = ParseNumberField(field, "for=");
+      saw_for = true;
+    } else if (field.rfind("period=", 0) == 0) {
+      event.period = ParseNumberField(field, "period=");
+      saw_period = true;
+    } else {
+      Fail(where + "unknown field '" + std::string(field) + "' in '" +
+           std::string(text) + "'");
+    }
+    pos = next;
+  }
+  // Per-kind required/forbidden fields, named loudly.
+  const std::string clause = where + "'" + std::string(text) + "': ";
+  auto require = [&](bool saw, std::string_view key) {
+    if (!saw) {
+      Fail(clause + std::string(KindName(event.kind)) + " requires " +
+           std::string(key) + "=");
+    }
+  };
+  auto forbid = [&](bool saw, std::string_view key) {
+    if (saw) {
+      Fail(clause + std::string(KindName(event.kind)) + " does not take " +
+           std::string(key) + "=");
+    }
+  };
+  require(saw_at, "at");
+  switch (event.kind) {
+    case FaultEvent::Kind::kStraggler:
+      require(saw_worker, "worker");
+      require(saw_factor, "factor");
+      forbid(saw_nic, "nic");
+      forbid(saw_scale, "scale");
+      forbid(saw_period, "period");
+      break;
+    case FaultEvent::Kind::kSlowLink:
+      require(saw_nic, "nic");
+      require(saw_scale, "scale");
+      forbid(saw_worker, "worker");
+      forbid(saw_factor, "factor");
+      forbid(saw_period, "period");
+      break;
+    case FaultEvent::Kind::kCrashFabric:
+      // crash:worker=... is a worker crash (fabric= then attributes it);
+      // crash:fabric=... alone is a whole-fabric crash.
+      if (saw_worker) {
+        event.kind = FaultEvent::Kind::kCrashWorker;
+      } else if (!saw_fabric) {
+        Fail(clause + "crash requires worker= or fabric=");
+      }
+      forbid(saw_nic, "nic");
+      forbid(saw_factor, "factor");
+      forbid(saw_scale, "scale");
+      forbid(saw_period, "period");
+      forbid(saw_for, "for");  // crashes are permanent
+      break;
+    case FaultEvent::Kind::kCrashWorker:
+      break;  // unreachable: refined from kCrashFabric above
+    case FaultEvent::Kind::kFlap:
+      require(saw_nic, "nic");
+      require(saw_period, "period");
+      require(saw_for, "for");  // an unbounded flap never converges
+      forbid(saw_worker, "worker");
+      forbid(saw_factor, "factor");
+      forbid(saw_scale, "scale");
+      break;
+  }
+  return event;
+}
+
+std::vector<FaultEvent> ReadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("fault: cannot read trace file '" + path + "'");
+  }
+  std::vector<FaultEvent> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line_no == 1 && line.rfind("\xef\xbb\xbf", 0) == 0) {
+      line.erase(0, 3);  // UTF-8 BOM from spreadsheet exports
+    }
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ' ||
+                             line.back() == '\t')) {
+      line.pop_back();
+    }
+    std::size_t start = 0;
+    while (start < line.size() &&
+           (line[start] == ' ' || line[start] == '\t')) {
+      ++start;
+    }
+    if (start == line.size() || line[start] == '#') continue;
+    events.push_back(ParseEvent(
+        std::string_view(line).substr(start),
+        "trace '" + path + "' line " + std::to_string(line_no) + ": "));
+  }
+  return events;
+}
+
+void ValidateEvent(const FaultEvent& event, std::size_t index) {
+  const std::string where =
+      "event " + std::to_string(index) + " ('" + event.ToString() + "') ";
+  if (event.fabric < 0) {
+    Fail(where + "fabric must be >= 0, got " + std::to_string(event.fabric));
+  }
+  if (!std::isfinite(event.at) || event.at < 0.0) {
+    Fail(where + "at must be finite and >= 0, got " +
+         runtime::FormatDouble(event.at));
+  }
+  if (!(event.duration > 0.0)) {  // infinity allowed: never lifts
+    Fail(where + "for must be > 0, got " +
+         runtime::FormatDouble(event.duration));
+  }
+  switch (event.kind) {
+    case FaultEvent::Kind::kStraggler:
+      if (event.worker < 0) {
+        Fail(where + "worker must be >= 0, got " +
+             std::to_string(event.worker));
+      }
+      if (!std::isfinite(event.factor) || event.factor < 1.0) {
+        Fail(where + "factor must be finite and >= 1, got " +
+             runtime::FormatDouble(event.factor));
+      }
+      break;
+    case FaultEvent::Kind::kSlowLink:
+      if (event.nic < 0) {
+        Fail(where + "nic must be >= 0, got " + std::to_string(event.nic));
+      }
+      if (!(event.scale > 0.0) || event.scale > 1.0) {
+        Fail(where + "scale must be in (0, 1], got " +
+             runtime::FormatDouble(event.scale));
+      }
+      break;
+    case FaultEvent::Kind::kCrashWorker:
+      if (event.worker < 0) {
+        Fail(where + "worker must be >= 0, got " +
+             std::to_string(event.worker));
+      }
+      break;
+    case FaultEvent::Kind::kCrashFabric:
+      break;
+    case FaultEvent::Kind::kFlap:
+      if (event.nic < 0) {
+        Fail(where + "nic must be >= 0, got " + std::to_string(event.nic));
+      }
+      if (!(event.period > 0.0) || !std::isfinite(event.period)) {
+        Fail(where + "period must be finite and > 0, got " +
+             runtime::FormatDouble(event.period));
+      }
+      if (!std::isfinite(event.duration)) {
+        Fail(where + "flap requires a finite for=");
+      }
+      if (event.duration / event.period > kMaxFlapCycles) {
+        Fail(where + "for/period covers " +
+             runtime::FormatDouble(event.duration / event.period) +
+             " cycles — the cap is " + runtime::FormatDouble(kMaxFlapCycles));
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::string FaultEvent::ToString() const {
+  std::string text(KindName(kind));
+  switch (kind) {
+    case Kind::kStraggler:
+      text += ":worker=" + std::to_string(worker) +
+              ":factor=" + runtime::FormatDouble(factor);
+      break;
+    case Kind::kSlowLink:
+      text += ":nic=" + std::to_string(nic) +
+              ":scale=" + runtime::FormatDouble(scale);
+      break;
+    case Kind::kCrashWorker:
+      text += ":worker=" + std::to_string(worker);
+      break;
+    case Kind::kCrashFabric:
+      text += ":fabric=" + std::to_string(fabric);
+      break;
+    case Kind::kFlap:
+      text += ":nic=" + std::to_string(nic) +
+              ":period=" + runtime::FormatDouble(period);
+      break;
+  }
+  text += ":at=" + runtime::FormatDouble(at);
+  if (kind == Kind::kFlap ||
+      ((kind == Kind::kStraggler || kind == Kind::kSlowLink) &&
+       std::isfinite(duration))) {
+    text += ":for=" + runtime::FormatDouble(duration);
+  }
+  // fabric= is the target of a fabric crash (always printed above) and an
+  // attribution elsewhere (printed only when not the default 0).
+  if (kind != Kind::kCrashFabric && fabric != 0) {
+    text += ":fabric=" + std::to_string(fabric);
+  }
+  return text;
+}
+
+std::string FaultSpec::ToString() const {
+  if (!trace_path.empty()) return "trace:" + trace_path;
+  std::string text;
+  for (const FaultEvent& event : events) {
+    if (!text.empty()) text += ';';
+    text += event.ToString();
+  }
+  return text;
+}
+
+FaultSpec FaultSpec::Parse(std::string_view text) {
+  FaultSpec spec;
+  if (text.rfind("trace:", 0) == 0) {
+    // Everything after the first ':' is the path verbatim (paths may
+    // contain further colons or semicolons).
+    spec.trace_path = std::string(text.substr(6));
+    if (spec.trace_path.empty()) {
+      Fail("trace expects a file path, e.g. trace:faults.csv");
+    }
+    spec.Validate();
+    return spec;
+  }
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find(';', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view clause = text.substr(pos, end - pos);
+    while (!clause.empty() && (clause.front() == ' ' || clause.front() == '\t')) {
+      clause.remove_prefix(1);
+    }
+    while (!clause.empty() && (clause.back() == ' ' || clause.back() == '\t')) {
+      clause.remove_suffix(1);
+    }
+    if (clause.empty()) {
+      Fail("empty fault clause in '" + std::string(text) +
+           "' — clauses are ';'-separated, e.g. "
+           "straggler:worker=2:factor=3:at=1:for=2");
+    }
+    spec.events.push_back(ParseEvent(clause, ""));
+    pos = end + 1;
+    if (end == text.size()) break;
+  }
+  spec.Validate();
+  return spec;
+}
+
+void FaultSpec::Validate() const {
+  if (!trace_path.empty()) {
+    if (!events.empty()) {
+      Fail("a spec holds inline events or a trace path, not both");
+    }
+    return;  // rows are validated when the trace is materialized
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) ValidateEvent(events[i], i);
+}
+
+std::vector<FaultEvent> FaultSpec::Materialize() const {
+  std::vector<FaultEvent> timeline =
+      trace_path.empty() ? events : ReadTrace(trace_path);
+  if (!trace_path.empty()) {
+    for (std::size_t i = 0; i < timeline.size(); ++i) {
+      ValidateEvent(timeline[i], i);
+    }
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return timeline;
+}
+
+}  // namespace tictac::fault

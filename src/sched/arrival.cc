@@ -131,7 +131,20 @@ std::vector<ArrivalEvent> ReadTrace(const std::string& path,
   double prev_time = 0.0;
   while (std::getline(in, line)) {
     ++line_no;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Editor/export tolerance, mirroring the fault trace reader
+    // (src/fault/fault.cc): a UTF-8 BOM on line 1, CRLF endings,
+    // trailing blanks, indented comments, and whitespace-only lines.
+    if (line_no == 1 && line.rfind("\xef\xbb\xbf", 0) == 0) line.erase(0, 3);
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
+      line.pop_back();
+    }
+    std::size_t first = 0;
+    while (first < line.size() &&
+           (line[first] == ' ' || line[first] == '\t')) {
+      ++first;
+    }
+    if (first > 0) line.erase(0, first);
     if (line.empty() || line[0] == '#') continue;
     const std::string where =
         "trace '" + path + "' line " + std::to_string(line_no);

@@ -6,7 +6,7 @@ namespace tictac::sched {
 namespace {
 
 bool Eligible(const FabricLoad& load, int max_jobs_per_fabric) {
-  return load.active_jobs < max_jobs_per_fabric;
+  return !load.down && load.active_jobs < max_jobs_per_fabric;
 }
 
 class LeastLoaded final : public PlacementPolicy {
@@ -67,12 +67,41 @@ class BestFitBytes final : public PlacementPolicy {
   }
 };
 
+class FailureAware final : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "failure-aware"; }
+
+  int Place(const runtime::ExperimentSpec& job,
+            const std::vector<FabricLoad>& loads, std::size_t,
+            int max_jobs_per_fabric) const override {
+    // Least-loaded with each recent fault costed like a whole co-resident
+    // job of this size: a flapping fabric loses to any healthy one that
+    // still has room, yet stays usable when it is the only seat left.
+    const int penalty = job.cluster.workers > 0 ? job.cluster.workers : 1;
+    int best = -1;
+    long best_score = 0;
+    for (std::size_t f = 0; f < loads.size(); ++f) {
+      if (!Eligible(loads[f], max_jobs_per_fabric)) continue;
+      const long score =
+          loads[f].active_workers +
+          static_cast<long>(loads[f].recent_faults) * penalty *
+              static_cast<long>(max_jobs_per_fabric);
+      if (best < 0 || score < best_score) {
+        best = static_cast<int>(f);
+        best_score = score;
+      }
+    }
+    return best;
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<PlacementPolicy> MakePlacementPolicy(std::string_view name) {
   if (name == "least-loaded") return std::make_unique<LeastLoaded>();
   if (name == "round-robin") return std::make_unique<RoundRobin>();
   if (name == "best-fit-bytes") return std::make_unique<BestFitBytes>();
+  if (name == "failure-aware") return std::make_unique<FailureAware>();
   std::string known;
   for (const std::string& policy : PlacementPolicyNames()) {
     if (!known.empty()) known += ", ";
@@ -83,7 +112,7 @@ std::unique_ptr<PlacementPolicy> MakePlacementPolicy(std::string_view name) {
 }
 
 std::vector<std::string> PlacementPolicyNames() {
-  return {"least-loaded", "round-robin", "best-fit-bytes"};
+  return {"least-loaded", "round-robin", "best-fit-bytes", "failure-aware"};
 }
 
 }  // namespace tictac::sched

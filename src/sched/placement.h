@@ -25,6 +25,14 @@ struct FabricLoad {
   // Sum of the resident jobs' model parameter sizes — the PS-side bytes
   // the fabric's NICs and bookkeeping CPUs are serving.
   double active_param_mib = 0.0;
+  // Crashed for good (fault injection): never eligible, any policy must
+  // skip it.
+  bool down = false;
+  // Fault events (stragglers, slow links, flaps, worker crashes) active
+  // on — or recently lifted from — this fabric, as counted by the
+  // service's recency window. The failure-aware policy treats each as a
+  // strong penalty; load-only policies ignore it.
+  int recent_faults = 0;
 };
 
 class PlacementPolicy {
@@ -50,8 +58,12 @@ class PlacementPolicy {
 //   best-fit-bytes  fullest-by-parameter-bytes eligible fabric wins
 //                   (bin-packing best fit: pack jobs together so other
 //                   fabrics stay empty for future large arrivals)
-// Throws std::invalid_argument listing the registered names for an
-// unknown one.
+//   failure-aware   least-loaded, but each recent fault on a fabric
+//                   weighs as heavily as a full co-resident job's worker
+//                   set — a recently-flapping fabric is chosen only when
+//                   every healthy one is full
+// Every policy skips fabrics that are down (crashed). Throws
+// std::invalid_argument listing the registered names for an unknown one.
 std::unique_ptr<PlacementPolicy> MakePlacementPolicy(std::string_view name);
 
 // The registered policy names, in the order listed above.

@@ -4,12 +4,15 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <queue>
 #include <stdexcept>
+#include <utility>
 
 #include "core/metrics.h"
 #include "core/policy_registry.h"
 #include "models/zoo.h"
 #include "util/json.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace tictac::sched {
@@ -27,6 +30,17 @@ using util::JsonEscape;
 // full Runner analysis and 2·T·S channel resources).
 constexpr int kMaxJobsPerFabric = 64;
 constexpr int kMaxFabrics = 4096;
+
+// How long after a fault window lifts (or a worker crash fires) the
+// failure-aware placement policy still counts the fabric as recently
+// faulty. A constant, not a knob: recency feeds a placement *preference*,
+// and a fixed horizon keeps replays comparable across configs.
+constexpr double kFaultRecencyS = 1.0;
+
+// util::Rng::Stream id for the fault layer's only randomness (recovery
+// backoff jitter) — an independent split of the service seed, so the
+// arrival stream and per-iteration sim seeds replay untouched.
+constexpr std::uint64_t kFaultRngStream = 1;
 
 double MeanOf(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
@@ -82,6 +96,15 @@ void ServiceConfig::Validate() const {
   if (arrivals.kind != ArrivalSpec::Kind::kTrace && workload.empty()) {
     Fail("synthetic arrivals need >= 1 workload experiment spec");
   }
+  if (retry_budget < 0 || retry_budget > 1024) {
+    Fail("retry_budget must be in [0, 1024], got " +
+         std::to_string(retry_budget));
+  }
+  if (!(retry_backoff_s > 0.0) || !std::isfinite(retry_backoff_s)) {
+    Fail("retry_backoff_s must be finite and > 0, got " +
+         FormatDouble(retry_backoff_s));
+  }
+  faults.Validate();  // throws with the offending event and field
 }
 
 SchedulerService::SchedulerService(ServiceConfig config)
@@ -202,8 +225,79 @@ ServiceReport SchedulerService::Run() {
     std::unique_ptr<sim::TaskGraphSim> sim;
     sim::SimOptions options;
     bool dirty = false;  // membership changed since `lowering` was built
+    bool down = false;   // crash:fabric fired — permanently out of service
   };
   std::vector<Fabric> fabrics(static_cast<std::size_t>(config_.fabrics));
+
+  // ---- fault-timeline compilation (DESIGN.md §8) ---------------------------
+  //
+  // Perturbation events (straggler / slowlink / flap) compile to
+  // per-fabric absolute speed windows, consulted when an iteration is
+  // simulated; crash events become a dedicated event source of the loop
+  // below. An empty spec compiles to nothing and leaves every code path
+  // on the fault-free route, bit for bit (pinned in tests/fault_test.cc).
+  struct Window {
+    double start = 0.0;
+    double end = 0.0;        // +inf when the perturbation never lifts
+    bool on_worker = false;  // worker-slot target vs PS-NIC target
+    int index = 0;           // fabric-local worker slot / NIC id
+    double speed = 1.0;      // rate multiplier while active (0 = down)
+  };
+  struct Crash {
+    double at = 0.0;
+    bool whole_fabric = false;
+    int fabric = 0;
+    int worker = -1;
+  };
+  std::vector<std::vector<Window>> fault_windows(fabrics.size());
+  std::vector<Crash> crashes;  // in time order (Materialize sorts by at)
+  for (const fault::FaultEvent& e : config_.faults.Materialize()) {
+    if (e.fabric < 0 || e.fabric >= config_.fabrics) {
+      Fail("fault '" + e.ToString() + "' targets fabric " +
+           std::to_string(e.fabric) + " but the service has " +
+           std::to_string(config_.fabrics));
+    }
+    std::vector<Window>& windows =
+        fault_windows[static_cast<std::size_t>(e.fabric)];
+    switch (e.kind) {
+      case fault::FaultEvent::Kind::kStraggler:
+        windows.push_back(
+            Window{e.at, e.at + e.duration, true, e.worker, 1.0 / e.factor});
+        break;
+      case fault::FaultEvent::Kind::kSlowLink:
+        windows.push_back(
+            Window{e.at, e.at + e.duration, false, e.nic, e.scale});
+        break;
+      case fault::FaultEvent::Kind::kFlap:
+        // Down for the first half of every period over [at, at + for);
+        // Validate() bounds the expansion at 4096 cycles.
+        for (double cycle = e.at; cycle < e.at + e.duration;
+             cycle += e.period) {
+          windows.push_back(
+              Window{cycle, std::min(cycle + e.period / 2.0, e.at + e.duration),
+                     false, e.nic, 0.0});
+        }
+        break;
+      case fault::FaultEvent::Kind::kCrashWorker:
+        crashes.push_back(Crash{e.at, false, e.fabric, e.worker});
+        break;
+      case fault::FaultEvent::Kind::kCrashFabric:
+        crashes.push_back(Crash{e.at, true, e.fabric, -1});
+        break;
+    }
+    ++counters.faults_injected;
+  }
+  const bool has_faults = counters.faults_injected > 0;
+
+  util::Rng fault_rng = util::Rng::Stream(config_.seed, kFaultRngStream);
+  // (ready time, record id) min-heap — ties resolve to the lower id, so
+  // recovery order is deterministic.
+  std::priority_queue<std::pair<double, int>,
+                      std::vector<std::pair<double, int>>, std::greater<>>
+      retry_ready;
+  std::vector<double> evicted_at;  // per record: time of its last eviction
+  std::vector<double> mttrs;       // re-placement time - eviction time
+  double wasted_s = 0.0;
 
   const std::unique_ptr<PlacementPolicy> placement =
       MakePlacementPolicy(config_.placement);
@@ -246,13 +340,104 @@ ServiceReport SchedulerService::Run() {
     ++counters.fabric_relowerings;
   };
 
+  // Scratch for the per-iteration fault timeline, relative to `now`;
+  // reused across calls and alive through the sim Run below. `boundaries`
+  // is the per-target change-point scratch.
+  std::vector<sim::ResourceFault> iter_faults;
+  std::vector<double> boundaries;
+
+  // Translates fabric `f`'s absolute speed windows into a timeline
+  // relative to `now` for one iteration sim. Per target, the effective
+  // speed at any instant is the product of its active windows (any down
+  // window wins); the engine samples speed at task start (sim/task.h).
+  // Targets past the fabric's current lowering strike air — exactly what
+  // a dead worker slot or an unequipped PS does.
+  const auto build_iteration_faults = [&](std::size_t f) {
+    iter_faults.clear();
+    const std::vector<Window>& windows = fault_windows[f];
+    int total_workers = 0;
+    for (const ActiveJob& job : fabrics[f].jobs) {
+      total_workers += report.jobs[static_cast<std::size_t>(job.record)]
+                           .spec.cluster.workers;
+    }
+    const int servers =
+        report.jobs[static_cast<std::size_t>(fabrics[f].jobs.front().record)]
+            .spec.cluster.ps;
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      // First window of each distinct target drives that whole target.
+      bool seen = false;
+      for (std::size_t k = 0; k < i && !seen; ++k) {
+        seen = windows[k].on_worker == windows[i].on_worker &&
+               windows[k].index == windows[i].index;
+      }
+      if (seen) continue;
+      if (windows[i].on_worker
+              ? windows[i].index >= total_workers
+              : windows[i].index >= servers) {
+        continue;  // strikes air under the current lowering
+      }
+      boundaries.clear();
+      boundaries.push_back(now);
+      for (const Window& w : windows) {
+        if (w.on_worker != windows[i].on_worker ||
+            w.index != windows[i].index) {
+          continue;
+        }
+        if (w.start > now) boundaries.push_back(w.start);
+        if (std::isfinite(w.end) && w.end > now) boundaries.push_back(w.end);
+      }
+      std::sort(boundaries.begin(), boundaries.end());
+      boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                       boundaries.end());
+      double last_speed = 1.0;
+      for (const double b : boundaries) {
+        double speed = 1.0;
+        for (const Window& w : windows) {
+          if (w.on_worker == windows[i].on_worker &&
+              w.index == windows[i].index && w.start <= b && b < w.end) {
+            speed *= w.speed;
+          }
+        }
+        if (speed == last_speed) continue;
+        last_speed = speed;
+        const double rel = b - now;
+        if (windows[i].on_worker) {
+          iter_faults.push_back(
+              sim::ResourceFault{rel, windows[i].index, speed});
+        } else {
+          // NIC n serves every worker's downlink and uplink channel pair
+          // against server n (runtime/lowering.h resource layout, with
+          // W := the combined fabric's total worker count).
+          for (int w = 0; w < total_workers; ++w) {
+            iter_faults.push_back(sim::ResourceFault{
+                rel, total_workers + w * servers + windows[i].index, speed});
+            iter_faults.push_back(sim::ResourceFault{
+                rel,
+                total_workers + total_workers * servers + w * servers +
+                    windows[i].index,
+                speed});
+          }
+        }
+      }
+    }
+    std::stable_sort(iter_faults.begin(), iter_faults.end(),
+                     [](const sim::ResourceFault& a,
+                        const sim::ResourceFault& b) { return a.time < b.time; });
+  };
+
   // Simulates job `j`'s next iteration under the fabric's current mix
   // and books its finish time. Seeded spec.seed + iteration index,
   // matching the single-job Runner::Run convention bit for bit.
-  const auto schedule_iteration = [&](Fabric& fabric, std::size_t j) {
+  const auto schedule_iteration = [&](std::size_t f, std::size_t j) {
+    Fabric& fabric = fabrics[f];
     if (fabric.dirty) relower(fabric);
     ActiveJob& job = fabric.jobs[j];
     JobRecord& record = report.jobs[static_cast<std::size_t>(job.record)];
+    fabric.options.faults = nullptr;
+    if (has_faults && !fault_windows[f].empty()) {
+      build_iteration_faults(f);
+      if (!iter_faults.empty()) fabric.options.faults = &iter_faults;
+    }
     const sim::SimResult run = fabric.sim->Run(
         fabric.options,
         record.spec.seed + static_cast<std::uint64_t>(job.next_iteration));
@@ -269,6 +454,23 @@ ServiceReport SchedulerService::Run() {
   const auto fabric_loads = [&] {
     std::vector<FabricLoad> loads(fabrics.size());
     for (std::size_t f = 0; f < fabrics.size(); ++f) {
+      loads[f].down = fabrics[f].down;
+      if (has_faults) {
+        // Recency feed for the failure-aware policy: perturbation windows
+        // active now (or lifted within kFaultRecencyS) and recent worker
+        // crashes. Fabric crashes need no counting — down says it all.
+        for (const Window& w : fault_windows[f]) {
+          if (w.start <= now && now <= w.end + kFaultRecencyS) {
+            ++loads[f].recent_faults;
+          }
+        }
+        for (const Crash& c : crashes) {
+          if (!c.whole_fabric && c.fabric == static_cast<int>(f) &&
+              c.at <= now && now <= c.at + kFaultRecencyS) {
+            ++loads[f].recent_faults;
+          }
+        }
+      }
       for (const ActiveJob& job : fabrics[f].jobs) {
         const JobRecord& record =
             report.jobs[static_cast<std::size_t>(job.record)];
@@ -282,23 +484,90 @@ ServiceReport SchedulerService::Run() {
   };
 
   // Places record `r` now if the policy finds an eligible fabric;
-  // returns the fabric index or -1.
+  // returns the fabric index or -1. A re-placement after a crash keeps
+  // the job's original admit_time (queue delay measures admission, not
+  // recovery) and resumes from its completed-iteration count.
   const auto try_place = [&](int r) {
     JobRecord& record = report.jobs[static_cast<std::size_t>(r)];
     const int f = placement->Place(record.spec, fabric_loads(), decisions++,
                                    config_.max_jobs_per_fabric);
     if (f < 0) return -1;
     Fabric& fabric = fabrics[static_cast<std::size_t>(f)];
-    if (static_cast<int>(fabric.jobs.size()) >= config_.max_jobs_per_fabric) {
+    if (fabric.down ||
+        static_cast<int>(fabric.jobs.size()) >= config_.max_jobs_per_fabric) {
       Fail("placement policy '" + config_.placement +
-           "' returned full fabric " + std::to_string(f));
+           "' returned ineligible fabric " + std::to_string(f));
     }
     record.fabric = f;
-    record.admit_time = now;
-    fabric.jobs.push_back(ActiveJob{r, 0, 0.0});
+    if (record.retries == 0) {
+      record.admit_time = now;
+      ++counters.admitted;
+    } else {
+      ++counters.replacements;
+      mttrs.push_back(now - evicted_at[static_cast<std::size_t>(r)]);
+    }
+    // iteration_times holds exactly the completed iterations here (an
+    // eviction pops the in-flight one), so its size is where to resume.
+    fabric.jobs.push_back(
+        ActiveJob{r, static_cast<int>(record.iteration_times.size()), 0.0});
     fabric.dirty = true;
-    ++counters.admitted;
     return f;
+  };
+
+  // Evicts resident job `j` of fabric `f`: the in-flight iteration is
+  // lost, and the job is either re-queued for a backed-off retry or — on
+  // an exhausted budget — declared failed.
+  const auto evict = [&](std::size_t f, std::size_t j) {
+    Fabric& fabric = fabrics[f];
+    const ActiveJob job = fabric.jobs[j];
+    fabric.jobs.erase(fabric.jobs.begin() + static_cast<std::ptrdiff_t>(j));
+    JobRecord& record = report.jobs[static_cast<std::size_t>(job.record)];
+    if (!record.iteration_times.empty()) {
+      const double d = record.iteration_times.back();
+      record.iteration_times.pop_back();
+      wasted_s += now - (job.iteration_finish - d);
+      ++counters.lost_iterations;
+    }
+    record.fabric = -1;
+    evicted_at[static_cast<std::size_t>(job.record)] = now;
+    if (record.retries >= config_.retry_budget) {
+      record.failed = true;
+      ++counters.failed_jobs;
+      return;
+    }
+    ++record.retries;
+    ++counters.retries;
+    // Exponential backoff with multiplicative jitter in [1, 1.5): spreads
+    // a mass eviction (fabric crash) so survivors do not re-place as one
+    // burst. Uniform01 is the portable draw — replays match across
+    // platforms — and fault_rng is an independent stream, so these draws
+    // never perturb arrivals or sim seeds.
+    const double backoff = config_.retry_backoff_s *
+                           std::ldexp(1.0, record.retries - 1) *
+                           (1.0 + 0.5 * fault_rng.Uniform01());
+    retry_ready.emplace(now + backoff, job.record);
+  };
+
+  // Pulls queued jobs while the policy keeps placing them (FIFO: the
+  // head blocks the rest), then simulates their first iterations.
+  const auto drain_admission_queue = [&] {
+    std::vector<std::pair<std::size_t, int>> admitted;
+    while (!admission_queue.empty()) {
+      const int r = admission_queue.front();
+      const int placed = try_place(r);
+      if (placed < 0) break;
+      admission_queue.pop_front();
+      admitted.emplace_back(static_cast<std::size_t>(placed), r);
+    }
+    for (const auto& [f, r] : admitted) {
+      Fabric& target = fabrics[f];
+      for (std::size_t j = 0; j < target.jobs.size(); ++j) {
+        if (target.jobs[j].record == r) {
+          schedule_iteration(f, j);
+          break;
+        }
+      }
+    }
   };
 
   // Integrates utilization / mean-jobs-in-system up to time `t`.
@@ -318,10 +587,15 @@ ServiceReport SchedulerService::Run() {
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::size_t next_arrival = 0;
+  std::size_t next_crash = 0;
   while (true) {
     const double arrival_at = next_arrival < arrivals.size()
                                   ? arrivals[next_arrival].time
                                   : kInf;
+    const double crash_at =
+        next_crash < crashes.size() ? crashes[next_crash].at : kInf;
+    const double retry_at =
+        retry_ready.empty() ? kInf : retry_ready.top().first;
     double completion_at = kInf;
     std::size_t completion_fabric = 0;
     std::size_t completion_job = 0;
@@ -334,18 +608,24 @@ ServiceReport SchedulerService::Run() {
         }
       }
     }
-    if (arrival_at == kInf && completion_at == kInf) break;
+    if (arrival_at == kInf && completion_at == kInf && crash_at == kInf &&
+        retry_at == kInf) {
+      break;
+    }
 
-    if (completion_at <= arrival_at) {
-      // Iteration boundary first (at ties it frees capacity before the
-      // arrival is placed — a deterministic, work-conserving order).
+    // Tie precedence: completion < crash < retry < arrival. A completion
+    // frees capacity before anything else reacts; a crash at the same
+    // instant evicts before retries or arrivals claim the fabric — a
+    // deterministic, work-conserving order.
+    if (completion_at <= arrival_at && completion_at <= crash_at &&
+        completion_at <= retry_at) {
       advance_clock(completion_at);
       Fabric& fabric = fabrics[completion_fabric];
       ActiveJob& job = fabric.jobs[completion_job];
       JobRecord& record = report.jobs[static_cast<std::size_t>(job.record)];
       ++job.next_iteration;
       if (job.next_iteration < record.spec.iterations) {
-        schedule_iteration(fabric, completion_job);
+        schedule_iteration(completion_fabric, completion_job);
         continue;
       }
       // The job drains: re-lower the affected fabric (lazily, on its
@@ -355,22 +635,76 @@ ServiceReport SchedulerService::Run() {
       fabric.jobs.erase(fabric.jobs.begin() +
                         static_cast<std::ptrdiff_t>(completion_job));
       fabric.dirty = true;
-      std::vector<std::pair<std::size_t, int>> admitted;  // (fabric, record)
-      while (!admission_queue.empty()) {
-        const int r = admission_queue.front();
-        const int placed = try_place(r);
-        if (placed < 0) break;  // FIFO: the head blocks the rest
-        admission_queue.pop_front();
-        admitted.emplace_back(static_cast<std::size_t>(placed), r);
+      drain_admission_queue();
+      continue;
+    }
+
+    if (crash_at <= arrival_at && crash_at <= retry_at) {
+      advance_clock(crash_at);
+      const Crash crash = crashes[next_crash++];
+      Fabric& fabric = fabrics[static_cast<std::size_t>(crash.fabric)];
+      if (crash.whole_fabric) {
+        if (!fabric.down) {
+          fabric.down = true;
+          ++counters.fabric_crashes;
+          while (!fabric.jobs.empty()) {
+            evict(static_cast<std::size_t>(crash.fabric),
+                  fabric.jobs.size() - 1);
+          }
+          fabric.dirty = true;
+        }
+        continue;
       }
-      for (const auto& [f, r] : admitted) {
-        Fabric& target = fabrics[f];
+      ++counters.worker_crashes;
+      if (fabric.down) continue;  // a dead fabric has no slots left
+      // Worker slots are fabric-local and laid out in residency order:
+      // resident job g owns slots [Σ<g workers, Σ<=g workers). A slot
+      // index past the current total strikes air.
+      int base = 0;
+      std::ptrdiff_t victim = -1;
+      for (std::size_t j = 0; j < fabric.jobs.size() && victim < 0; ++j) {
+        const int w =
+            report.jobs[static_cast<std::size_t>(fabric.jobs[j].record)]
+                .spec.cluster.workers;
+        if (crash.worker < base + w) victim = static_cast<std::ptrdiff_t>(j);
+        base += w;
+      }
+      if (victim < 0) continue;
+      evict(static_cast<std::size_t>(crash.fabric),
+            static_cast<std::size_t>(victim));
+      fabric.dirty = true;
+      // The eviction freed a seat: give queued arrivals the same chance a
+      // drain does.
+      drain_admission_queue();
+      continue;
+    }
+
+    if (retry_at <= arrival_at) {
+      advance_clock(retry_at);
+      const int r = retry_ready.top().second;
+      retry_ready.pop();
+      const int placed = try_place(r);
+      if (placed >= 0) {
+        Fabric& target = fabrics[static_cast<std::size_t>(placed)];
         for (std::size_t j = 0; j < target.jobs.size(); ++j) {
           if (target.jobs[j].record == r) {
-            schedule_iteration(target, j);
+            schedule_iteration(static_cast<std::size_t>(placed), j);
             break;
           }
         }
+        continue;
+      }
+      bool any_alive = false;
+      for (const Fabric& fabric : fabrics) any_alive |= !fabric.down;
+      JobRecord& record = report.jobs[static_cast<std::size_t>(r)];
+      if (!any_alive) {
+        record.failed = true;
+        ++counters.failed_jobs;
+      } else {
+        // Every surviving fabric is full. Fall into the admission queue —
+        // bypassing its capacity, the job already held a seat — and
+        // re-place on the next drain.
+        admission_queue.push_back(r);
       }
       continue;
     }
@@ -388,6 +722,7 @@ ServiceReport SchedulerService::Run() {
       record.spec = arrivals[next_arrival].spec;
       record.arrival_time = arrival_at;
       report.jobs.push_back(std::move(record));
+      if (has_faults) evicted_at.push_back(0.0);
       ++counters.arrivals;
       ++next_arrival;
       const int placed = try_place(r);
@@ -406,9 +741,22 @@ ServiceReport SchedulerService::Run() {
       Fabric& target = fabrics[f];
       for (std::size_t j = 0; j < target.jobs.size(); ++j) {
         if (target.jobs[j].record == r) {
-          schedule_iteration(target, j);
+          schedule_iteration(f, j);
           break;
         }
+      }
+    }
+  }
+
+  // Jobs stranded in the admission queue (every fabric died before they
+  // could place) count as failed — without faults the queue always
+  // drains before the loop can end.
+  if (has_faults) {
+    for (const int r : admission_queue) {
+      JobRecord& record = report.jobs[static_cast<std::size_t>(r)];
+      if (!record.failed) {
+        record.failed = true;
+        ++counters.failed_jobs;
       }
     }
   }
@@ -426,6 +774,7 @@ ServiceReport SchedulerService::Run() {
     record.slowdown = record.isolated_iter_s > 0.0
                           ? record.mean_iter_s / record.isolated_iter_s
                           : 1.0;
+    if (record.failed) continue;  // never completed: not an SLO sample
     slowdowns.push_back(record.slowdown);
     delays.push_back(record.QueueDelay());
   }
@@ -457,7 +806,10 @@ ServiceReport SchedulerService::Run() {
       const double hi = report.makespan * (w + 1) / config_.fairness_windows;
       std::vector<double> rates;
       for (const JobRecord& record : report.jobs) {
-        if (record.rejected || record.iteration_times.empty()) continue;
+        if (record.rejected || record.failed ||
+            record.iteration_times.empty()) {
+          continue;
+        }
         const double from = std::max(lo, record.admit_time);
         const double to = std::min(hi, record.completion_time);
         if (to <= from) continue;
@@ -472,6 +824,28 @@ ServiceReport SchedulerService::Run() {
     }
   }
   report.mean_fairness = MeanOf(report.window_fairness);
+
+  // Robustness SLOs — only computed under faults so the fault-free
+  // report (and its JSON) stays exactly what it was.
+  if (has_faults) {
+    if (!mttrs.empty()) {
+      report.mttr_mean_s = MeanOf(mttrs);
+      report.mttr_max_s = *std::max_element(mttrs.begin(), mttrs.end());
+    }
+    report.wasted_s = wasted_s;
+    if (report.makespan > 0.0) {
+      double offered = 0.0;
+      double good = 0.0;
+      for (const JobRecord& record : report.jobs) {
+        offered += static_cast<double>(record.spec.iterations);
+        if (!record.rejected && !record.failed) {
+          good += static_cast<double>(record.spec.iterations);
+        }
+      }
+      report.offered_iters_per_s = offered / report.makespan;
+      report.goodput_iters_per_s = good / report.makespan;
+    }
+  }
   return report;
 }
 
@@ -512,6 +886,26 @@ util::Table ServiceReport::ToTable() const {
                 std::to_string(counters.schedules_computed) + " / " +
                     std::to_string(counters.schedule_cache_hits)});
   table.AddRow({"simulations run", std::to_string(counters.sim_runs)});
+  if (!config.faults.empty()) {
+    table.AddRow({"faults", config.faults.ToString()});
+    table.AddRow({"faults injected", std::to_string(counters.faults_injected)});
+    table.AddRow({"worker / fabric crashes",
+                  std::to_string(counters.worker_crashes) + " / " +
+                      std::to_string(counters.fabric_crashes)});
+    table.AddRow({"retries / replacements",
+                  std::to_string(counters.retries) + " / " +
+                      std::to_string(counters.replacements)});
+    table.AddRow({"iterations lost / jobs failed",
+                  std::to_string(counters.lost_iterations) + " / " +
+                      std::to_string(counters.failed_jobs)});
+    table.AddRow({"MTTR mean / max (ms)",
+                  util::Fmt(mttr_mean_s * 1e3, 2) + " / " +
+                      util::Fmt(mttr_max_s * 1e3, 2)});
+    table.AddRow({"wasted work (s)", util::Fmt(wasted_s, 3)});
+    table.AddRow({"goodput / offered (iters/s)",
+                  util::Fmt(goodput_iters_per_s, 3) + " / " +
+                      util::Fmt(offered_iters_per_s, 3)});
+  }
   return table;
 }
 
@@ -544,6 +938,29 @@ std::string ServiceReport::ToJson() const {
     json += (w == 0 ? "" : ", ") + FormatDouble(window_fairness[w]);
   }
   json += "]},\n";
+  // The fault block exists only when faults were configured, so a
+  // fault-free report is byte-identical to the pre-fault service
+  // (pinned in tests/fault_test.cc).
+  if (!config.faults.empty()) {
+    json += "  \"faults\": {\"spec\": \"" +
+            JsonEscape(config.faults.ToString()) +
+            "\", \"injected\": " + std::to_string(counters.faults_injected) +
+            ", \"worker_crashes\": " + std::to_string(counters.worker_crashes) +
+            ", \"fabric_crashes\": " + std::to_string(counters.fabric_crashes) +
+            ", \"retries\": " + std::to_string(counters.retries) +
+            ", \"replacements\": " + std::to_string(counters.replacements) +
+            ", \"lost_iterations\": " +
+            std::to_string(counters.lost_iterations) +
+            ", \"failed_jobs\": " + std::to_string(counters.failed_jobs) +
+            ", \"retry_budget\": " + std::to_string(config.retry_budget) +
+            ", \"retry_backoff_s\": " + FormatDouble(config.retry_backoff_s) +
+            ",\n    \"mttr_mean_s\": " + FormatDouble(mttr_mean_s) +
+            ", \"mttr_max_s\": " + FormatDouble(mttr_max_s) +
+            ", \"wasted_s\": " + FormatDouble(wasted_s) +
+            ", \"offered_iters_per_s\": " + FormatDouble(offered_iters_per_s) +
+            ", \"goodput_iters_per_s\": " + FormatDouble(goodput_iters_per_s) +
+            "},\n";
+  }
   json += "  \"counters\": {\"fabric_relowerings\": " +
           std::to_string(counters.fabric_relowerings) +
           ", \"property_index_builds\": " +
@@ -578,6 +995,10 @@ std::string ServiceReport::JobTraceJson() const {
     json += ", \"slowdown\": " + FormatDouble(job.slowdown);
     json += std::string(", \"rejected\": ") +
             (job.rejected ? "true" : "false");
+    if (!config.faults.empty()) {
+      json += ", \"retries\": " + std::to_string(job.retries);
+      json += std::string(", \"failed\": ") + (job.failed ? "true" : "false");
+    }
     json += "}";
   }
   json += "\n]\n";

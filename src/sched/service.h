@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/schedule.h"
+#include "fault/fault.h"
 #include "runtime/multijob.h"
 #include "runtime/runner.h"
 #include "sched/arrival.h"
@@ -69,6 +70,19 @@ struct ServiceConfig {
   int fairness_windows = 8;
   // Seeds the arrival stream (per-job sim seeds come from each spec).
   std::uint64_t seed = 1;
+  // Deterministic fault timeline against the shared fabrics (DESIGN.md
+  // §8). Empty (the default) = the fault-free engine and service paths,
+  // bit for bit — pinned in tests/fault_test.cc. Fault randomness
+  // (recovery-backoff jitter) comes from util::Rng::Stream(seed, ...),
+  // an independent split, so enabling faults never perturbs the seeded
+  // arrival sequence or per-iteration sim seeds.
+  fault::FaultSpec faults;
+  // Crash recovery: how many times an evicted job is re-queued before it
+  // is declared failed, and the base of its exponential re-placement
+  // backoff (delay ~ retry_backoff_s * 2^(retry-1), jittered). Only
+  // consulted when a fault evicts a job.
+  int retry_budget = 3;
+  double retry_backoff_s = 0.05;
 
   // Structural bounds (fabric/queue/window counts, duration, placement
   // name, arrival spec). Job specs are validated against the shared
@@ -92,6 +106,12 @@ struct JobRecord {
   double mean_iter_s = 0.0;
   double isolated_iter_s = 0.0;  // cached single-job baseline
   double slowdown = 1.0;         // mean_iter_s / isolated_iter_s
+  // Crash recovery (0 / false on the fault-free path): how many times a
+  // fault evicted this job and it was re-queued, and whether it exhausted
+  // the retry budget (failed jobs never complete and are excluded from
+  // the slowdown/queue-delay aggregates).
+  int retries = 0;
+  bool failed = false;
 
   double QueueDelay() const { return admit_time - arrival_time; }
 };
@@ -115,6 +135,14 @@ struct ServiceCounters {
   std::uint64_t schedules_computed = 0;
   std::uint64_t schedule_cache_hits = 0;
   std::uint64_t sim_runs = 0;
+  // Fault-injection / recovery accounting (all 0 without faults).
+  std::uint64_t faults_injected = 0;  // materialized fault events applied
+  std::uint64_t worker_crashes = 0;
+  std::uint64_t fabric_crashes = 0;
+  std::uint64_t retries = 0;       // evictions re-queued with budget left
+  std::uint64_t replacements = 0;  // successful post-crash re-placements
+  std::uint64_t lost_iterations = 0;  // in-flight iterations evicted
+  std::uint64_t failed_jobs = 0;      // retry budget exhausted / stranded
 };
 
 struct ServiceReport {
@@ -143,6 +171,20 @@ struct ServiceReport {
   // active), plus its mean.
   std::vector<double> window_fairness;
   double mean_fairness = 1.0;
+
+  // Robustness SLOs (meaningful only when config.faults is non-empty;
+  // neutral defaults otherwise, and omitted from ToTable/ToJson so
+  // fault-free output stays byte-identical to the pre-fault service).
+  // MTTR = re-placement time minus eviction time, per recovery.
+  double mttr_mean_s = 0.0;
+  double mttr_max_s = 0.0;
+  // Simulated work thrown away by evictions (partial in-flight
+  // iterations at the moment their fabric or worker slot died).
+  double wasted_s = 0.0;
+  // Iteration throughput: offered counts every arrived job's declared
+  // iterations; goodput counts only iterations of jobs that completed.
+  double offered_iters_per_s = 0.0;
+  double goodput_iters_per_s = 0.0;
 
   // Two-column SLO summary (metric, value).
   util::Table ToTable() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <queue>
 #include <stdexcept>
 
@@ -240,6 +241,32 @@ SimResult TaskGraphSim::Run(const SimOptions& options,
             : task.duration;
   }
 
+  // Fault-injection state (SimOptions::faults). Sized only when a
+  // timeline is present; with none, every fault branch below is skipped
+  // and the run is bit-identical to the unperturbed engine.
+  const bool has_faults = options.faults != nullptr && !options.faults->empty();
+  std::vector<double> speed;     // per-resource rate multiplier
+  std::vector<char> res_down;    // speed <= 0: start nothing new
+  std::size_t next_fault = 0;
+  if (has_faults) {
+    speed.assign(static_cast<std::size_t>(num_resources_), 1.0);
+    res_down.assign(static_cast<std::size_t>(num_resources_), 0);
+  }
+  // Applies every timeline event with time <= t (events are sorted).
+  // Speed changes affect tasks that start afterwards; in-flight tasks
+  // keep the rate they started with.
+  auto apply_faults_through = [&](double t) {
+    while (next_fault < options.faults->size() &&
+           (*options.faults)[next_fault].time <= t) {
+      const ResourceFault& f = (*options.faults)[next_fault++];
+      if (f.resource >= 0 && f.resource < num_resources_) {
+        const auto r = static_cast<std::size_t>(f.resource);
+        speed[r] = f.speed > 0.0 ? f.speed : 0.0;
+        res_down[r] = f.speed <= 0.0;
+      }
+    }
+  };
+
   std::vector<int> gate_counter(static_cast<std::size_t>(num_gate_groups_), 0);
   // Tasks whose predecessors are done but whose gate is still closed,
   // slotted by (group, rank) so a cascade release is a direct lookup.
@@ -346,22 +373,49 @@ SimResult TaskGraphSim::Run(const SimOptions& options,
     while (progress) {
       progress = false;
       for (int r = 0; r < num_resources_; ++r) {
+        if (has_faults && res_down[static_cast<std::size_t>(r)]) continue;
         while (!busy[static_cast<std::size_t>(r)] &&
                !ready.flat[static_cast<std::size_t>(r)].empty()) {
           const TaskId t = select_task(r);
           busy[static_cast<std::size_t>(r)] = true;
           result.start[static_cast<std::size_t>(t)] = now;
           result.start_order.push_back(t);
-          completions.push(
-              {now + duration[static_cast<std::size_t>(t)], t});
+          // A task runs at its resource's speed at start time; division
+          // only happens on the fault path so the plain path stays bit
+          // for bit what it always was.
+          const double d =
+              has_faults
+                  ? duration[static_cast<std::size_t>(t)] /
+                        speed[static_cast<std::size_t>(r)]
+                  : duration[static_cast<std::size_t>(t)];
+          completions.push({now + d, t});
           progress = true;
         }
       }
     }
   };
 
+  // Timeline events at t <= 0 (perturbations already in effect when the
+  // run begins) apply before the first task starts.
+  if (has_faults) apply_faults_through(0.0);
   start_eligible();
-  while (!completions.empty()) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  while (true) {
+    const double completion_at =
+        completions.empty() ? kInf : completions.top().time;
+    const double fault_at =
+        has_faults && next_fault < options.faults->size()
+            ? (*options.faults)[next_fault].time
+            : kInf;
+    if (completion_at == kInf && fault_at == kInf) break;
+    if (fault_at < completion_at) {
+      // A perturbation takes effect strictly before anything completes:
+      // resources coming back up may start waiting tasks at this instant.
+      now = std::max(now, fault_at);
+      apply_faults_through(fault_at);
+      start_eligible();
+      continue;
+    }
     const auto [time, t] = completions.top();
     completions.pop();
     now = time;

@@ -11,6 +11,15 @@
 //
 // The engine is deterministic given (tasks, options, seed).
 //
+// Fault injection (SimOptions::faults): an optional sorted timeline of
+// per-resource speed changes — compute slowdown, bandwidth scaling, or
+// down intervals (speed <= 0 starts nothing new until a later event
+// raises it). A task samples its resource's speed when it starts; tasks
+// in flight finish at the rate they started with. The fault path draws
+// no randomness and allocates nothing per event, and an absent/empty
+// timeline reproduces the unperturbed engine bit for bit (pinned in
+// tests/sim_test.cc and tests/fault_test.cc).
+//
 // Hot-path data structures (sized once per Run, no per-event allocation):
 //   * ready tasks live in per-resource priority buckets (priorities are
 //     rank-compressed per resource in the constructor, so total bucket

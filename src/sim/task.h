@@ -46,6 +46,20 @@ struct Task {
   int worker = -1;  // worker this task belongs to; -1 for PS-side tasks
 };
 
+// One step of a piecewise-constant resource-speed timeline (fault
+// injection): at `time`, `resource` switches to serving at `speed` times
+// its nominal rate. speed <= 0 means DOWN — the resource starts no new
+// tasks until a later event raises its speed; tasks already in flight
+// complete at the rate they started with (the service layer models a
+// permanent crash by re-queueing the job, never by an unending sim).
+// A task picks up its resource's speed when it STARTS: effective
+// duration = nominal / speed. Timelines must be sorted by time.
+struct ResourceFault {
+  double time = 0.0;
+  int resource = 0;
+  double speed = 1.0;
+};
+
 struct SimOptions {
   // Honor gate_group/gate_rank. Off = the unscheduled baseline.
   bool enforce_gates = true;
@@ -55,6 +69,10 @@ struct SimOptions {
   // Multiplicative lognormal jitter (shape sigma) on every task duration,
   // modeling platform timing variation. 0 = deterministic durations.
   double jitter_sigma = 0.0;
+  // Mid-run resource perturbations, sorted by time; nullptr or empty =
+  // the unperturbed engine, bit for bit (the fault path draws no extra
+  // randomness and is skipped entirely). The pointee must outlive Run().
+  const std::vector<ResourceFault>* faults = nullptr;
 };
 
 struct SimResult {

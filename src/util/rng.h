@@ -88,6 +88,25 @@ class Rng {
   // so repeated forks yield distinct generators.
   Rng Fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
 
+  // Independent-stream split WITHOUT consuming any parent state: (seed,
+  // stream) is mixed through splitmix64 into a child seed, so a consumer
+  // holding only the experiment seed can derive its own stream (fault
+  // injection uses stream ids) while every other consumer of Rng(seed)
+  // — the arrival process, per-iteration sim seeds — replays untouched.
+  // Same (seed, stream) => bit-identical child on every platform.
+  static Rng Stream(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+  // Portable uniform in (0, 1] (the inverse-CDF base draw): mt19937_64
+  // output is specified exactly, so the result is bit-identical across
+  // standard libraries — use this (not Uniform) where replays must match
+  // across platforms, e.g. recovery-backoff jitter.
+  double Uniform01() { return Canonical(); }
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

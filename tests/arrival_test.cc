@@ -246,6 +246,29 @@ TEST(GenerateArrivals, TraceErrorsCarryLineNumbers) {
   }
 }
 
+TEST(GenerateArrivals, TraceToleratesEditorArtifacts) {
+  // Spreadsheet-export tolerance, shared with the fault trace reader: a
+  // UTF-8 BOM on line 1, CRLF endings, trailing blanks, indented
+  // comments, and whitespace-only lines.
+  const std::string path = ::testing::TempDir() + "/tictac_artifacts.csv";
+  const runtime::ExperimentSpec job = Job();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "\xef\xbb\xbf# time,experiment spec\r\n";
+    out << "   \r\n";
+    out << "  \t# indented comment\r\n";
+    out << "0," << job.ToString() << "  \r\n";
+    out << "\t0.25," << Job(8).ToString() << "\t\r\n";
+  }
+  const auto events =
+      GenerateArrivals(ArrivalSpec::Parse("trace:" + path), {}, 1.0, 1);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].time, 0.0);
+  EXPECT_EQ(events[0].spec, job);
+  EXPECT_EQ(events[1].time, 0.25);
+  EXPECT_EQ(events[1].spec, Job(8));
+}
+
 TEST(GenerateArrivals, TraceRejectsDecreasingTimesAndMissingFiles) {
   const std::string path = ::testing::TempDir() + "/tictac_unsorted.csv";
   {

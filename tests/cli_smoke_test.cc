@@ -1,0 +1,85 @@
+// Black-box CLI smoke tests: bad arguments must exit non-zero with usage
+// on stderr, and a chaos-mode serve must replay deterministically. The
+// binary path is injected by CMake as TICTAC_CLI_PATH; these tests shell
+// out to the real executable, so they cover argv parsing end to end.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string stderr_text;
+};
+
+CliResult RunCli(const std::string& args) {
+  const std::string err_path = ::testing::TempDir() + "/tictac_cli_err.txt";
+  const std::string cmd = std::string(TICTAC_CLI_PATH) + " " + args +
+                          " >/dev/null 2>" + err_path;
+  CliResult result;
+  int status = std::system(cmd.c_str());
+#ifndef _WIN32
+  if (WIFEXITED(status)) status = WEXITSTATUS(status);
+#endif
+  result.exit_code = status;
+  std::ifstream in(err_path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  result.stderr_text = text.str();
+  return result;
+}
+
+TEST(CliSmoke, KnownSubcommandSucceeds) {
+  const CliResult result = RunCli("models");
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+}
+
+TEST(CliSmoke, NoArgumentsPrintsUsageAndFails) {
+  const CliResult result = RunCli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("usage:"), std::string::npos)
+      << result.stderr_text;
+}
+
+TEST(CliSmoke, UnknownSubcommandPrintsUsageAndFails) {
+  const CliResult result = RunCli("frobnicate");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("unknown command: frobnicate"),
+            std::string::npos)
+      << result.stderr_text;
+  EXPECT_NE(result.stderr_text.find("usage:"), std::string::npos);
+}
+
+TEST(CliSmoke, UnknownFlagPrintsUsageAndFails) {
+  const CliResult result = RunCli("run --bogus-flag 3");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("unknown flag: --bogus-flag"),
+            std::string::npos)
+      << result.stderr_text;
+  EXPECT_NE(result.stderr_text.find("usage:"), std::string::npos);
+}
+
+TEST(CliSmoke, MalformedFaultSpecIsRejected) {
+  const CliResult result = RunCli(
+      "serve --arrivals poisson:rate=5 --duration 0.1 --faults meteor:at=1");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.stderr_text.find("fault"), std::string::npos)
+      << result.stderr_text;
+}
+
+TEST(CliSmoke, ChaosServeRuns) {
+  const CliResult result = RunCli(
+      "serve --arrivals poisson:rate=10 --duration 0.2 --fabrics 2 "
+      "--faults crash:fabric=0:at=0.1 --json");
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+}
+
+}  // namespace

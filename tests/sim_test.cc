@@ -352,5 +352,71 @@ TEST(Validate, AcceptsWellFormedGraph) {
   EXPECT_NO_THROW(sim.Validate());
 }
 
+// Mid-run resource perturbations (DESIGN.md §8): the fault path only
+// engages for a non-empty timeline, speed is sampled at task start, and
+// a zero speed parks the resource until a recovery event.
+
+TEST(SimFaults, NullAndEmptyTimelinesMatchBitForBit) {
+  std::vector<Task> tasks{MakeTask(2.0, 0), MakeTask(1.0, 1, {0}),
+                          MakeTask(3.0, 0, {0})};
+  TaskGraphSim sim(std::move(tasks), 2);
+  SimOptions options;
+  const SimResult base = sim.Run(options, 7);
+  const std::vector<ResourceFault> empty;
+  options.faults = &empty;
+  const SimResult faulted = sim.Run(options, 7);
+  EXPECT_EQ(base.makespan, faulted.makespan);
+  EXPECT_EQ(base.start, faulted.start);
+  EXPECT_EQ(base.end, faulted.end);
+  EXPECT_EQ(base.start_order, faulted.start_order);
+}
+
+TEST(SimFaults, SpeedIsSampledAtTaskStart) {
+  // Resource 0 halves over [0, 3): the first task (nominal 2) starts at
+  // 0 and takes 4 — the in-flight duration is NOT re-scaled when speed
+  // recovers at 3. The successor starts at 4 back at full speed.
+  std::vector<Task> tasks{MakeTask(2.0, 0), MakeTask(2.0, 0, {0})};
+  TaskGraphSim sim(std::move(tasks), 1);
+  const std::vector<ResourceFault> faults{{0.0, 0, 0.5}, {3.0, 0, 1.0}};
+  SimOptions options;
+  options.faults = &faults;
+  const SimResult r = sim.Run(options, 1);
+  EXPECT_DOUBLE_EQ(r.end[0], 4.0);
+  EXPECT_DOUBLE_EQ(r.start[1], 4.0);
+  EXPECT_DOUBLE_EQ(r.end[1], 6.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+}
+
+TEST(SimFaults, DownResourceDelaysStartsOthersUnaffected) {
+  // Resource 0 is down over [0, 2): its task waits for the recovery
+  // event; resource 1 is untouched and runs at t = 0.
+  std::vector<Task> tasks{MakeTask(1.0, 0), MakeTask(1.0, 1)};
+  TaskGraphSim sim(std::move(tasks), 2);
+  const std::vector<ResourceFault> faults{{0.0, 0, 0.0}, {2.0, 0, 1.0}};
+  SimOptions options;
+  options.faults = &faults;
+  const SimResult r = sim.Run(options, 1);
+  EXPECT_DOUBLE_EQ(r.start[0], 2.0);
+  EXPECT_DOUBLE_EQ(r.end[0], 3.0);
+  EXPECT_DOUBLE_EQ(r.start[1], 0.0);
+  EXPECT_DOUBLE_EQ(r.end[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 3.0);
+}
+
+TEST(SimFaults, MidRunSlowdownHitsOnlyLaterStarts) {
+  // The perturbation lands at t = 1.5, mid-flight for the first task:
+  // it finishes on time at 2; the successor starts at 2 under 4x
+  // slowdown (speed 0.25) and takes 4.
+  std::vector<Task> tasks{MakeTask(2.0, 0), MakeTask(1.0, 0, {0})};
+  TaskGraphSim sim(std::move(tasks), 1);
+  const std::vector<ResourceFault> faults{{1.5, 0, 0.25}};
+  SimOptions options;
+  options.faults = &faults;
+  const SimResult r = sim.Run(options, 1);
+  EXPECT_DOUBLE_EQ(r.end[0], 2.0);
+  EXPECT_DOUBLE_EQ(r.start[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.end[1], 6.0);
+}
+
 }  // namespace
 }  // namespace tictac::sim

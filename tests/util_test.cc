@@ -251,6 +251,29 @@ TEST(Rng, PoissonSmallMeanIsMostlyZeroOrOne) {
   EXPECT_GT(small, 980);
 }
 
+TEST(Rng, StreamSplitIsDeterministicAndIndependent) {
+  // Same (seed, stream) => the same sequence; sibling streams and the
+  // root rng diverge. The split is static, so pulling a fault stream off
+  // a seed never consumes state from any other consumer of that seed.
+  Rng a = Rng::Stream(42, 1);
+  Rng b = Rng::Stream(42, 1);
+  Rng sibling = Rng::Stream(42, 2);
+  Rng root(42);
+  const double first = a.Uniform01();
+  EXPECT_EQ(first, b.Uniform01());
+  EXPECT_NE(first, sibling.Uniform01());
+  EXPECT_NE(first, root.Uniform01());
+}
+
+TEST(Rng, Uniform01IsInHalfOpenUnitInterval) {
+  Rng rng = Rng::Stream(7, 3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform01();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
 TEST(Csv, WritesRowsToFile) {
   const std::string path = ::testing::TempDir() + "/tictac_csv_test.csv";
   {
