@@ -1,0 +1,64 @@
+// Sim-to-real round-trip cost and fidelity (DESIGN.md §9): one case per
+// scheduling policy, each running the full exec::ValidateAgainstSim loop
+// — real worker/PS threads over shared-memory transport, enforced send
+// order, trace calibration, re-simulation. The timed loop measures the
+// whole round-trip (thread spin-up included); the fidelity counters
+// (measured vs predicted iteration time, calibrated and uncalibrated
+// prediction error) come from one untimed deterministic-clock run and
+// ride into BENCH_sched.json via bench/run_benches.sh, so backend or
+// calibration changes that move prediction error show up in the archived
+// perf trajectory.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "exec/validate.h"
+
+namespace {
+
+tictac::exec::ExecSpec Spec(const char* policy) {
+  tictac::exec::ExecSpec spec;
+  spec.model = "AlexNet v2";  // smallest zoo model: bench stays fast
+  spec.policies = {policy};
+  spec.num_workers = 2;
+  spec.num_ps = 2;
+  spec.iterations = 3;
+  spec.seed = 1;
+  spec.deterministic = true;  // hidden-platform virtual clock: stable counters
+  return spec;
+}
+
+void BM_ExecValidate(benchmark::State& state, const char* policy) {
+  const tictac::exec::ExecSpec spec = Spec(policy);
+  // One untimed run supplies the (deterministic) fidelity counters.
+  const tictac::exec::ExecReport report =
+      tictac::exec::ValidateAgainstSim(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tictac::exec::ValidateAgainstSim(spec));
+  }
+  const tictac::exec::PolicyValidation& row = report.policies.front();
+  state.counters["measured_s"] = row.measured_s;
+  state.counters["predicted_s"] = row.predicted_s;
+  state.counters["prediction_error_pct"] = row.error_pct;
+  state.counters["uncalibrated_error_pct"] = row.uncalibrated_error_pct;
+  state.counters["calibration_ok"] = row.calibration_ok ? 1.0 : 0.0;
+  state.counters["order_matches_schedule"] =
+      row.order_matches_schedule ? 1.0 : 0.0;
+  state.SetLabel(spec.model + ", " + std::to_string(spec.num_workers) +
+                 "w x " + std::to_string(spec.num_ps) + "ps, " +
+                 std::to_string(spec.iterations) + " iters");
+}
+
+#define EXEC_CASE(tag, policy)                          \
+  BENCHMARK_CAPTURE(BM_ExecValidate, tag, policy)       \
+      ->Unit(benchmark::kMillisecond)
+
+EXEC_CASE(baseline, "baseline");
+EXEC_CASE(tic, "tic");
+EXEC_CASE(tac, "tac");
+
+#undef EXEC_CASE
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -14,7 +14,10 @@
 # utilization, queueing delay) per (policy x placement), and
 # bench_faults' BM_FaultRecovery cases record the robustness SLOs
 # (goodput vs offered, retries, lost iterations, MTTR) per (placement x
-# fault scenario); the summary below echoes all four.
+# fault scenario), and bench_exec's BM_ExecValidate cases record the
+# sim-to-real round-trip cost plus prediction-fidelity counters
+# (measured vs predicted iteration time, calibrated and uncalibrated
+# error) per policy; the summary below echoes all five.
 #
 # Usage: bench/run_benches.sh [build_dir] [out.json] [extra benchmark args]
 #   BENCH_MIN_TIME=0.2 bench/run_benches.sh build-release
@@ -77,7 +80,7 @@ EOF
 
 EXTRA_OUT="$(mktemp)"
 trap 'rm -f "${EXTRA_OUT}"' EXIT
-for extra_bench in bench_multijob bench_service bench_faults; do
+for extra_bench in bench_multijob bench_service bench_faults bench_exec; do
   EXTRA_BIN="${BUILD_DIR}/${extra_bench}"
   if [[ -x "${EXTRA_BIN}" ]]; then
     "${EXTRA_BIN}" \
@@ -148,6 +151,20 @@ if faults:
         if goodput is not None:
             extras = (f" (goodput {goodput:.1f} iters/s,"
                       f" retries {retries:.0f}, MTTR {mttr:.1f} ms)")
+        print(f"  {b['name']}: {b['real_time']:.1f} {b['time_unit']}{extras}")
+execs = [b for b in data.get("benchmarks", [])
+         if b.get("name", "").startswith("BM_ExecValidate")]
+if execs:
+    print("sim-to-real fidelity (BM_ExecValidate, per policy):")
+    for b in execs:
+        err = b.get("prediction_error_pct")
+        uncal = b.get("uncalibrated_error_pct")
+        ok = b.get("calibration_ok")
+        extras = ""
+        if err is not None:
+            extras = (f" (prediction error {err:.2f}%,"
+                      f" uncalibrated {uncal:.2f}%,"
+                      f" fit {'ok' if ok else 'POOR'})")
         print(f"  {b['name']}: {b['real_time']:.1f} {b['time_unit']}{extras}")
 EOF
 fi

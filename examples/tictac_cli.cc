@@ -36,6 +36,18 @@
 //       fault timeline (DESIGN.md §8) — stragglers, slow links, NIC
 //       flaps, worker/fabric crashes — and the report grows MTTR,
 //       retry, lost-work, and goodput metrics.
+//   tictac_cli exec [--model <name>] [--policy <name>]... [--workers N]
+//                   [--ps K] [--iters I] [--seed N] [--straggler w=F]...
+//                   [--deterministic] [--link-jitter SIGMA] [--json]
+//       Execute the lowered task graph for real on the in-process
+//       parameter-server backend (src/exec/, DESIGN.md §9): real
+//       worker/PS threads, real tensor push/pull, the policy's send
+//       order enforced at each worker. The measured trace calibrates
+//       the platform constants and the run reports predicted vs
+//       measured iteration time per policy. --policy is repeatable
+//       (default: baseline, tic, tac); --straggler w=F slows worker w
+//       by factor F; --deterministic swaps the wall clock for a
+//       reproducible virtual clock (byte-identical JSON per seed).
 //   tictac_cli simulate <model> [--workers N] [--ps N] [--training]
 //                       [--policy <name>] [--iterations N] [--env envC]
 //       Simulate a cluster and report throughput / E / stragglers.
@@ -59,6 +71,7 @@
 #include "core/io.h"
 #include "core/policy_registry.h"
 #include "core/tic.h"
+#include "exec/validate.h"
 #include "fault/fault.h"
 #include "harness/session.h"
 #include "models/builder.h"
@@ -96,6 +109,11 @@ struct Args {
   std::string trace_out;  // --trace: per-job JSON records file
   std::string faults;     // --faults: fault::FaultSpec grammar
   int retry_budget = 3;   // --retry-budget: evictions before failure
+  // exec: sim-to-real validation knobs (exec::ExecSpec).
+  std::vector<std::string> exec_policies;          // --policy, repeatable
+  std::vector<std::pair<int, double>> stragglers;  // --straggler w=F
+  bool deterministic = false;                      // virtual clock
+  double link_jitter = 0.0;                        // lognormal sigma
 };
 
 int Usage() {
@@ -113,6 +131,10 @@ int Usage() {
          "[--duration T] [--job \"<spec>\"]... [--placement <name>] "
          "[--max-jobs N] [--queue N] [--seed N] [--faults \"<faults>\"] "
          "[--retry-budget N] [--trace FILE] [--json]\n"
+         "  tictac_cli exec [--model <name>] [--policy <name>]... "
+         "[--workers N] [--ps K] [--iters I] [--seed N] "
+         "[--straggler w=F]... [--deterministic] [--link-jitter SIGMA] "
+         "[--json]\n"
          "  tictac_cli simulate <model> [--workers N] [--ps N] "
          "[--training] [--policy <name>] [--iterations N] [--env envC]\n"
          "  tictac_cli compare <model> [--workers N] [--ps N] "
@@ -219,14 +241,17 @@ bool Parse(int argc, char** argv, Args& args) {
   // Name the offender before any positional-argument checks, so a bare
   // `tictac_cli frobnicate` says what was wrong instead of just printing
   // usage (pinned in tests/cli_smoke_test.cc).
-  if (!spec_command && args.command != "models" &&
+  const bool exec_command = args.command == "exec";
+  if (!spec_command && !exec_command && args.command != "models" &&
       args.command != "policies" && args.command != "schedule" &&
       args.command != "simulate" && args.command != "compare" &&
       args.command != "export-graph" && args.command != "export-dot") {
     std::cerr << "unknown command: " << args.command << "\n";
     return false;
   }
-  if (!spec_command && args.command != "models" &&
+  // exec takes its model through --model (it has a default), not
+  // positionally like schedule/simulate/compare.
+  if (!spec_command && !exec_command && args.command != "models" &&
       args.command != "policies") {
     if (i >= argc) return false;
     args.model = argv[i++];
@@ -265,6 +290,17 @@ bool Parse(int argc, char** argv, Args& args) {
                              flag == "--jobs" || flag == "--no-isolated" ||
                              flag == "--parallel" || flag == "--csv" ||
                              flag == "--json" || serve_family;
+    // exec's own flag set; rejected with the same symmetry everywhere else.
+    const bool exec_family = flag == "--model" || flag == "--iters" ||
+                             flag == "--straggler" ||
+                             flag == "--deterministic" ||
+                             flag == "--link-jitter";
+    if (exec_family && !exec_command) {
+      std::cerr << args.command << ": " << flag
+                << " is not accepted (--model/--iters/--straggler/"
+                   "--deterministic/--link-jitter belong to exec)\n";
+      return false;
+    }
     if (spec_family) {
       const bool allowed =
           (args.command == "run" && flag == "--spec") ||
@@ -274,7 +310,8 @@ bool Parse(int argc, char** argv, Args& args) {
           (args.command == "multijob" &&
            (flag == "--jobs" || flag == "--no-isolated" ||
             flag == "--json")) ||
-          (args.command == "serve" && (serve_family || flag == "--json"));
+          (args.command == "serve" && (serve_family || flag == "--json")) ||
+          (exec_command && (flag == "--seed" || flag == "--json"));
       if (!allowed) {
         std::cerr << args.command << ": " << flag
                   << " is not accepted (--spec belongs to run; "
@@ -282,7 +319,8 @@ bool Parse(int argc, char** argv, Args& args) {
                      "--jobs/--no-isolated/--json to multijob; "
                      "--arrivals/--fabrics/--duration/--job/--placement/"
                      "--max-jobs/--queue/--seed/--faults/--retry-budget/"
-                     "--trace/--json to serve)\n";
+                     "--trace/--json to serve; --seed/--json also to "
+                     "exec)\n";
         return false;
       }
     }
@@ -300,6 +338,41 @@ bool Parse(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.policy = v;
+      // exec compares several policies side by side; collect repeats.
+      if (exec_command) args.exec_policies.emplace_back(v);
+    } else if (flag == "--model") {
+      const char* v = next();
+      if (!v) return false;
+      args.model = v;
+    } else if (flag == "--iters") {
+      if (!ParseIntFlag(next(), args.iterations)) return false;
+    } else if (flag == "--straggler") {
+      const char* v = next();
+      if (!v) return false;
+      const std::string text = v;
+      const std::size_t eq = text.find('=');
+      int worker = 0;
+      double factor = 0.0;
+      if (eq == std::string::npos ||
+          !ParseIntFlag(text.substr(0, eq).c_str(), worker) ||
+          !ParseDoubleFlag(text.substr(eq + 1).c_str(), factor)) {
+        std::cerr << "--straggler expects worker=factor, e.g. "
+                     "--straggler 1=2.5\n";
+        return false;
+      }
+      if (worker < 0 || factor < 1.0) {
+        std::cerr << "--straggler needs worker >= 0 and factor >= 1\n";
+        return false;
+      }
+      args.stragglers.emplace_back(worker, factor);
+    } else if (flag == "--deterministic") {
+      args.deterministic = true;
+    } else if (flag == "--link-jitter") {
+      if (!ParseDoubleFlag(next(), args.link_jitter)) return false;
+      if (args.link_jitter < 0.0) {
+        std::cerr << "--link-jitter must be >= 0\n";
+        return false;
+      }
     } else if (flag == "--iterations") {
       if (!ParseIntFlag(next(), args.iterations)) return false;
     } else if (flag == "--spec" || flag == "--sweep" || flag == "--jobs") {
@@ -547,6 +620,39 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+int CmdExec(const Args& args) {
+  exec::ExecSpec spec;  // exec is always a training (push/pull) workload
+  if (!args.model.empty()) spec.model = models::FindModel(args.model).name;
+  if (!args.exec_policies.empty()) spec.policies = args.exec_policies;
+  spec.num_workers = args.workers;
+  spec.num_ps = args.ps;
+  spec.iterations = args.iterations;
+  spec.seed = args.seed;
+  spec.deterministic = args.deterministic;
+  spec.link_jitter_sigma = args.link_jitter;
+  if (!args.stragglers.empty()) {
+    spec.straggler_factors.assign(
+        static_cast<std::size_t>(spec.num_workers), 1.0);
+    for (const auto& [worker, factor] : args.stragglers) {
+      if (worker >= spec.num_workers) {
+        std::cerr << "exec: --straggler worker " << worker
+                  << " out of range (have " << spec.num_workers
+                  << " workers)\n";
+        return 2;
+      }
+      spec.straggler_factors[static_cast<std::size_t>(worker)] = factor;
+    }
+  }
+  harness::Session session;
+  const exec::ExecReport report = session.RunExec(spec);
+  if (args.emit == Args::Emit::kJson) {
+    std::cout << report.ToJson();
+    return 0;
+  }
+  std::cout << report.ToTable();
+  return 0;
+}
+
 int CmdSimulate(const Args& args) {
   runtime::ExperimentSpec spec;
   spec.model = models::FindModel(args.model).name;
@@ -601,6 +707,7 @@ int main(int argc, char** argv) {
     if (args.command == "sweep") return CmdSweep(args);
     if (args.command == "multijob") return CmdMultiJob(args);
     if (args.command == "serve") return CmdServe(args);
+    if (args.command == "exec") return CmdExec(args);
     if (args.command == "simulate") return CmdSimulate(args);
     if (args.command == "compare") return CmdCompare(args);
     if (args.command == "export-graph" || args.command == "export-dot") {

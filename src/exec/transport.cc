@@ -1,0 +1,55 @@
+#include "exec/transport.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace tictac::exec {
+
+InProcTransport::InProcTransport(int num_channels, int capacity)
+    : capacity_(capacity) {
+  if (num_channels < 1) {
+    throw std::invalid_argument("InProcTransport: need >= 1 channel, got " +
+                                std::to_string(num_channels));
+  }
+  if (capacity < 1) {
+    throw std::invalid_argument("InProcTransport: capacity must be >= 1, got " +
+                                std::to_string(capacity));
+  }
+  channels_.reserve(static_cast<std::size_t>(num_channels));
+  for (int c = 0; c < num_channels; ++c) {
+    channels_.push_back(std::make_unique<Channel>());
+  }
+}
+
+void InProcTransport::Send(int channel, Message message) {
+  Channel& ch = *channels_.at(static_cast<std::size_t>(channel));
+  std::unique_lock<std::mutex> lock(ch.mu);
+  if (ch.queue.size() >= static_cast<std::size_t>(capacity_)) {
+    blocked_sends_.fetch_add(1, std::memory_order_relaxed);
+    ch.can_send.wait(lock, [&] {
+      return ch.queue.size() < static_cast<std::size_t>(capacity_);
+    });
+  }
+  ch.queue.push_back(std::move(message));
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  // Receivers filter by tag, so every waiter must re-check.
+  ch.can_recv.notify_all();
+}
+
+Message InProcTransport::Recv(int channel, int tag) {
+  Channel& ch = *channels_.at(static_cast<std::size_t>(channel));
+  std::unique_lock<std::mutex> lock(ch.mu);
+  while (true) {
+    for (auto it = ch.queue.begin(); it != ch.queue.end(); ++it) {
+      if (it->tag == tag) {
+        Message out = std::move(*it);
+        ch.queue.erase(it);
+        ch.can_send.notify_one();
+        return out;
+      }
+    }
+    ch.can_recv.wait(lock);
+  }
+}
+
+}  // namespace tictac::exec

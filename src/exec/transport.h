@@ -1,0 +1,88 @@
+// Message transport for the executable parameter-server backend
+// (DESIGN.md §9).
+//
+// The backend's data plane moves parameter and gradient messages between
+// worker and PS threads over indexed channels — the same channel indices
+// the lowering assigns to downlink/uplink resources — through a
+// socket-ready interface: by-value messages, integer channel addresses,
+// integer tags (MPI-style tagged receive), blocking sends with bounded
+// buffering. The in-process implementation backs every channel with a
+// shared-memory queue guarded by a mutex; a TCP implementation could
+// serialize Message verbatim without changing a caller.
+//
+// Backpressure contract: Send blocks while the channel already holds
+// `capacity` messages and unblocks when a Recv drains one; Recv blocks
+// until a message with the requested tag arrives (messages with other
+// tags are held in arrival order and still count against capacity).
+// Callers therefore size capacity to the maximum number of messages in
+// flight per channel (exec::PsBackend uses the per-PS parameter count) —
+// a tagged receive behind a full queue of other tags would otherwise
+// deadlock with its blocked producer.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tictac::exec {
+
+// One parameter or gradient transfer. `tensor` is the real cargo (MLP
+// parameter or gradient values; empty for parameters beyond the cargo
+// model's size); `wire_bytes` is the modeled transfer size the channel
+// accounts time against.
+struct Message {
+  int tag = -1;     // parameter index
+  int sender = -1;  // worker id (pushes) or PS id (pulls)
+  std::uint64_t wire_bytes = 0;
+  std::vector<double> tensor;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Enqueues `message` on `channel`; blocks while the channel is full.
+  virtual void Send(int channel, Message message) = 0;
+
+  // Removes and returns the oldest message with `tag` on `channel`;
+  // blocks until one arrives.
+  virtual Message Recv(int channel, int tag) = 0;
+
+  virtual int num_channels() const = 0;
+};
+
+// Shared-memory implementation: one bounded queue per channel.
+class InProcTransport final : public Transport {
+ public:
+  // `capacity` bounds each channel's queue (>= 1).
+  InProcTransport(int num_channels, int capacity);
+
+  void Send(int channel, Message message) override;
+  Message Recv(int channel, int tag) override;
+  int num_channels() const override { return static_cast<int>(channels_.size()); }
+
+  int capacity() const { return capacity_; }
+  // Number of Send calls that had to block on a full queue — the
+  // backpressure observable the tests assert on.
+  std::uint64_t blocked_sends() const { return blocked_sends_.load(); }
+  std::uint64_t messages_sent() const { return messages_sent_.load(); }
+
+ private:
+  struct Channel {
+    std::mutex mu;
+    std::condition_variable can_send;
+    std::condition_variable can_recv;
+    std::deque<Message> queue;
+  };
+
+  int capacity_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::atomic<std::uint64_t> blocked_sends_{0};
+  std::atomic<std::uint64_t> messages_sent_{0};
+};
+
+}  // namespace tictac::exec

@@ -286,6 +286,10 @@ sched::ServiceReport Session::RunService(const sched::ServiceConfig& config) {
   return service.Run();
 }
 
+exec::ExecReport Session::RunExec(const exec::ExecSpec& spec) {
+  return exec::ValidateAgainstSim(spec);
+}
+
 const runtime::Runner& Session::runner(const runtime::ExperimentSpec& spec) {
   // '\n' cannot appear in a model name or a cluster spec, so the key is
   // collision-free.

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/metrics.h"
+#include "exec/validate.h"
 #include "runtime/multijob.h"
 #include "runtime/runner.h"
 #include "runtime/spec.h"
@@ -151,6 +152,15 @@ class Session {
   // (model, cluster) — so this call does not touch this Session's cache.
   // Deterministic in the config alone.
   sched::ServiceReport RunService(const sched::ServiceConfig& config);
+
+  // Executes the spec's lowered task graphs for real on the in-process
+  // parameter-server backend (exec::PsBackend) and closes the sim-to-real
+  // loop: calibrate platform constants from the measured trace, re-simulate,
+  // and report predicted vs measured iteration time per policy
+  // (exec::ValidateAgainstSim). Builds its own Runner — the exec spec's
+  // cluster shape does not reuse this Session's cache. Deterministic in
+  // the spec alone when spec.deterministic is set.
+  exec::ExecReport RunExec(const exec::ExecSpec& spec);
 
   // Hardware concurrency, with a floor of 1 (and 4 when unknown).
   static int DefaultParallelism();

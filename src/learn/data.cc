@@ -16,6 +16,24 @@ Dataset Dataset::Batch(std::size_t begin, std::size_t count) const {
   return batch;
 }
 
+Dataset Dataset::Shuffled(std::uint64_t seed) const {
+  std::vector<std::size_t> perm(size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  util::Rng rng = util::Rng::Stream(seed, /*stream=*/0x5f5u);
+  rng.Shuffle(perm);
+
+  Dataset out;
+  out.features = Matrix(features.rows(), features.cols());
+  out.labels.resize(size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    for (std::size_t j = 0; j < features.cols(); ++j) {
+      out.features.at(i, j) = features.at(perm[i], j);
+    }
+    out.labels[i] = labels[perm[i]];
+  }
+  return out;
+}
+
 Dataset MakeGaussianMixture(std::size_t examples, std::size_t inputs,
                             int classes, std::uint64_t seed) {
   util::Rng rng(seed);

@@ -19,6 +19,11 @@ struct Dataset {
 
   // Copies rows [begin, begin+count) (wrapping around) into a batch.
   Dataset Batch(std::size_t begin, std::size_t count) const;
+
+  // Copy with examples permuted by a seeded Fisher-Yates shuffle —
+  // deterministic in `seed`, so a shuffled minibatch sequence replays
+  // bit for bit (PsTrainer's data_seed, the exec backend's run seed).
+  Dataset Shuffled(std::uint64_t seed) const;
 };
 
 Dataset MakeGaussianMixture(std::size_t examples, std::size_t inputs,

@@ -6,7 +6,12 @@
 namespace tictac::learn {
 
 PsTrainer::PsTrainer(const TrainConfig& config, const Dataset& dataset)
-    : config_(config), dataset_(&dataset), model_({}, config.model_seed) {}
+    : config_(config), dataset_(&dataset), model_({}, config.model_seed) {
+  if (config_.data_seed != 0) {
+    shuffled_ = dataset.Shuffled(config_.data_seed);
+    dataset_ = &shuffled_;
+  }
+}
 
 TrainLog PsTrainer::Train(int iterations,
                           const std::vector<int>& param_order) {

@@ -23,6 +23,11 @@ struct TrainConfig {
   std::size_t batch_per_worker = 16;
   double learning_rate = 0.05;
   std::uint64_t model_seed = 7;
+  // 0 = legacy sequential minibatch order; nonzero = train on
+  // Dataset::Shuffled(data_seed), so weight init (model_seed) and
+  // minibatch order both replay deterministically from explicit seeds —
+  // the exec backend's validation runs pin both to its run seed.
+  std::uint64_t data_seed = 0;
 };
 
 struct TrainLog {
@@ -43,6 +48,7 @@ class PsTrainer {
  private:
   TrainConfig config_;
   const Dataset* dataset_;
+  Dataset shuffled_;  // backs dataset_ when config.data_seed != 0
   Mlp model_;
 };
 

@@ -14,8 +14,23 @@ namespace tictac::trace {
 struct Calibration {
   core::PlatformModel platform;
   double transfer_fit_r2 = 0.0;  // quality of the bytes -> duration fit
+  // Through-origin cost -> duration fit quality (1 - SSE/SST about the
+  // mean); can go negative when a single rate explains compute worse
+  // than the mean duration would.
+  double compute_fit_r2 = 0.0;
+  // Mean |measured - fitted| duration per sample class, in seconds —
+  // the absolute counterpart to the R² figures, so a consumer
+  // (exec::ValidateAgainstSim) can flag a poor fit in the units it
+  // reports predictions in.
+  double transfer_mean_abs_residual_s = 0.0;
+  double compute_mean_abs_residual_s = 0.0;
   int transfer_samples = 0;
   int compute_samples = 0;
+
+  // Fit-quality gate: both regressions explain their samples well.
+  bool GoodFit(double min_r2 = 0.9) const {
+    return transfer_fit_r2 >= min_r2 && compute_fit_r2 >= min_r2;
+  }
 };
 
 // Fits, over worker-0's tasks:

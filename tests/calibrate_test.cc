@@ -60,6 +60,35 @@ TEST(Calibrate, RobustToModerateJitter) {
   EXPECT_GT(cal.transfer_fit_r2, 0.95);
 }
 
+TEST(Calibrate, ResidualsAndR2TrackFitQuality) {
+  // Jitter-free traces fit both regressions essentially exactly:
+  // residuals collapse to ~0, both R² to ~1, and GoodFit accepts.
+  Fixture clean(/*jitter=*/0.0);
+  const sim::SimResult clean_result =
+      clean.lowering.BuildSim().Run(clean.config.sim, 1);
+  const Calibration exact = CalibratePlatform(
+      clean.lowering, clean_result, clean.graph, clean.config.num_workers);
+  EXPECT_GT(exact.compute_fit_r2, 0.999999);
+  EXPECT_LT(exact.transfer_mean_abs_residual_s, 1e-9);
+  EXPECT_LT(exact.compute_mean_abs_residual_s, 1e-9);
+  EXPECT_TRUE(exact.GoodFit());
+
+  // Heavy jitter degrades the fit measurably on every diagnostic, and a
+  // strict threshold flags it — the gate ValidateAgainstSim relies on to
+  // report POOR instead of a confident wrong prediction.
+  Fixture noisy(/*jitter=*/0.5);
+  const sim::SimResult noisy_result =
+      noisy.lowering.BuildSim().Run(noisy.config.sim, 3);
+  const Calibration rough = CalibratePlatform(
+      noisy.lowering, noisy_result, noisy.graph, noisy.config.num_workers);
+  EXPECT_GT(rough.transfer_mean_abs_residual_s,
+            exact.transfer_mean_abs_residual_s);
+  EXPECT_GT(rough.compute_mean_abs_residual_s,
+            exact.compute_mean_abs_residual_s);
+  EXPECT_LT(rough.compute_fit_r2, exact.compute_fit_r2);
+  EXPECT_FALSE(rough.GoodFit(/*min_r2=*/0.999999999));
+}
+
 TEST(Calibrate, CalibratedOracleSchedulesAnotherModel) {
   // The transfer-learning loop: calibrate on Inception v2 traces, then
   // schedule ResNet-50 v1 with TAC using the recovered platform.

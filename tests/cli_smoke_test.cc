@@ -82,4 +82,59 @@ TEST(CliSmoke, ChaosServeRuns) {
   EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
 }
 
+TEST(CliSmoke, ExecRuns) {
+  const CliResult result = RunCli(
+      "exec --model \"AlexNet v2\" --policy tic --workers 2 --ps 1 "
+      "--iters 2 --straggler 1=2 --deterministic");
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+}
+
+TEST(CliSmoke, ExecJsonCarriesPredictionError) {
+  // Route stdout to the captured file instead of stderr: the JSON body
+  // is the contract under test.
+  const std::string out_path = ::testing::TempDir() + "/tictac_exec.json";
+  const std::string cmd =
+      std::string(TICTAC_CLI_PATH) +
+      " exec --model \"AlexNet v2\" --workers 2 --ps 2 --iters 2 --seed 5"
+      " --deterministic --json >" +
+      out_path + " 2>/dev/null";
+  int status = std::system(cmd.c_str());
+#ifndef _WIN32
+  if (WIFEXITED(status)) status = WEXITSTATUS(status);
+#endif
+  ASSERT_EQ(status, 0);
+  std::ifstream in(out_path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string json = text.str();
+  EXPECT_NE(json.find("\"prediction_error_pct\":"), std::string::npos);
+  EXPECT_NE(json.find("\"order_matches_schedule\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_abs_prediction_error_pct\":"),
+            std::string::npos);
+}
+
+TEST(CliSmoke, ExecUnknownFlagPrintsUsageAndFails) {
+  const CliResult result = RunCli("exec --bogus-flag 3");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("unknown flag: --bogus-flag"),
+            std::string::npos)
+      << result.stderr_text;
+  EXPECT_NE(result.stderr_text.find("usage:"), std::string::npos);
+}
+
+TEST(CliSmoke, ExecFlagsAreRejectedElsewhere) {
+  const CliResult result = RunCli("sweep --sweep x --straggler 1=2");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("belong to exec"), std::string::npos)
+      << result.stderr_text;
+}
+
+TEST(CliSmoke, ExecMalformedStragglerIsRejected) {
+  const CliResult result = RunCli("exec --straggler fast");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("--straggler expects worker=factor"),
+            std::string::npos)
+      << result.stderr_text;
+}
+
 }  // namespace
