@@ -1,0 +1,135 @@
+// Lowering-path cost (DESIGN.md §10): the pass-based pipeline over the
+// arena-interned ir::Module against the frozen pre-IR implementation
+// (runtime/reference_lowering.h), plus the PropertyIndex build the
+// scheduling passes pay. The arena counters — interned pred-list pool
+// size vs the naive per-node layout, dedup hit rate — ride along into
+// BENCH_sched.json via bench/run_benches.sh, so layout regressions (an
+// accidental de-interning, a pass that stops sharing lists) show up in
+// the archived perf trajectory next to their runtime cost.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/properties.h"
+#include "ir/lower.h"
+#include "models/zoo.h"
+#include "runtime/lowering.h"
+#include "runtime/reference_lowering.h"
+#include "runtime/runner.h"
+
+namespace {
+
+using tictac::runtime::EnvG;
+using tictac::runtime::Runner;
+
+// One representative contended cluster: ResNet-101 training on 4 workers
+// x 2 PS with a TIC schedule — the bench_multijob workload's single-job
+// half, so numbers line up across suites.
+struct Workload {
+  Workload()
+      : runner(tictac::models::FindModel("ResNet-101 v1"), EnvG(4, 2, true)),
+        schedule(runner.MakeSchedule("tic")) {}
+  Runner runner;
+  tictac::core::Schedule schedule;
+};
+
+Workload& SharedWorkload() {
+  static Workload workload;
+  return workload;
+}
+
+void BM_LowerClusterReference(benchmark::State& state) {
+  Workload& w = SharedWorkload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tictac::runtime::reference::LowerCluster(
+        w.runner.worker_graph(), w.schedule, w.runner.ps_of_param(),
+        w.runner.config()));
+  }
+  state.SetLabel("frozen pre-IR layout");
+}
+BENCHMARK(BM_LowerClusterReference)->Unit(benchmark::kMillisecond);
+
+void BM_LowerClusterPipeline(benchmark::State& state) {
+  Workload& w = SharedWorkload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tictac::runtime::LowerCluster(
+        w.runner.worker_graph(), w.schedule, w.runner.ps_of_param(),
+        w.runner.config()));
+  }
+  // The interning footprint of the same lowering, as counters: how many
+  // pred-list entries the arena stores vs what a per-node layout would,
+  // and how often Intern() was answered from existing storage.
+  std::vector<tictac::runtime::JobLoweringInput> jobs;
+  jobs.push_back({w.runner.worker_graph(), w.schedule,
+                  w.runner.ps_of_param(), w.runner.config()});
+  const tictac::ir::Module module =
+      tictac::ir::StandardLoweringPipeline(
+          tictac::runtime::Topology::kPsFabric)
+          .Run(tictac::ir::BuildLogicalModule(jobs));
+  std::size_t naive_entries = 0;
+  for (tictac::ir::NodeId n = 0;
+       n < static_cast<tictac::ir::NodeId>(module.size()); ++n) {
+    naive_entries += module.preds(n).size();
+  }
+  state.counters["nodes"] = static_cast<double>(module.size());
+  state.counters["arena_pool_entries"] =
+      static_cast<double>(module.arena().pool_entries());
+  state.counters["naive_pred_entries"] = static_cast<double>(naive_entries);
+  state.counters["arena_dedup_hits"] =
+      static_cast<double>(module.arena().dedup_hits());
+  state.SetLabel("ir::PassPipeline over the interned arena");
+}
+BENCHMARK(BM_LowerClusterPipeline)->Unit(benchmark::kMillisecond);
+
+// The dependency-analysis cost the compute_schedules pass (and every
+// Runner construction) pays before any lowering: dominating-set and
+// dependency bitsets over the worker partition.
+void BM_PropertyIndexBuild(benchmark::State& state) {
+  Workload& w = SharedWorkload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tictac::core::PropertyIndex(w.runner.worker_graph()));
+  }
+  state.counters["ops"] =
+      static_cast<double>(w.runner.worker_graph().size());
+}
+BENCHMARK(BM_PropertyIndexBuild)->Unit(benchmark::kMillisecond);
+
+// The multi-job composition, both layouts: three jobs merged onto one
+// shared fabric — the pass order expand_replicas, lower_ps_fabric,
+// merge_jobs, apply_arrival_offsets against the frozen per-job +
+// hand-merge implementation.
+void BM_SharedClusterReference(benchmark::State& state) {
+  Workload& w = SharedWorkload();
+  std::vector<tictac::runtime::JobLoweringInput> jobs;
+  for (int j = 0; j < 3; ++j) {
+    jobs.push_back({w.runner.worker_graph(), w.schedule,
+                    w.runner.ps_of_param(), w.runner.config(),
+                    j == 2 ? 0.05 : 0.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tictac::runtime::reference::LowerSharedCluster(jobs));
+  }
+}
+BENCHMARK(BM_SharedClusterReference)->Unit(benchmark::kMillisecond);
+
+void BM_SharedClusterPipeline(benchmark::State& state) {
+  Workload& w = SharedWorkload();
+  std::vector<tictac::runtime::JobLoweringInput> jobs;
+  for (int j = 0; j < 3; ++j) {
+    jobs.push_back({w.runner.worker_graph(), w.schedule,
+                    w.runner.ps_of_param(), w.runner.config(),
+                    j == 2 ? 0.05 : 0.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tictac::runtime::LowerSharedCluster(jobs));
+  }
+}
+BENCHMARK(BM_SharedClusterPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -17,7 +17,11 @@
 # fault scenario), and bench_exec's BM_ExecValidate cases record the
 # sim-to-real round-trip cost plus prediction-fidelity counters
 # (measured vs predicted iteration time, calibrated and uncalibrated
-# error) per policy; the summary below echoes all five.
+# error) per policy, and bench_lowering's BM_Lower* cases record the
+# pass-pipeline lowering cost over the arena-interned IR against the
+# frozen pre-IR implementation plus the arena interning counters
+# (pool entries vs naive pred storage, dedup hits); the summary below
+# echoes all six.
 #
 # Usage: bench/run_benches.sh [build_dir] [out.json] [extra benchmark args]
 #   BENCH_MIN_TIME=0.2 bench/run_benches.sh build-release
@@ -80,7 +84,8 @@ EOF
 
 EXTRA_OUT="$(mktemp)"
 trap 'rm -f "${EXTRA_OUT}"' EXIT
-for extra_bench in bench_multijob bench_service bench_faults bench_exec; do
+for extra_bench in bench_multijob bench_service bench_faults bench_exec \
+                   bench_lowering; do
   EXTRA_BIN="${BUILD_DIR}/${extra_bench}"
   if [[ -x "${EXTRA_BIN}" ]]; then
     "${EXTRA_BIN}" \
@@ -165,6 +170,20 @@ if execs:
             extras = (f" (prediction error {err:.2f}%,"
                       f" uncalibrated {uncal:.2f}%,"
                       f" fit {'ok' if ok else 'POOR'})")
+        print(f"  {b['name']}: {b['real_time']:.1f} {b['time_unit']}{extras}")
+lowering = [b for b in data.get("benchmarks", [])
+            if b.get("name", "").startswith(("BM_Lower", "BM_Shared",
+                                             "BM_PropertyIndex"))]
+if lowering:
+    print("lowering pipeline vs frozen reference (bench_lowering):")
+    for b in lowering:
+        pool = b.get("arena_pool_entries")
+        naive = b.get("naive_pred_entries")
+        hits = b.get("arena_dedup_hits")
+        extras = ""
+        if pool is not None and naive:
+            extras = (f" (arena {pool:.0f} of {naive:.0f} naive pred"
+                      f" entries, {hits:.0f} dedup hits)")
         print(f"  {b['name']}: {b['real_time']:.1f} {b['time_unit']}{extras}")
 EOF
 fi

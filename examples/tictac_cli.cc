@@ -20,6 +20,16 @@
 //       --jobs "2x{envG:workers=4:ps=2:training model=ResNet-101 v1
 //       policy=tac}". Grammar: [COUNTx]{<experiment spec>}[@offset_s],
 //       whitespace-separated (runtime/multijob.h, DESIGN.md §6).
+//   tictac_cli lower --jobs "<multijob spec>" [--dump] [--json]
+//       Lower a composed scenario — chunking, sharding, schedule
+//       computation, replica expansion, PS lowering, multi-job merging,
+//       arrival offsets — through ONE ir::PassPipeline invocation
+//       (DESIGN.md §10) with per-pass invariant checks, then simulate
+//       and report per-job and combined results. --dump prints each
+//       pass's module summary; a bare experiment spec (no braces) is
+//       accepted as a single job, e.g.
+//       --jobs "envG:workers=4:ps=2:training:chunk=4096:shard=even
+//       model=VGG-16 policy=tac".
 //   tictac_cli serve --arrivals "<arrival spec>" [--fabrics K]
 //                    [--duration T] [--job "<experiment spec>"]...
 //                    [--placement <name>] [--max-jobs N] [--queue N]
@@ -74,6 +84,7 @@
 #include "exec/validate.h"
 #include "fault/fault.h"
 #include "harness/session.h"
+#include "ir/lower.h"
 #include "models/builder.h"
 #include "models/zoo.h"
 #include "sched/placement.h"
@@ -96,6 +107,7 @@ struct Args {
   std::string spec_text;
   int parallelism = 0;  // 0 = default (all cores for sweep)
   bool no_isolated = false;  // multijob: skip the isolated references
+  bool dump = false;         // lower: per-pass module summaries
   enum class Emit { kTable, kCsv, kJson } emit = Emit::kTable;
   // serve: the service configuration (defaults mirror ServiceConfig).
   std::string arrivals;
@@ -127,6 +139,7 @@ int Usage() {
          "[--csv|--json]\n"
          "  tictac_cli multijob --jobs \"<multijob>\" [--no-isolated] "
          "[--json]\n"
+         "  tictac_cli lower --jobs \"<multijob>\" [--dump] [--json]\n"
          "  tictac_cli serve --arrivals \"<arrival>\" [--fabrics K] "
          "[--duration T] [--job \"<spec>\"]... [--placement <name>] "
          "[--max-jobs N] [--queue N] [--seed N] [--faults \"<faults>\"] "
@@ -237,6 +250,7 @@ bool Parse(int argc, char** argv, Args& args) {
   const bool spec_command = args.command == "run" ||
                             args.command == "sweep" ||
                             args.command == "multijob" ||
+                            args.command == "lower" ||
                             args.command == "serve";
   // Name the offender before any positional-argument checks, so a bare
   // `tictac_cli frobnicate` says what was wrong instead of just printing
@@ -288,8 +302,9 @@ bool Parse(int argc, char** argv, Args& args) {
         flag == "--trace" || flag == "--faults" || flag == "--retry-budget";
     const bool spec_family = flag == "--spec" || flag == "--sweep" ||
                              flag == "--jobs" || flag == "--no-isolated" ||
-                             flag == "--parallel" || flag == "--csv" ||
-                             flag == "--json" || serve_family;
+                             flag == "--dump" || flag == "--parallel" ||
+                             flag == "--csv" || flag == "--json" ||
+                             serve_family;
     // exec's own flag set; rejected with the same symmetry everywhere else.
     const bool exec_family = flag == "--model" || flag == "--iters" ||
                              flag == "--straggler" ||
@@ -310,6 +325,8 @@ bool Parse(int argc, char** argv, Args& args) {
           (args.command == "multijob" &&
            (flag == "--jobs" || flag == "--no-isolated" ||
             flag == "--json")) ||
+          (args.command == "lower" &&
+           (flag == "--jobs" || flag == "--dump" || flag == "--json")) ||
           (args.command == "serve" && (serve_family || flag == "--json")) ||
           (exec_command && (flag == "--seed" || flag == "--json"));
       if (!allowed) {
@@ -317,6 +334,7 @@ bool Parse(int argc, char** argv, Args& args) {
                   << " is not accepted (--spec belongs to run; "
                      "--sweep/--parallel/--csv/--json to sweep; "
                      "--jobs/--no-isolated/--json to multijob; "
+                     "--jobs/--dump/--json to lower; "
                      "--arrivals/--fabrics/--duration/--job/--placement/"
                      "--max-jobs/--queue/--seed/--faults/--retry-budget/"
                      "--trace/--json to serve; --seed/--json also to "
@@ -381,6 +399,8 @@ bool Parse(int argc, char** argv, Args& args) {
       append_spec(v);
     } else if (flag == "--no-isolated") {
       args.no_isolated = true;
+    } else if (flag == "--dump") {
+      args.dump = true;
     } else if (flag == "--arrivals") {
       const char* v = next();
       if (!v) return false;
@@ -566,6 +586,122 @@ int CmdMultiJob(const Args& args) {
   return 0;
 }
 
+int CmdLower(const Args& args) {
+  if (args.spec_text.empty()) {
+    std::cerr << "lower: missing job list (use --jobs "
+                 "\"{<experiment spec>} {<experiment spec>}@0.05\"; a bare "
+                 "experiment spec is accepted as a single job)\n";
+    return 2;
+  }
+  // A bare experiment spec (no braces) is sugar for one job.
+  std::string text = args.spec_text;
+  if (text.find('{') == std::string::npos) text = '{' + text + '}';
+  const auto spec = runtime::MultiJobSpec::Parse(text);
+
+  // The whole composed scenario — chunking, sharding, schedule
+  // computation, replica expansion, PS lowering, job merging, arrival
+  // offsets, iteration pipelining — is ONE PassPipeline invocation over
+  // one ir::Module (DESIGN.md §10).
+  const ir::PassPipeline pipeline =
+      ir::FullLoweringPipeline(spec.jobs.front().spec.cluster.topology);
+  std::cerr << "lower: " << spec.jobs.size() << " job(s), "
+            << spec.TotalWorkers() << " workers on "
+            << spec.jobs.front().spec.cluster.ps
+            << " shared PS; pass pipeline:";
+  for (const auto& name : pipeline.names()) std::cerr << ' ' << name;
+  std::cerr << "\n";
+
+  ir::PipelineOptions options;
+  options.check_invariants = true;  // validate the module after every pass
+  if (args.dump) {
+    options.dump = [](const std::string& pass, const ir::Module& module) {
+      std::cerr << "  [after " << pass << "] " << module.DebugSummary()
+                << "\n";
+    };
+  }
+  const ir::Module module =
+      pipeline.Run(ir::BuildModuleForSpec(spec), options);
+
+  bool any_scheduled = false;
+  for (const auto& job : module.jobs) any_scheduled |= job.scheduled;
+  const runtime::MultiJobLowering lowering = ir::ToMultiJobLowering(module);
+
+  sim::SimOptions sim_options = spec.jobs.front().spec.BuildCluster().sim;
+  sim_options.enforce_gates = any_scheduled;
+  sim::TaskGraphSim sim = lowering.combined.BuildSim();
+
+  // Same iteration loop (and seeding) as MultiJobRunner::Run.
+  const int iterations = spec.jobs.front().spec.iterations;
+  const std::uint64_t seed = spec.jobs.front().spec.seed;
+  runtime::MultiJobResult result;
+  result.jobs.resize(spec.jobs.size());
+  double combined_samples = 0.0;
+  for (std::size_t j = 0; j < spec.jobs.size(); ++j) {
+    const runtime::ExperimentSpec& job = spec.jobs[j].spec;
+    const double samples = models::FindModel(job.model).standard_batch *
+                           job.cluster.batch_factor * job.cluster.workers;
+    result.jobs[j].samples_per_iteration = samples;
+    combined_samples += samples;
+  }
+  result.combined.samples_per_iteration = combined_samples;
+  for (int i = 0; i < iterations; ++i) {
+    const sim::SimResult run =
+        sim.Run(sim_options, seed + static_cast<std::uint64_t>(i));
+    result.combined.iterations.push_back(
+        runtime::ComputeIterationStats(lowering.combined, run));
+    for (std::size_t j = 0; j < lowering.jobs.size(); ++j) {
+      const sim::SimResult sliced =
+          runtime::SliceResult(run, lowering.jobs[j]);
+      result.jobs[j].iterations.push_back(
+          runtime::ComputeIterationStats(lowering.jobs[j].lowering, sliced));
+    }
+  }
+
+  if (args.emit == Args::Emit::kJson) {
+    std::cout << "{\n  \"passes\": [";
+    bool first = true;
+    for (const auto& name : pipeline.names()) {
+      std::cout << (first ? "\"" : ", \"") << name << "\"";
+      first = false;
+    }
+    std::cout << "],\n  \"combined\": {\"mean_iteration_s\": "
+              << runtime::FormatDouble(result.combined.MeanIterationTime())
+              << ", \"throughput\": "
+              << runtime::FormatDouble(result.combined.Throughput())
+              << "},\n  \"jobs\": [\n";
+    for (std::size_t j = 0; j < result.jobs.size(); ++j) {
+      const runtime::ExperimentSpec& job = spec.jobs[j].spec;
+      std::cout << "    {\"model\": \"" << job.model << "\", \"policy\": \""
+                << job.policy << "\", \"workers\": " << job.cluster.workers
+                << ", \"mean_iteration_s\": "
+                << runtime::FormatDouble(result.jobs[j].MeanIterationTime())
+                << ", \"throughput\": "
+                << runtime::FormatDouble(result.jobs[j].Throughput()) << "}"
+                << (j + 1 < result.jobs.size() ? ",\n" : "\n");
+    }
+    std::cout << "  ]\n}\n";
+    return 0;
+  }
+
+  std::cout << "combined: mean iteration "
+            << util::Fmt(result.combined.MeanIterationTime() * 1e3, 2)
+            << " ms, aggregate throughput "
+            << util::Fmt(result.combined.Throughput(), 1) << " samples/s\n";
+  util::Table table({"Job", "Model", "Policy", "Workers", "Iteration (ms)",
+                     "Throughput", "E", "Overlap"});
+  for (std::size_t j = 0; j < result.jobs.size(); ++j) {
+    const runtime::ExperimentSpec& job = spec.jobs[j].spec;
+    table.AddRow({std::to_string(j), job.model, job.policy,
+                  std::to_string(job.cluster.workers),
+                  util::Fmt(result.jobs[j].MeanIterationTime() * 1e3, 2),
+                  util::Fmt(result.jobs[j].Throughput(), 1),
+                  util::Fmt(result.jobs[j].MeanEfficiency(), 3),
+                  util::Fmt(result.jobs[j].MeanOverlap(), 3)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
 int CmdServe(const Args& args) {
   if (args.arrivals.empty()) {
     std::cerr << "serve: missing arrival process (use --arrivals "
@@ -706,6 +842,7 @@ int main(int argc, char** argv) {
     if (args.command == "run") return CmdRun(args);
     if (args.command == "sweep") return CmdSweep(args);
     if (args.command == "multijob") return CmdMultiJob(args);
+    if (args.command == "lower") return CmdLower(args);
     if (args.command == "serve") return CmdServe(args);
     if (args.command == "exec") return CmdExec(args);
     if (args.command == "simulate") return CmdSimulate(args);

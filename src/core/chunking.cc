@@ -1,9 +1,19 @@
 #include "core/chunking.h"
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace tictac::core {
+
+void ChunkingOptions::Validate() const {
+  if (max_chunk_bytes <= 0) {
+    throw std::invalid_argument(
+        "ChunkingOptions: max_chunk_bytes must be > 0 to chunk, got " +
+        std::to_string(max_chunk_bytes) +
+        " (use chunk_bytes = 0 / omit chunk= to disable chunking)");
+  }
+}
 namespace {
 
 // Splits `bytes` into near-equal chunks no larger than `max`.

@@ -1,0 +1,343 @@
+#include "ir/lower.h"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "ir/passes.h"
+#include "models/builder.h"
+#include "models/zoo.h"
+
+namespace tictac::ir {
+namespace {
+
+void RequireMerged(const Module& module, const char* exporter) {
+  if (module.stage != Stage::kMerged) {
+    throw std::invalid_argument(std::string("ir: ") + exporter +
+                                " consumes a merged module, got " +
+                                ToString(module.stage) +
+                                " (run the lowering pipeline first)");
+  }
+}
+
+// Reconstructs one job's own single-job Lowering — local task ids, local
+// resource space, no arrival gate — from its slice of the merged module.
+// The inverse of merge_jobs' remap + apply_arrival_offsets' delay edge.
+runtime::Lowering ExportJobLocal(const Module& module, std::size_t j) {
+  const JobInfo& job = module.jobs[j];
+  const JobRange& r = module.ranges[j];
+  const int W = job.config.num_workers;
+  const int S = job.config.num_ps;
+  const int T = module.total_workers;
+  const int base_w = r.first_worker;
+
+  runtime::Lowering local;
+  local.num_workers = W;
+  local.num_resources = W + 2 * W * S + S;
+  local.worker_tasks.resize(static_cast<std::size_t>(W));
+  local.worker_recv_tasks.resize(static_cast<std::size_t>(W));
+  local.transfer_param.resize(static_cast<std::size_t>(W));
+
+  const auto unmap_resource = [&](int res) {
+    if (res < T) return res - base_w;  // worker computation
+    if (res < T + T * S) {             // downlink channel
+      const int g = (res - T) / S;
+      const int s = (res - T) % S;
+      return W + (g - base_w) * S + s;
+    }
+    if (res < T + 2 * T * S) {  // uplink channel
+      const int g = (res - T - T * S) / S;
+      const int s = (res - T - T * S) % S;
+      return W + W * S + (g - base_w) * S + s;
+    }
+    return W + 2 * W * S + (res - T - 2 * T * S);  // PS CPU
+  };
+
+  for (NodeId n = r.first; n < r.last; ++n) {
+    sim::Task task;
+    task.duration = module.duration(n);
+    task.resource = unmap_resource(module.resource(n));
+    task.priority = module.priority(n);
+    task.gate_group = module.gate_group(n) >= 0
+                          ? module.gate_group(n) - base_w
+                          : module.gate_group(n);
+    task.gate_rank = module.gate_rank(n);
+    for (const NodeId p : module.preds(n)) {
+      if (p == r.delay) continue;  // the arrival gate is combined-only
+      task.preds.push_back(p - r.first);
+    }
+    task.op = module.op(n);
+    task.kind = module.kind(n);
+    task.worker =
+        module.worker(n) >= 0 ? module.worker(n) - base_w : module.worker(n);
+    const int w = task.worker;
+    const sim::TaskId id = n - r.first;
+    if (w >= 0) {
+      local.worker_tasks[static_cast<std::size_t>(w)].push_back(id);
+      if (task.kind == core::OpKind::kRecv) {
+        local.worker_recv_tasks[static_cast<std::size_t>(w)].push_back(id);
+        local.transfer_param[static_cast<std::size_t>(w)].push_back(
+            module.param(n));
+      }
+    }
+    local.tasks.push_back(std::move(task));
+  }
+
+  local.update_task.assign(job.ps_of_param.size(), -1);
+  local.worker_sink.assign(static_cast<std::size_t>(W), -1);
+  for (NodeId n = r.first; n < r.last; ++n) {
+    if (module.kind(n) == core::OpKind::kUpdate) {
+      local.update_task[static_cast<std::size_t>(module.param(n))] =
+          n - r.first;
+    }
+    if (module.kind(n) == core::OpKind::kCompute && module.worker(n) >= 0) {
+      local.worker_sink[static_cast<std::size_t>(module.worker(n) - base_w)] =
+          n - r.first;  // last in emission order
+    }
+  }
+  return local;
+}
+
+void AppendStandardPasses(PassPipeline& pipeline, runtime::Topology topology,
+                          int iterations) {
+  pipeline.Add(MakeExpandReplicasPass());
+  if (topology == runtime::Topology::kRing) {
+    pipeline.Add(MakeLowerAllreduceRingPass());
+  } else {
+    pipeline.Add(MakeLowerPsFabricPass());
+    pipeline.Add(MakeMergeJobsPass());
+  }
+  pipeline.Add(MakeApplyArrivalOffsetsPass());
+  pipeline.Add(MakePipelineItersPass(iterations));
+}
+
+}  // namespace
+
+JobRange AppendLogicalNodes(Module& module, const core::Graph& graph,
+                            int job) {
+  JobRange r;
+  r.first = static_cast<NodeId>(module.size());
+  std::vector<NodeId> buf;
+  for (const core::Op& op : graph.ops()) {
+    const NodeId n = module.AddNode();
+    module.kind(n) = op.kind;
+    module.op(n) = op.id;
+    module.param(n) = op.param;
+    module.bytes(n) = op.bytes;
+    module.cost(n) = op.cost;
+    module.job(n) = job;
+    module.SetName(n, op.name);
+    buf.clear();
+    for (const core::OpId p : graph.preds(op.id)) {
+      buf.push_back(r.first + p);
+    }
+    module.SetPreds(n, buf);
+  }
+  r.last = static_cast<NodeId>(module.size());
+  return r;
+}
+
+int AddJob(Module& module, JobInfo info) {
+  if (module.stage != Stage::kLogical) {
+    throw std::invalid_argument("ir: AddJob requires a logical-stage module");
+  }
+  if (!info.graph) {
+    throw std::invalid_argument("ir: AddJob needs info.graph set");
+  }
+  const int j = static_cast<int>(module.jobs.size());
+  module.ranges.push_back(AppendLogicalNodes(module, *info.graph, j));
+  module.jobs.push_back(std::move(info));
+  return j;
+}
+
+void ApplyScheduleAttrs(Module& module, std::size_t job,
+                        const core::Graph& graph,
+                        const core::Schedule& schedule) {
+  const JobRange& r = module.ranges[job];
+  const bool size_match = schedule.size() == graph.size();
+  if (size_match && schedule.CoversAllRecvs(graph)) {
+    const std::unordered_map<core::OpId, int> rank =
+        schedule.NormalizedRecvRank(graph);
+    for (const auto& [op_id, recv_rank] : rank) {
+      module.rank(r.first + op_id) = recv_rank;
+    }
+    module.jobs[job].scheduled = true;
+  }
+  if (size_match) {
+    for (const core::Op& op : graph.ops()) {
+      if (op.kind == core::OpKind::kSend && schedule.HasPriority(op.id)) {
+        module.sched_priority(r.first + op.id) = schedule.priority(op.id);
+      }
+    }
+  }
+}
+
+Module BuildLogicalModule(
+    const std::vector<runtime::JobLoweringInput>& jobs) {
+  Module module;
+  for (const runtime::JobLoweringInput& job : jobs) {
+    JobInfo info;
+    info.config = job.config;
+    info.start_offset = job.start_offset;
+    info.ps_of_param = job.ps_of_param;
+    // Borrowed: the caller's graph outlives the lowering call.
+    info.graph = std::shared_ptr<const core::Graph>(&job.graph,
+                                                    [](const core::Graph*) {});
+    const int j = AddJob(module, std::move(info));
+    ApplyScheduleAttrs(module, static_cast<std::size_t>(j), job.graph,
+                       job.schedule);
+  }
+  return module;
+}
+
+Module BuildModuleForSpec(const runtime::MultiJobSpec& spec) {
+  spec.Validate();
+  const int T = spec.TotalWorkers();
+  Module module;
+  for (const runtime::MultiJobEntry& entry : spec.jobs) {
+    runtime::ClusterConfig config = entry.spec.BuildCluster();
+    // Every PS NIC is time-shared by the pair-channels of ALL jobs'
+    // workers: scale this job's platform bandwidth by W_j / T so the
+    // per-channel figure (bandwidth / W_j) comes out as the contended
+    // bandwidth / T. Exactly 1.0 for a single job.
+    config.platform.bandwidth_bps *= static_cast<double>(config.num_workers) /
+                                     static_cast<double>(T);
+    const models::ModelInfo& model = models::FindModel(entry.spec.model);
+    models::BuildOptions build;
+    build.training = config.training;
+    build.batch_factor = config.batch_factor;
+
+    JobInfo info;
+    info.config = config;
+    info.start_offset = entry.start_offset;
+    info.policy = entry.spec.policy;
+    info.param_bytes = models::ParamSizes(model);
+    info.graph = std::make_shared<const core::Graph>(
+        models::BuildWorkerGraph(model, build));
+    AddJob(module, std::move(info));
+  }
+  return module;
+}
+
+PassPipeline StandardLoweringPipeline(runtime::Topology topology,
+                                      int iterations) {
+  PassPipeline pipeline;
+  AppendStandardPasses(pipeline, topology, iterations);
+  return pipeline;
+}
+
+PassPipeline FullLoweringPipeline(runtime::Topology topology,
+                                  int iterations) {
+  PassPipeline pipeline;
+  pipeline.Add(MakeChunkTransfersPass());
+  pipeline.Add(MakeShardParamsPass());
+  pipeline.Add(MakeComputeSchedulesPass());
+  AppendStandardPasses(pipeline, topology, iterations);
+  return pipeline;
+}
+
+runtime::Lowering ToLowering(const Module& module) {
+  RequireMerged(module, "ToLowering");
+  const int T = module.total_workers;
+  runtime::Lowering out;
+  out.num_workers = T;
+  out.num_resources = module.num_resources;
+  out.worker_tasks.resize(static_cast<std::size_t>(T));
+  out.worker_recv_tasks.resize(static_cast<std::size_t>(T));
+  out.transfer_param.resize(static_cast<std::size_t>(T));
+
+  const auto n_all = static_cast<NodeId>(module.size());
+  out.tasks.reserve(module.size());
+  for (NodeId n = 0; n < n_all; ++n) {
+    sim::Task task;
+    task.duration = module.duration(n);
+    task.resource = module.resource(n);
+    task.priority = module.priority(n);
+    task.gate_group = module.gate_group(n);
+    task.gate_rank = module.gate_rank(n);
+    task.preds.assign(module.preds(n).begin(), module.preds(n).end());
+    task.op = module.op(n);
+    task.kind = module.kind(n);
+    task.worker = module.worker(n);
+    if (task.worker >= 0) {
+      const auto w = static_cast<std::size_t>(task.worker);
+      out.worker_tasks[w].push_back(n);
+      if (task.kind == core::OpKind::kRecv) {
+        out.worker_recv_tasks[w].push_back(n);
+        // transfer_param is an iteration-0 table (pipelined lowerings
+        // keep the first iteration's copy, runtime/lowering.h).
+        if (module.iteration(n) == 0) {
+          out.transfer_param[w].push_back(module.param(n));
+        }
+      }
+    }
+    out.tasks.push_back(std::move(task));
+  }
+
+  // update_task/worker_sink are single-job PS tables (parameter indices
+  // are per-job): ring and multi-job lowerings leave them empty.
+  if (module.jobs.size() == 1 && !module.ring) {
+    out.update_task.assign(module.jobs.front().ps_of_param.size(), -1);
+    out.worker_sink.assign(static_cast<std::size_t>(T), -1);
+    for (NodeId n = 0; n < n_all; ++n) {
+      if (module.iteration(n) != 0) continue;
+      if (module.kind(n) == core::OpKind::kUpdate) {
+        out.update_task[static_cast<std::size_t>(module.param(n))] = n;
+      }
+      if (module.kind(n) == core::OpKind::kCompute && module.worker(n) >= 0) {
+        out.worker_sink[static_cast<std::size_t>(module.worker(n))] = n;
+      }
+    }
+  }
+  return out;
+}
+
+runtime::PipelineLowering ToPipelineLowering(const Module& module) {
+  runtime::PipelineLowering out;
+  out.lowering = ToLowering(module);
+  out.iterations = module.iterations;
+  out.task_iteration.reserve(module.size());
+  for (NodeId n = 0; n < static_cast<NodeId>(module.size()); ++n) {
+    out.task_iteration.push_back(module.iteration(n));
+  }
+  return out;
+}
+
+runtime::MultiJobLowering ToMultiJobLowering(const Module& module) {
+  RequireMerged(module, "ToMultiJobLowering");
+  if (module.ring) {
+    throw std::invalid_argument(
+        "ir: ToMultiJobLowering needs a PS-fabric module; ring collectives "
+        "have no shared fabric to slice");
+  }
+  if (module.iterations != 1) {
+    throw std::invalid_argument(
+        "ir: ToMultiJobLowering consumes single-iteration modules (the "
+        "multi-job runner re-simulates the one-iteration graph)");
+  }
+  runtime::MultiJobLowering out;
+  out.total_workers = module.total_workers;
+  out.num_ps = module.jobs.front().config.num_ps;
+  out.combined = ToLowering(module);
+  // Parameter indices are per-job: the combined fabric has no meaningful
+  // update/sink tables (matches the legacy LowerSharedCluster even for a
+  // single job).
+  out.combined.update_task.clear();
+  out.combined.worker_sink.clear();
+  for (std::size_t j = 0; j < module.jobs.size(); ++j) {
+    runtime::MultiJobLowering::JobSlice slice;
+    const JobRange& r = module.ranges[j];
+    slice.first_task = r.first;
+    slice.last_task = r.last;
+    slice.first_worker = r.first_worker;
+    slice.delay_task = r.delay == kNoNode ? -1 : r.delay;
+    slice.start_offset = module.jobs[j].start_offset;
+    slice.lowering = ExportJobLocal(module, j);
+    out.jobs.push_back(std::move(slice));
+  }
+  return out;
+}
+
+}  // namespace tictac::ir

@@ -1,0 +1,279 @@
+#include "ir/module.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tictac::ir {
+namespace {
+
+[[noreturn]] void Fail(const std::string& what) {
+  throw std::invalid_argument("ir: " + what);
+}
+
+std::uint64_t HashList(std::span<const NodeId> list) {
+  // FNV-1a over the raw ids; collisions are resolved by content compare.
+  std::uint64_t h = 1469598103934665603ull;
+  for (NodeId n : list) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(n));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+const char* KindName(core::OpKind kind) {
+  switch (kind) {
+    case core::OpKind::kCompute:
+      return "compute";
+    case core::OpKind::kRecv:
+      return "recv";
+    case core::OpKind::kSend:
+      return "send";
+    case core::OpKind::kAggregate:
+      return "aggregate";
+    case core::OpKind::kRead:
+      return "read";
+    case core::OpKind::kUpdate:
+      return "update";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* ToString(Stage stage) {
+  switch (stage) {
+    case Stage::kLogical:
+      return "logical";
+    case Stage::kReplicated:
+      return "replicated";
+    case Stage::kLowered:
+      return "lowered";
+    case Stage::kMerged:
+      return "merged";
+  }
+  return "?";
+}
+
+PredArena::PredArena() {
+  // Reserve id 0 for the empty list so default nodes need no index probe.
+  spans_.push_back(Span{0, 0});
+  index_[HashList({})].push_back(kEmptyList);
+}
+
+PredArena::ListId PredArena::Intern(std::span<const NodeId> list) {
+  const std::uint64_t h = HashList(list);
+  auto it = index_.find(h);
+  if (it != index_.end()) {
+    for (ListId candidate : it->second) {
+      std::span<const NodeId> existing = this->list(candidate);
+      if (existing.size() == list.size() &&
+          std::equal(existing.begin(), existing.end(), list.begin())) {
+        ++dedup_hits_;
+        return candidate;
+      }
+    }
+  }
+  Span s;
+  s.offset = static_cast<std::uint32_t>(pool_.size());
+  s.size = static_cast<std::uint32_t>(list.size());
+  pool_.insert(pool_.end(), list.begin(), list.end());
+  const ListId id = static_cast<ListId>(spans_.size());
+  spans_.push_back(s);
+  index_[h].push_back(id);
+  return id;
+}
+
+NodeId Module::AddNode() {
+  const NodeId id = static_cast<NodeId>(size());
+  duration_.push_back(0.0);
+  resource_.push_back(-1);
+  priority_.push_back(sim::kNoPriority);
+  gate_group_.push_back(-1);
+  gate_rank_.push_back(-1);
+  pred_list_.push_back(PredArena::kEmptyList);
+  kind_.push_back(core::OpKind::kCompute);
+  op_.push_back(core::kInvalidOp);
+  worker_.push_back(-1);
+  job_.push_back(-1);
+  iteration_.push_back(0);
+  param_.push_back(-1);
+  bytes_.push_back(0);
+  cost_.push_back(0.0);
+  rank_.push_back(kNoRank);
+  sched_priority_.push_back(sim::kNoPriority);
+  delay_.push_back(0);
+  name_.emplace_back();
+  return id;
+}
+
+void Module::Validate() const {
+  const NodeId n = static_cast<NodeId>(size());
+  if (jobs.size() != ranges.size()) {
+    Fail("jobs and ranges must be aligned: " + std::to_string(jobs.size()) +
+         " jobs vs " + std::to_string(ranges.size()) + " ranges");
+  }
+  // Ranges partition [0, n) in order, with delay nodes in the gaps.
+  std::vector<int> owner(static_cast<std::size_t>(n), -1);
+  NodeId cursor = 0;
+  for (std::size_t j = 0; j < ranges.size(); ++j) {
+    const JobRange& r = ranges[j];
+    if (r.first > r.last || r.first < 0 || r.last > n) {
+      Fail("job " + std::to_string(j) + " range [" + std::to_string(r.first) +
+           ", " + std::to_string(r.last) + ") is malformed");
+    }
+    if (r.delay != kNoNode) {
+      if (r.delay != cursor || r.delay + 1 != r.first) {
+        Fail("job " + std::to_string(j) +
+             " delay node must immediately precede its range");
+      }
+      if (!is_delay(r.delay)) {
+        Fail("job " + std::to_string(j) +
+             " delay node lacks the is_delay attribute");
+      }
+      owner[static_cast<std::size_t>(r.delay)] = static_cast<int>(j);
+      cursor = r.delay + 1;
+    }
+    if (r.first != cursor) {
+      Fail("job ranges must tile the module: job " + std::to_string(j) +
+           " starts at " + std::to_string(r.first) + ", expected " +
+           std::to_string(cursor));
+    }
+    for (NodeId t = r.first; t < r.last; ++t) {
+      owner[static_cast<std::size_t>(t)] = static_cast<int>(j);
+    }
+    cursor = r.last;
+  }
+  if (iterations == 1 && cursor != n) {
+    Fail("job ranges must tile the module: " + std::to_string(n - cursor) +
+         " trailing nodes are unowned");
+  }
+  const bool lowered = stage == Stage::kLowered || stage == Stage::kMerged;
+  for (NodeId t = 0; t < n; ++t) {
+    if (!(duration_[idx(t)] >= 0.0) ||
+        duration_[idx(t)] != duration_[idx(t)]) {
+      Fail("node " + std::to_string(t) + " has a negative or NaN duration");
+    }
+    if (lowered) {
+      if (resource_[idx(t)] < 0) {
+        Fail("node " + std::to_string(t) + " has no resource at stage " +
+             std::string(ToString(stage)));
+      }
+      if (stage == Stage::kMerged && resource_[idx(t)] >= num_resources) {
+        Fail("node " + std::to_string(t) + " resource " +
+             std::to_string(resource_[idx(t)]) + " is outside [0, " +
+             std::to_string(num_resources) + ")");
+      }
+    } else if (resource_[idx(t)] != -1) {
+      Fail("node " + std::to_string(t) + " has a resource at stage " +
+           std::string(ToString(stage)) + " (passes assign resources when "
+           "lowering)");
+    }
+    for (NodeId p : preds(t)) {
+      if (p < 0 || p >= n) {
+        Fail("node " + std::to_string(t) + " pred " + std::to_string(p) +
+             " is out of range");
+      }
+      if (p == t) {
+        Fail("node " + std::to_string(t) + " depends on itself");
+      }
+    }
+    if ((gate_group_[idx(t)] >= 0) != (gate_rank_[idx(t)] >= 0)) {
+      Fail("node " + std::to_string(t) +
+           " sets only one of gate_group/gate_rank");
+    }
+  }
+  // Acyclicity (Kahn). Ids are mostly emission-ordered, but §5.1 chain
+  // edges follow rank order and may point forward, so a topological
+  // check — not an ordering check — is the real invariant.
+  {
+    std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+    std::vector<std::vector<NodeId>> succs(static_cast<std::size_t>(n));
+    for (NodeId t = 0; t < n; ++t) {
+      for (NodeId p : preds(t)) {
+        succs[static_cast<std::size_t>(p)].push_back(t);
+        ++indegree[static_cast<std::size_t>(t)];
+      }
+    }
+    std::vector<NodeId> ready;
+    for (NodeId t = 0; t < n; ++t) {
+      if (indegree[static_cast<std::size_t>(t)] == 0) ready.push_back(t);
+    }
+    std::size_t visited = 0;
+    while (!ready.empty()) {
+      const NodeId t = ready.back();
+      ready.pop_back();
+      ++visited;
+      for (NodeId s : succs[static_cast<std::size_t>(t)]) {
+        if (--indegree[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+      }
+    }
+    if (visited != static_cast<std::size_t>(n)) {
+      Fail("dependency cycle through " +
+           std::to_string(static_cast<std::size_t>(n) - visited) + " nodes");
+    }
+  }
+}
+
+std::string Module::DebugSummary() const {
+  std::size_t per_kind[6] = {};
+  for (std::size_t i = 0; i < size(); ++i) {
+    per_kind[static_cast<std::size_t>(kind_[i])]++;
+  }
+  std::ostringstream out;
+  out << "ir::Module{stage=" << ToString(stage) << ", nodes=" << size()
+      << ", jobs=" << jobs.size();
+  if (stage == Stage::kMerged) {
+    out << ", resources=" << num_resources << ", workers=" << total_workers
+        << ", iterations=" << iterations;
+  }
+  out << ", kinds=[";
+  const char* sep = "";
+  for (int k = 0; k < 6; ++k) {
+    if (per_kind[k] == 0) continue;
+    out << sep << KindName(static_cast<core::OpKind>(k)) << ":" << per_kind[k];
+    sep = " ";
+  }
+  out << "], arena={lists=" << arena_.num_lists()
+      << ", entries=" << arena_.pool_entries()
+      << ", dedup_hits=" << arena_.dedup_hits() << "}}";
+  return out.str();
+}
+
+std::string Module::DebugDump(std::size_t max_nodes) const {
+  std::ostringstream out;
+  out << DebugSummary() << "\n";
+  const std::size_t shown = std::min(max_nodes, size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const NodeId t = static_cast<NodeId>(i);
+    out << "  %" << t << " " << KindName(kind(t));
+    if (!name(t).empty()) out << " \"" << name(t) << "\"";
+    out << " job=" << job(t);
+    if (worker(t) >= 0) out << " w=" << worker(t);
+    if (param(t) >= 0) out << " p=" << param(t);
+    if (iteration(t) > 0) out << " iter=" << iteration(t);
+    if (resource(t) >= 0) out << " r=" << resource(t);
+    out << " d=" << duration(t);
+    if (priority(t) != sim::kNoPriority) out << " prio=" << priority(t);
+    if (gate_group(t) >= 0) {
+      out << " gate=" << gate_group(t) << ":" << gate_rank(t);
+    }
+    if (is_delay(t)) out << " delay";
+    out << " preds=[";
+    const char* sep = "";
+    for (NodeId p : preds(t)) {
+      out << sep << "%" << p;
+      sep = " ";
+    }
+    out << "]\n";
+  }
+  if (shown < size()) {
+    out << "  … " << (size() - shown) << " more nodes\n";
+  }
+  return out.str();
+}
+
+}  // namespace tictac::ir

@@ -1,0 +1,61 @@
+// The built-in lowering passes (DESIGN.md §10). Each is a single-purpose
+// Module rewrite; the legacy entry points are presets over them
+// (ir/lower.h) and arbitrary compositions — chunked + sharded +
+// multi-job + pipelined — are just longer pass orders.
+//
+// Stage contract (passes throw std::invalid_argument on violations):
+//
+//   pass                  requires      produces   what it does
+//   ---------------------------------------------------------------------
+//   chunk_transfers       kLogical      kLogical   split oversized
+//                                                  transfers per job
+//                                                  (core::ChunkTransfers)
+//   shard_params          kLogical      kLogical   parameter -> PS
+//                                                  placement per job
+//   compute_schedules     kLogical      kLogical   run each job's policy,
+//                                                  attach rank/priority
+//                                                  attributes
+//   expand_replicas       kLogical      kReplicated clone ops per worker
+//                                                  (Model Replica)
+//   lower_ps_fabric       kReplicated   kLowered   PS reads, channel
+//                                                  resources, durations,
+//                                                  §5.1 enforcement,
+//                                                  aggregate/update
+//   lower_allreduce_ring  kReplicated   kMerged    ring rounds instead of
+//                                                  a PS fabric (single
+//                                                  job)
+//   merge_jobs            kLowered      kMerged    remap job-local
+//                                                  resources onto the
+//                                                  shared fabric
+//   apply_arrival_offsets kMerged       kMerged    delay tasks for
+//                                                  staggered job arrivals
+//   pipeline_iters:K      kMerged       kMerged    K pipelined iterations
+//                                                  with cross-iteration
+//                                                  dependencies
+//
+// chunk_transfers / shard_params / compute_schedules must run before
+// expand_replicas (they rewrite or annotate the logical stage and refuse
+// later stages); lower_* consume kReplicated; merge_jobs and everything
+// after consume lowered modules. Every pass is registered in
+// PassRegistry::Global() under its table name.
+#pragma once
+
+#include <memory>
+
+#include "ir/pass.h"
+
+namespace tictac::ir {
+
+std::shared_ptr<const Pass> MakeChunkTransfersPass();
+std::shared_ptr<const Pass> MakeShardParamsPass();
+std::shared_ptr<const Pass> MakeComputeSchedulesPass();
+std::shared_ptr<const Pass> MakeExpandReplicasPass();
+std::shared_ptr<const Pass> MakeLowerPsFabricPass();
+std::shared_ptr<const Pass> MakeLowerAllreduceRingPass();
+std::shared_ptr<const Pass> MakeMergeJobsPass();
+std::shared_ptr<const Pass> MakeApplyArrivalOffsetsPass();
+// Throws std::invalid_argument("iterations must be >= 1") for k < 1 —
+// the legacy LowerPipeline precondition, enforced at pipeline build.
+std::shared_ptr<const Pass> MakePipelineItersPass(int iterations);
+
+}  // namespace tictac::ir

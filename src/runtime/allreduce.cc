@@ -1,128 +1,33 @@
 #include "runtime/allreduce.h"
 
 #include <stdexcept>
+#include <vector>
+
+#include "core/schedule.h"
+#include "ir/lower.h"
 
 namespace tictac::runtime {
 
 Lowering LowerAllReduce(const core::Graph& worker_graph,
                         const ClusterConfig& config) {
-  const int W = config.num_workers;
-  if (W < 2) throw std::invalid_argument("all-reduce needs >= 2 workers");
+  // Checked here (not just in the ring pass) to keep the legacy error
+  // precedence: a bad worker count or task type fails before graph
+  // traversal.
+  if (config.num_workers < 2) {
+    throw std::invalid_argument("all-reduce needs >= 2 workers");
+  }
   if (!config.training) {
     throw std::invalid_argument("all-reduce applies to training only");
   }
-  const core::PlatformModel& hw = config.platform;
-
-  Lowering out;
-  out.num_workers = W;
-  out.num_resources = 2 * W;
-  out.worker_tasks.resize(static_cast<std::size_t>(W));
-  out.worker_recv_tasks.resize(static_cast<std::size_t>(W));
-  out.transfer_param.resize(static_cast<std::size_t>(W));
-
-  const std::vector<core::OpId> topo = worker_graph.TopologicalOrder();
-  if (topo.size() != worker_graph.size()) {
-    throw std::invalid_argument("worker graph has a cycle");
-  }
-
-  std::vector<std::vector<sim::TaskId>> op_task(
-      static_cast<std::size_t>(W),
-      std::vector<sim::TaskId>(worker_graph.size(), -1));
-
-  int max_param = -1;
-  for (const core::Op& op : worker_graph.ops()) {
-    max_param = std::max(max_param, op.param);
-  }
-  const int P = max_param + 1;
-  // Per parameter: the gradient-ready task (the send op) on each worker.
-  std::vector<std::vector<sim::TaskId>> grad_ready(
-      static_cast<std::size_t>(P));
-
-  for (int w = 0; w < W; ++w) {
-    for (const core::OpId op_id : topo) {
-      const core::Op& op = worker_graph.op(op_id);
-      sim::Task task;
-      task.op = op.id;
-      task.kind = op.kind;
-      task.worker = w;
-      switch (op.kind) {
-        case core::OpKind::kRecv:
-          // Weights are local: an instantaneous read on the worker.
-          task.resource = w;
-          task.duration = 0.0;
-          break;
-        case core::OpKind::kSend:
-          // Gradient handoff to the collective: bookkeeping only; the
-          // ring transfers are separate tasks below.
-          task.resource = w;
-          task.duration = 0.0;
-          break;
-        case core::OpKind::kCompute: {
-          task.resource = w;
-          double speed = 1.0;
-          if (static_cast<std::size_t>(w) <
-              config.worker_speed_factors.size()) {
-            speed = config.worker_speed_factors[static_cast<std::size_t>(w)];
-          }
-          task.duration = op.cost / (hw.compute_rate * speed);
-          break;
-        }
-        default:
-          throw std::invalid_argument(
-              "worker partition may only hold compute/recv/send ops");
-      }
-      for (core::OpId pred : worker_graph.preds(op.id)) {
-        task.preds.push_back(op_task[static_cast<std::size_t>(w)]
-                                    [static_cast<std::size_t>(pred)]);
-      }
-      const auto id = static_cast<sim::TaskId>(out.tasks.size());
-      op_task[static_cast<std::size_t>(w)][static_cast<std::size_t>(op.id)] =
-          id;
-      out.worker_tasks[static_cast<std::size_t>(w)].push_back(id);
-      if (op.kind == core::OpKind::kRecv) {
-        out.worker_recv_tasks[static_cast<std::size_t>(w)].push_back(id);
-        out.transfer_param[static_cast<std::size_t>(w)].push_back(op.param);
-      }
-      if (op.kind == core::OpKind::kSend && op.param >= 0) {
-        grad_ready[static_cast<std::size_t>(op.param)].push_back(id);
-      }
-      out.tasks.push_back(std::move(task));
-    }
-  }
-
-  // Ring phases per parameter: 2(W-1) rounds, W chunk-transfers per round
-  // (one per link, concurrently), each chunk bytes/W. A round starts only
-  // when the previous round completes (bucket-synchronous collective).
-  for (int p = 0; p < P; ++p) {
-    const auto& ready = grad_ready[static_cast<std::size_t>(p)];
-    if (ready.empty()) continue;
-    std::int64_t bytes = 0;
-    for (const core::Op& op : worker_graph.ops()) {
-      if (op.kind == core::OpKind::kSend && op.param == p) {
-        bytes = op.bytes;
-        break;
-      }
-    }
-    const double chunk_time =
-        hw.latency_s + static_cast<double>(bytes) / W / hw.bandwidth_bps;
-
-    std::vector<sim::TaskId> previous_round = ready;
-    for (int round = 0; round < 2 * (W - 1); ++round) {
-      std::vector<sim::TaskId> this_round;
-      this_round.reserve(static_cast<std::size_t>(W));
-      for (int link = 0; link < W; ++link) {
-        sim::Task transfer;
-        transfer.kind = core::OpKind::kSend;
-        transfer.resource = W + link;
-        transfer.duration = chunk_time;
-        transfer.preds = previous_round;
-        this_round.push_back(static_cast<sim::TaskId>(out.tasks.size()));
-        out.tasks.push_back(std::move(transfer));
-      }
-      previous_round = std::move(this_round);
-    }
-  }
-  return out;
+  // The collective takes no schedule: transfer order is fixed by the ring
+  // rounds, so rank/priority attributes never apply.
+  const core::Schedule no_schedule;
+  const std::vector<int> no_params;
+  const std::vector<JobLoweringInput> jobs{
+      {worker_graph, no_schedule, no_params, config}};
+  ir::Module module = ir::StandardLoweringPipeline(Topology::kRing)
+                          .Run(ir::BuildLogicalModule(jobs));
+  return ir::ToLowering(module);
 }
 
 }  // namespace tictac::runtime

@@ -32,6 +32,29 @@ Enforcement ParseEnforcement(std::string_view token) {
                               "' (known: priority, gate, chain)");
 }
 
+const char* ToString(Topology topology) {
+  switch (topology) {
+    case Topology::kPsFabric: return "parameter-server fabric";
+    case Topology::kRing: return "ring all-reduce";
+  }
+  return "unknown";
+}
+
+const char* TopologyToken(Topology topology) {
+  switch (topology) {
+    case Topology::kPsFabric: return "ps";
+    case Topology::kRing: return "ring";
+  }
+  return "ps";
+}
+
+Topology ParseTopology(std::string_view token) {
+  if (token == "ps") return Topology::kPsFabric;
+  if (token == "ring") return Topology::kRing;
+  throw std::invalid_argument("unknown topology '" + std::string(token) +
+                              "' (known: ps, ring)");
+}
+
 void ClusterConfig::Validate() const {
   const auto fail = [](const std::string& message) {
     throw std::invalid_argument("ClusterConfig: " + message);
@@ -49,6 +72,17 @@ void ClusterConfig::Validate() const {
   if (chunk_bytes < 0) {
     fail("chunk_bytes must be >= 0 (0 = chunking off), got " +
          std::to_string(chunk_bytes));
+  }
+  if (topology == Topology::kRing) {
+    if (!training) {
+      fail("topology=ring applies to training only (the all-reduce "
+           "collective aggregates gradients; use topology=ps for "
+           "inference)");
+    }
+    if (num_workers < 2) {
+      fail("topology=ring needs num_workers >= 2 (a ring of one link is "
+           "degenerate), got " + std::to_string(num_workers));
+    }
   }
   // NaN fails every comparison, so these !(x >= ...) forms reject it too
   // — a NaN sigma would otherwise silently disable oracle noise.

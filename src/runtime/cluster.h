@@ -7,9 +7,27 @@
 #include <string_view>
 
 #include "core/time_oracle.h"
+#include "runtime/sharding.h"
 #include "sim/task.h"
 
 namespace tictac::runtime {
+
+// Aggregation topology of the cluster: the paper's parameter-server
+// fabric (runtime/lowering.h) or the Horovod-style ring all-reduce
+// comparison substrate (runtime/allreduce.h).
+enum class Topology {
+  kPsFabric,
+  kRing,
+};
+
+const char* ToString(Topology topology);
+
+// Compact token, the `topology=` value of the spec grammar: "ps" | "ring".
+const char* TopologyToken(Topology topology);
+
+// Inverse of TopologyToken; throws std::invalid_argument listing the
+// accepted tokens.
+Topology ParseTopology(std::string_view token);
 
 // How the transfer order is imposed on the runtime (§5.1 discusses the
 // candidate locations; the paper picks the sender-side hand-off gate).
@@ -63,9 +81,15 @@ struct ClusterConfig {
   // Split transfers larger than this into chunks before scheduling
   // (core/chunking.h, the P3/ByteScheduler-style extension). 0 = off.
   std::int64_t chunk_bytes = 0;
+  // Aggregation topology: parameter-server fabric (the paper's setting)
+  // or ring all-reduce.
+  Topology topology = Topology::kPsFabric;
+  // Parameter -> PS placement strategy (runtime/sharding.h).
+  ShardStrategy shard = ShardStrategy::kBytes;
 
   // Rejects configurations that would silently misbehave downstream:
-  // num_workers/num_ps < 1, batch_factor <= 0, chunk_bytes < 0, and
+  // num_workers/num_ps < 1, batch_factor <= 0, chunk_bytes < 0,
+  // topology=ring without training or with < 2 workers, and
   // worker_speed_factors whose size is neither 0 nor num_workers or whose
   // entries are not positive. Throws std::invalid_argument naming the
   // offending field and value. Runner and ClusterSpec::Build() call this

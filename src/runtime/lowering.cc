@@ -1,281 +1,40 @@
 #include "runtime/lowering.h"
 
 #include <algorithm>
-#include <cassert>
-#include <stdexcept>
-#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ir/lower.h"
 
 namespace tictac::runtime {
+
+// The single-job entry points are presets over the IR pass pipeline
+// (ir/lower.h); tests/ir_differential_test.cc pins them bit-identical to
+// the frozen pre-IR implementations (runtime/reference_lowering.h).
 
 Lowering LowerCluster(const core::Graph& worker_graph,
                       const core::Schedule& schedule,
                       const std::vector<int>& ps_of_param,
                       const ClusterConfig& config) {
-  const int W = config.num_workers;
-  const int S = config.num_ps;
-  if (W < 1 || S < 1) throw std::invalid_argument("need >=1 worker and PS");
-  const core::PlatformModel& hw = config.platform;
-
-  Lowering out;
-  out.num_workers = W;
-  out.num_resources = W + 2 * W * S + S;
-  out.worker_tasks.resize(static_cast<std::size_t>(W));
-  out.worker_recv_tasks.resize(static_cast<std::size_t>(W));
-  out.transfer_param.resize(static_cast<std::size_t>(W));
-
-  const auto downlink = [&](int w, int s) { return W + w * S + s; };
-  const auto uplink = [&](int w, int s) { return W + W * S + w * S + s; };
-  const auto ps_cpu = [&](int s) { return W + 2 * W * S + s; };
-
-  // Each PS NIC is shared by W pair-channels.
-  const double pair_bandwidth = hw.bandwidth_bps / W;
-  const auto transfer_time = [&](std::int64_t bytes) {
-    return hw.latency_s + static_cast<double>(bytes) / pair_bandwidth;
-  };
-
-  const auto ps_for = [&](int param) {
-    if (param < 0 || static_cast<std::size_t>(param) >= ps_of_param.size()) {
-      throw std::invalid_argument("transfer op without valid param index");
-    }
-    return ps_of_param[static_cast<std::size_t>(param)];
-  };
-
-  // Normalized per-worker hand-off ranks for enforcement (§5.1). Empty
-  // schedules (baseline) produce no gates.
-  std::unordered_map<core::OpId, int> rank;
-  const bool scheduled = schedule.size() == worker_graph.size() &&
-                         schedule.CoversAllRecvs(worker_graph);
-  if (scheduled) rank = schedule.NormalizedRecvRank(worker_graph);
-
-  // PS-side read ops: parameters become available for sending at iteration
-  // start (the PS activates all sends up front, §2.2).
-  const int P = static_cast<int>(ps_of_param.size());
-  std::vector<sim::TaskId> read_task(static_cast<std::size_t>(P));
-  for (int p = 0; p < P; ++p) {
-    sim::Task read;
-    read.duration = hw.ps_op_time_s;
-    read.resource = ps_cpu(ps_for(p));
-    read.kind = core::OpKind::kRead;
-    read_task[static_cast<std::size_t>(p)] =
-        static_cast<sim::TaskId>(out.tasks.size());
-    out.tasks.push_back(std::move(read));
-  }
-
-  // Worker partitions. Worker graphs are identical (Model Replica), so op
-  // ids map to task ids via a per-worker base offset plus this table.
-  std::vector<std::vector<sim::TaskId>> op_task(
-      static_cast<std::size_t>(W),
-      std::vector<sim::TaskId>(worker_graph.size(), -1));
-
-  // Ops must be visited predecessors-first so task ids exist when edges
-  // are wired (op ids alone are not topologically sorted, e.g. Inception
-  // concat ops precede their branches).
-  const std::vector<core::OpId> topo_order = worker_graph.TopologicalOrder();
-  if (topo_order.size() != worker_graph.size()) {
-    throw std::invalid_argument("worker graph has a cycle");
-  }
-
-  out.worker_sink.assign(static_cast<std::size_t>(W), -1);
-  for (int w = 0; w < W; ++w) {
-    for (const core::OpId op_id : topo_order) {
-      const core::Op& op = worker_graph.op(op_id);
-      sim::Task task;
-      task.op = op.id;
-      task.kind = op.kind;
-      task.worker = w;
-      switch (op.kind) {
-        case core::OpKind::kRecv: {
-          const int s = ps_for(op.param);
-          task.resource = downlink(w, s);
-          task.duration = transfer_time(op.bytes);
-          task.preds.push_back(read_task[static_cast<std::size_t>(op.param)]);
-          if (scheduled) {
-            // The channel serves transfers in hand-off order (gRPC FIFO),
-            // so the wire priority is the normalized rank — the total
-            // order of §5.1 — rather than the raw (possibly tied)
-            // schedule priority.
-            const int r = rank.at(op.id);
-            task.priority = r;
-            switch (config.enforcement) {
-              case Enforcement::kPriorityOnly:
-                break;
-              case Enforcement::kHandoffGate:
-                task.gate_group = w;
-                task.gate_rank = r;
-                break;
-              case Enforcement::kDagChain:
-                break;  // dependency edges added in a post-pass below
-            }
-          }
-          break;
-        }
-        case core::OpKind::kSend: {
-          const int s = ps_for(op.param);
-          task.resource = uplink(w, s);
-          task.duration = transfer_time(op.bytes);
-          // Gradient-push ordering (core/push_schedule.h) is best-effort:
-          // the uplink channel honors priorities among queued pushes, but
-          // no hand-off gate holds a ready gradient back.
-          if (schedule.size() == worker_graph.size() &&
-              schedule.HasPriority(op.id)) {
-            task.priority = schedule.priority(op.id);
-          }
-          break;
-        }
-        case core::OpKind::kCompute: {
-          task.resource = w;
-          double speed = 1.0;
-          if (static_cast<std::size_t>(w) <
-              config.worker_speed_factors.size()) {
-            speed = config.worker_speed_factors[static_cast<std::size_t>(w)];
-            if (speed <= 0.0) {
-              throw std::invalid_argument("worker speed factor must be > 0");
-            }
-          }
-          task.duration = op.cost / (hw.compute_rate * speed);
-          break;
-        }
-        default:
-          throw std::invalid_argument(
-              "worker partition may only hold compute/recv/send ops");
-      }
-      for (core::OpId pred : worker_graph.preds(op.id)) {
-        task.preds.push_back(op_task[static_cast<std::size_t>(w)]
-                                    [static_cast<std::size_t>(pred)]);
-      }
-      const auto id = static_cast<sim::TaskId>(out.tasks.size());
-      op_task[static_cast<std::size_t>(w)][static_cast<std::size_t>(op.id)] =
-          id;
-      out.worker_tasks[static_cast<std::size_t>(w)].push_back(id);
-      if (op.kind == core::OpKind::kRecv) {
-        out.worker_recv_tasks[static_cast<std::size_t>(w)].push_back(id);
-        out.transfer_param[static_cast<std::size_t>(w)].push_back(op.param);
-      }
-      if (op.kind == core::OpKind::kCompute) {
-        out.worker_sink[static_cast<std::size_t>(w)] = id;  // last in topo
-      }
-      out.tasks.push_back(std::move(task));
-    }
-  }
-
-  // DAG-chaining enforcement: each transfer depends on the completion of
-  // its predecessor in the normalized order (§5.1's rejected variant).
-  if (scheduled && config.enforcement == Enforcement::kDagChain) {
-    for (int w = 0; w < W; ++w) {
-      const auto& recv_tasks = out.worker_recv_tasks[static_cast<std::size_t>(w)];
-      std::vector<sim::TaskId> by_rank(recv_tasks.size());
-      for (sim::TaskId t : recv_tasks) {
-        by_rank[static_cast<std::size_t>(
-            out.tasks[static_cast<std::size_t>(t)].priority)] = t;
-      }
-      for (std::size_t r = 1; r < by_rank.size(); ++r) {
-        out.tasks[static_cast<std::size_t>(by_rank[r])].preds.push_back(
-            by_rank[r - 1]);
-      }
-    }
-  }
-
-  // PS-side aggregation + update per parameter (training only): aggregate
-  // fires once every worker's gradient push for that parameter lands.
-  out.update_task.assign(static_cast<std::size_t>(P), -1);
-  if (config.training) {
-    std::vector<std::vector<sim::TaskId>> sends_of_param(
-        static_cast<std::size_t>(P));
-    for (int w = 0; w < W; ++w) {
-      for (const core::Op& op : worker_graph.ops()) {
-        if (op.kind == core::OpKind::kSend) {
-          sends_of_param[static_cast<std::size_t>(op.param)].push_back(
-              op_task[static_cast<std::size_t>(w)]
-                     [static_cast<std::size_t>(op.id)]);
-        }
-      }
-    }
-    for (int p = 0; p < P; ++p) {
-      auto& sends = sends_of_param[static_cast<std::size_t>(p)];
-      if (sends.empty()) continue;  // parameter without gradient (frozen)
-      sim::Task aggregate;
-      aggregate.duration = hw.ps_op_time_s;
-      aggregate.resource = ps_cpu(ps_for(p));
-      aggregate.kind = core::OpKind::kAggregate;
-      aggregate.preds = sends;
-      const auto agg_id = static_cast<sim::TaskId>(out.tasks.size());
-      out.tasks.push_back(std::move(aggregate));
-
-      sim::Task update;
-      update.duration = hw.ps_op_time_s;
-      update.resource = ps_cpu(ps_for(p));
-      update.kind = core::OpKind::kUpdate;
-      update.preds.push_back(agg_id);
-      out.update_task[static_cast<std::size_t>(p)] =
-          static_cast<sim::TaskId>(out.tasks.size());
-      out.tasks.push_back(std::move(update));
-    }
-  }
-
-  return out;
+  const std::vector<JobLoweringInput> jobs{
+      {worker_graph, schedule, ps_of_param, config}};
+  ir::Module module =
+      ir::StandardLoweringPipeline(Topology::kPsFabric)
+          .Run(ir::BuildLogicalModule(jobs));
+  return ir::ToLowering(module);
 }
 
 PipelineLowering LowerPipeline(const core::Graph& worker_graph,
                                const core::Schedule& schedule,
                                const std::vector<int>& ps_of_param,
                                const ClusterConfig& config, int iterations) {
-  if (iterations < 1) throw std::invalid_argument("iterations must be >= 1");
-  const Lowering once =
-      LowerCluster(worker_graph, schedule, ps_of_param, config);
-  const int W = once.num_workers;
-  const auto tasks_per_iter = static_cast<sim::TaskId>(once.tasks.size());
-
-  PipelineLowering out;
-  out.iterations = iterations;
-  Lowering& merged = out.lowering;
-  merged.num_resources = once.num_resources;
-  merged.num_workers = W;
-  merged.worker_tasks.resize(static_cast<std::size_t>(W));
-  merged.worker_recv_tasks.resize(static_cast<std::size_t>(W));
-  merged.transfer_param = once.transfer_param;
-  merged.update_task = once.update_task;
-  merged.worker_sink = once.worker_sink;
-
-  for (int k = 0; k < iterations; ++k) {
-    const sim::TaskId offset = tasks_per_iter * k;
-    const sim::TaskId prev_offset = tasks_per_iter * (k - 1);
-    for (sim::TaskId t = 0; t < tasks_per_iter; ++t) {
-      sim::Task task = once.tasks[static_cast<std::size_t>(t)];
-      for (sim::TaskId& p : task.preds) p += offset;
-      // Enforcement counters reset each iteration (§5.1): distinct gate
-      // group per (worker, iteration).
-      if (task.gate_group >= 0) task.gate_group += k * W;
-      if (k > 0 && task.kind == core::OpKind::kRecv && task.worker >= 0) {
-        const int param = worker_graph.op(task.op).param;
-        const sim::TaskId upd =
-            once.update_task.empty()
-                ? -1
-                : once.update_task[static_cast<std::size_t>(param)];
-        if (upd >= 0) {
-          // Training: pull k waits for update k-1 of the same parameter.
-          task.preds.push_back(prev_offset + upd);
-        } else {
-          // Inference serving loop: step k starts after forward k-1.
-          task.preds.push_back(
-              prev_offset +
-              once.worker_sink[static_cast<std::size_t>(task.worker)]);
-        }
-      }
-      out.task_iteration.push_back(k);
-      merged.tasks.push_back(std::move(task));
-    }
-    for (int w = 0; w < W; ++w) {
-      for (sim::TaskId t : once.worker_tasks[static_cast<std::size_t>(w)]) {
-        merged.worker_tasks[static_cast<std::size_t>(w)].push_back(t + offset);
-      }
-      for (sim::TaskId t :
-           once.worker_recv_tasks[static_cast<std::size_t>(w)]) {
-        merged.worker_recv_tasks[static_cast<std::size_t>(w)].push_back(
-            t + offset);
-      }
-    }
-  }
-  return out;
+  const std::vector<JobLoweringInput> jobs{
+      {worker_graph, schedule, ps_of_param, config}};
+  // Validates iterations >= 1 before any lowering work.
+  ir::PassPipeline pipeline =
+      ir::StandardLoweringPipeline(Topology::kPsFabric, iterations);
+  ir::Module module = pipeline.Run(ir::BuildLogicalModule(jobs));
+  return ir::ToPipelineLowering(module);
 }
 
 PipelineTiming ComputePipelineTiming(const PipelineLowering& pipeline,

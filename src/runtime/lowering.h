@@ -49,12 +49,30 @@ struct Lowering {
   std::vector<sim::TaskId> worker_sink;
 };
 
+// One job's already-scheduled inputs to a lowering (single-job entry
+// points use exactly one; the shared-fabric lowering takes a vector). The
+// config's platform must already carry any contended bandwidth scaling
+// (bandwidth_bps · W_j / T) — MultiJobRunner does this; callers invoking
+// LowerSharedCluster directly are responsible for it.
+struct JobLoweringInput {
+  const core::Graph& graph;
+  const core::Schedule& schedule;
+  const std::vector<int>& ps_of_param;
+  const ClusterConfig& config;
+  double start_offset = 0.0;
+};
+
 // Builds the iteration task graph.
 //
 // `worker_graph` is the per-worker partition (identical on every worker,
 // Model-Replica). `schedule` supplies recv priorities; pass an empty
 // schedule (no priorities) for the baseline. `ps_of_param` maps parameter
 // index -> PS. Durations come from config.platform.
+//
+// Implemented as the ir::PassPipeline preset [expand_replicas,
+// lower_ps_fabric] (ir/lower.h), pinned bit-identical to the frozen
+// pre-IR implementation (runtime/reference_lowering.h) by
+// tests/ir_differential_test.cc.
 Lowering LowerCluster(const core::Graph& worker_graph,
                       const core::Schedule& schedule,
                       const std::vector<int>& ps_of_param,

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ir/lower.h"
 #include "models/zoo.h"
 
 namespace tictac::runtime {
@@ -130,6 +131,12 @@ void MultiJobSpec::Validate() const {
     const std::string where = "job " + std::to_string(j) + " ('" +
                               job.ToString() + "') ";
     job.BuildCluster();  // per-job cluster validity, loud field names
+    if (job.cluster.topology != Topology::kPsFabric) {
+      Fail(where + "declares topology=" +
+           std::string(TopologyToken(job.cluster.topology)) +
+           " — the shared fabric is parameter-server only (a ring "
+           "collective has no PS fleet to share; run it single-job)");
+    }
     if (job.cluster.env != head.cluster.env) {
       Fail(where + "declares env " + job.cluster.env +
            " but the fabric is " + head.cluster.env +
@@ -169,6 +176,9 @@ int MultiJobSpec::TotalWorkers() const {
 
 MultiJobLowering LowerSharedCluster(
     const std::vector<JobLoweringInput>& jobs) {
+  // The shared-fabric preconditions are checked up front — before any
+  // per-job lowering work — preserving the legacy error precedence; the
+  // merge_jobs pass re-validates them.
   if (jobs.empty()) Fail("LowerSharedCluster needs >= 1 job");
   const int S = jobs.front().config.num_ps;
   long long total = 0;
@@ -183,93 +193,9 @@ MultiJobLowering LowerSharedCluster(
     Fail("total workers across jobs must be <= 1048576, got " +
          std::to_string(total));
   }
-  const int T = static_cast<int>(total);
-
-  MultiJobLowering out;
-  out.total_workers = T;
-  out.num_ps = S;
-  Lowering& combined = out.combined;
-  combined.num_workers = T;
-  combined.num_resources = T + 2 * T * S + S;
-  combined.worker_tasks.resize(static_cast<std::size_t>(T));
-  combined.worker_recv_tasks.resize(static_cast<std::size_t>(T));
-  combined.transfer_param.resize(static_cast<std::size_t>(T));
-
-  int base_w = 0;
-  int delay_resources = 0;
-  for (const JobLoweringInput& job : jobs) {
-    Lowering local =
-        LowerCluster(job.graph, job.schedule, job.ps_of_param, job.config);
-    const int W = job.config.num_workers;
-
-    MultiJobLowering::JobSlice slice;
-    slice.first_worker = base_w;
-    if (job.start_offset > 0.0) {
-      // Arrival offset: a delay task on its own resource, gating every
-      // source task of the job below. Added *before* the job's range so
-      // the slice stays the contiguous LowerCluster output.
-      sim::Task delay;
-      delay.duration = job.start_offset;
-      delay.resource = T + 2 * T * S + S + delay_resources;
-      ++delay_resources;
-      slice.delay_task = static_cast<sim::TaskId>(combined.tasks.size());
-      combined.tasks.push_back(std::move(delay));
-    } else if (job.start_offset < 0.0) {
-      Fail("start_offset must be >= 0, got " +
-           std::to_string(job.start_offset));
-    }
-    const auto offset = static_cast<sim::TaskId>(combined.tasks.size());
-    slice.first_task = offset;
-
-    // Single-job resource index -> combined-fabric index. Identity when
-    // this is the only job (base_w == 0, T == W).
-    const auto remap_resource = [&](int r) {
-      if (r < W) return base_w + r;  // worker computation
-      if (r < W + W * S) {           // downlink channel (s -> w)
-        const int w = (r - W) / S;
-        const int s = (r - W) % S;
-        return T + (base_w + w) * S + s;
-      }
-      if (r < W + 2 * W * S) {  // uplink channel (w -> s)
-        const int w = (r - W - W * S) / S;
-        const int s = (r - W - W * S) % S;
-        return T + T * S + (base_w + w) * S + s;
-      }
-      return T + 2 * T * S + (r - W - 2 * W * S);  // shared PS CPU
-    };
-
-    for (const sim::Task& local_task : local.tasks) {
-      sim::Task task = local_task;
-      task.resource = remap_resource(task.resource);
-      for (sim::TaskId& p : task.preds) p += offset;
-      // Hand-off counters are per (job, worker): renumbering by global
-      // worker keeps every group disjoint across jobs.
-      if (task.gate_group >= 0) task.gate_group += base_w;
-      if (task.worker >= 0) task.worker += base_w;
-      if (slice.delay_task >= 0 && task.preds.empty()) {
-        task.preds.push_back(slice.delay_task);
-      }
-      combined.tasks.push_back(std::move(task));
-    }
-    for (int w = 0; w < W; ++w) {
-      const auto local_w = static_cast<std::size_t>(w);
-      const auto global_w = static_cast<std::size_t>(base_w + w);
-      for (sim::TaskId t : local.worker_tasks[local_w]) {
-        combined.worker_tasks[global_w].push_back(t + offset);
-      }
-      for (sim::TaskId t : local.worker_recv_tasks[local_w]) {
-        combined.worker_recv_tasks[global_w].push_back(t + offset);
-      }
-      combined.transfer_param[global_w] = local.transfer_param[local_w];
-    }
-    slice.last_task = static_cast<sim::TaskId>(combined.tasks.size());
-    slice.start_offset = job.start_offset;
-    slice.lowering = std::move(local);
-    out.jobs.push_back(std::move(slice));
-    base_w += W;
-  }
-  combined.num_resources += delay_resources;
-  return out;
+  ir::Module module = ir::StandardLoweringPipeline(Topology::kPsFabric)
+                          .Run(ir::BuildLogicalModule(jobs));
+  return ir::ToMultiJobLowering(module);
 }
 
 sim::SimResult SliceResult(const sim::SimResult& combined,

@@ -127,18 +127,6 @@ struct MultiJobLowering {
   int num_ps = 0;
 };
 
-// One job's already-scheduled inputs to the shared-fabric lowering. The
-// config's platform must already carry the contended bandwidth scaling
-// (bandwidth_bps · W_j / T) — MultiJobRunner does this; callers invoking
-// LowerSharedCluster directly are responsible for it.
-struct JobLoweringInput {
-  const core::Graph& graph;
-  const core::Schedule& schedule;
-  const std::vector<int>& ps_of_param;
-  const ClusterConfig& config;
-  double start_offset = 0.0;
-};
-
 // Lowers every job with runtime::LowerCluster and merges the results
 // onto the shared fabric: task ids are offset per job, resources remapped
 // into the combined layout (PS CPUs collapse onto the shared S), gate

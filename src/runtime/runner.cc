@@ -8,6 +8,7 @@
 #include "core/metrics.h"
 #include "core/policy_registry.h"
 #include "models/zoo.h"
+#include "runtime/allreduce.h"
 #include "runtime/sharding.h"
 
 namespace tictac::runtime {
@@ -183,7 +184,8 @@ Runner::Runner(const models::ModelInfo& model, ClusterConfig config)
   }
   // Built after chunking, which rewrites the graph's recv set.
   index_ = std::make_unique<const core::PropertyIndex>(graph_);
-  ps_of_param_ = ShardParams(models::ParamSizes(model_), config_.num_ps);
+  ps_of_param_ =
+      ShardParams(models::ParamSizes(model_), config_.num_ps, config_.shard);
 }
 
 core::Schedule Runner::MakeSchedule(
@@ -213,14 +215,20 @@ ExperimentResult Runner::Run(const std::string& policy, int iterations,
 
 ExperimentResult Runner::Run(const core::SchedulingPolicy& policy,
                              int iterations, std::uint64_t seed) const {
-  const core::Schedule schedule = MakeSchedule(policy);
-  const Lowering lowering =
-      LowerCluster(graph_, schedule, ps_of_param_, config_);
-  sim::TaskGraphSim sim = lowering.BuildSim();
-
+  Lowering lowering;
   sim::SimOptions options = config_.sim;
-  options.enforce_gates = schedule.size() == graph_.size() &&
-                          schedule.CoversAllRecvs(graph_);
+  if (config_.topology == Topology::kRing) {
+    // The ring collective fixes the transfer order itself: no schedule
+    // to compute, no §5.1 hand-off gates to enforce.
+    lowering = LowerAllReduce(graph_, config_);
+    options.enforce_gates = false;
+  } else {
+    const core::Schedule schedule = MakeSchedule(policy);
+    lowering = LowerCluster(graph_, schedule, ps_of_param_, config_);
+    options.enforce_gates = schedule.size() == graph_.size() &&
+                            schedule.CoversAllRecvs(graph_);
+  }
+  sim::TaskGraphSim sim = lowering.BuildSim();
 
   ExperimentResult result;
   result.samples_per_iteration = model_.standard_batch *

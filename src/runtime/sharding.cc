@@ -3,14 +3,38 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 namespace tictac::runtime {
 
+const char* ShardStrategyToken(ShardStrategy strategy) {
+  switch (strategy) {
+    case ShardStrategy::kBytes: return "bytes";
+    case ShardStrategy::kEven: return "even";
+  }
+  return "bytes";
+}
+
+ShardStrategy ParseShardStrategy(std::string_view token) {
+  if (token == "bytes") return ShardStrategy::kBytes;
+  if (token == "even") return ShardStrategy::kEven;
+  throw std::invalid_argument("unknown shard strategy '" +
+                              std::string(token) +
+                              "' (known: bytes, even)");
+}
+
 std::vector<int> ShardParams(const std::vector<std::int64_t>& param_bytes,
-                             int num_ps) {
+                             int num_ps, ShardStrategy strategy) {
   assert(num_ps >= 1);
   std::vector<int> assignment(param_bytes.size(), 0);
   if (num_ps == 1) return assignment;
+  if (strategy == ShardStrategy::kEven) {
+    for (std::size_t p = 0; p < assignment.size(); ++p) {
+      assignment[p] = static_cast<int>(p % static_cast<std::size_t>(num_ps));
+    }
+    return assignment;
+  }
 
   // Largest-first greedy onto the least-loaded server.
   std::vector<std::size_t> order(param_bytes.size());

@@ -1,19 +1,40 @@
 // Parameter -> parameter-server assignment.
 //
-// Distributed TensorFlow shards variables across parameter servers; we use
-// greedy balanced-bytes placement (largest parameter first onto the least
-// loaded PS), which keeps per-PS transfer volume near-equal — the property
-// the multi-PS experiments (Figure 9) depend on.
+// Distributed TensorFlow shards variables across parameter servers; the
+// default is greedy balanced-bytes placement (largest parameter first onto
+// the least loaded PS), which keeps per-PS transfer volume near-equal —
+// the property the multi-PS experiments (Figure 9) depend on. Round-robin
+// placement (TensorFlow's default replica_device_setter) is available as
+// the `shard=even` spec knob for ablations.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace tictac::runtime {
 
+enum class ShardStrategy {
+  // Greedy balanced-bytes: largest parameter first onto the least-loaded
+  // PS (the repo's historical behavior and the default).
+  kBytes,
+  // Round-robin by parameter index: parameter p on PS p % num_ps,
+  // ignoring sizes.
+  kEven,
+};
+
+// Compact token, the `shard=` value of the spec grammar:
+// "bytes" | "even".
+const char* ShardStrategyToken(ShardStrategy strategy);
+
+// Inverse of ShardStrategyToken; throws std::invalid_argument listing the
+// accepted tokens.
+ShardStrategy ParseShardStrategy(std::string_view token);
+
 // Returns ps index per parameter, in [0, num_ps). num_ps must be >= 1.
 std::vector<int> ShardParams(const std::vector<std::int64_t>& param_bytes,
-                             int num_ps);
+                             int num_ps,
+                             ShardStrategy strategy = ShardStrategy::kBytes);
 
 // Total bytes per PS under `assignment`.
 std::vector<std::int64_t> ShardLoads(

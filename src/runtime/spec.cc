@@ -184,6 +184,16 @@ void ParseClusterToken(const std::string& token, SweepSpec& sweep) {
         if (c < 0) Fail("chunk must be >= 0, got " + v);
         sweep.chunk_bytes.push_back(c);
       }
+    } else if (key == "shard") {
+      sweep.shards.clear();
+      for (const auto& v : values) {
+        sweep.shards.push_back(ParseShardStrategy(v));
+      }
+    } else if (key == "topology") {
+      sweep.topologies.clear();
+      for (const auto& v : values) {
+        sweep.topologies.push_back(ParseTopology(v));
+      }
     } else if (key == "enforce") {
       sweep.enforcements.clear();
       for (const auto& v : values) {
@@ -210,7 +220,7 @@ void ParseClusterToken(const std::string& token, SweepSpec& sweep) {
     } else {
       Fail("unknown cluster setting '" + key + "' in '" + token +
            "' (known: workers, ps, training, inference, task, batch, "
-           "chunk, enforce, sigma, jitter, ooo, speeds)");
+           "chunk, shard, topology, enforce, sigma, jitter, ooo, speeds)");
     }
   }
 }
@@ -245,6 +255,8 @@ ClusterConfig ClusterSpec::Build() const {
   }
   config.batch_factor = batch_factor;
   config.chunk_bytes = chunk_bytes;
+  config.shard = shard;
+  config.topology = topology;
   config.enforcement = enforcement;
   config.tac_oracle_sigma = tac_oracle_sigma;
   if (jitter_sigma) config.sim.jitter_sigma = *jitter_sigma;
@@ -261,6 +273,12 @@ std::string ClusterSpec::ToString() const {
   text += training ? ":training" : ":inference";
   if (batch_factor != 1.0) text += ":batch=" + FormatDouble(batch_factor);
   if (chunk_bytes != 0) text += ":chunk=" + std::to_string(chunk_bytes);
+  if (shard != ShardStrategy::kBytes) {
+    text += std::string(":shard=") + ShardStrategyToken(shard);
+  }
+  if (topology != Topology::kPsFabric) {
+    text += std::string(":topology=") + TopologyToken(topology);
+  }
   if (enforcement != Enforcement::kHandoffGate) {
     text += std::string(":enforce=") + EnforcementToken(enforcement);
   }
@@ -298,8 +316,9 @@ ExperimentSpec ExperimentSpec::Parse(std::string_view text) {
 
 std::size_t SweepSpec::size() const {
   return models.size() * tasks.size() * workers.size() * ps.size() *
-         batch_factors.size() * chunk_bytes.size() * enforcements.size() *
-         tac_oracle_sigmas.size() * policies.size();
+         batch_factors.size() * chunk_bytes.size() * shards.size() *
+         topologies.size() * enforcements.size() * tac_oracle_sigmas.size() *
+         policies.size();
 }
 
 std::vector<ExperimentSpec> SweepSpec::Expand() const {
@@ -315,6 +334,8 @@ std::vector<ExperimentSpec> SweepSpec::Expand() const {
   require_nonempty(ps.empty(), "ps");
   require_nonempty(batch_factors.empty(), "batch_factors");
   require_nonempty(chunk_bytes.empty(), "chunk_bytes");
+  require_nonempty(shards.empty(), "shards");
+  require_nonempty(topologies.empty(), "topologies");
   require_nonempty(enforcements.empty(), "enforcements");
   require_nonempty(tac_oracle_sigmas.empty(), "tac_oracle_sigmas");
   require_nonempty(policies.empty(), "policies");
@@ -326,26 +347,33 @@ std::vector<ExperimentSpec> SweepSpec::Expand() const {
         for (const int p : ps) {
           for (const double batch : batch_factors) {
             for (const std::int64_t chunk : chunk_bytes) {
-              for (const Enforcement enforcement : enforcements) {
-                for (const double sigma : tac_oracle_sigmas) {
-                  for (const std::string& policy : policies) {
-                    ExperimentSpec spec;
-                    spec.model = model;
-                    spec.cluster.env = env;
-                    spec.cluster.workers = w;
-                    spec.cluster.ps = p;
-                    spec.cluster.training = training;
-                    spec.cluster.batch_factor = batch;
-                    spec.cluster.chunk_bytes = chunk;
-                    spec.cluster.enforcement = enforcement;
-                    spec.cluster.tac_oracle_sigma = sigma;
-                    spec.cluster.jitter_sigma = jitter_sigma;
-                    spec.cluster.out_of_order = out_of_order;
-                    spec.cluster.worker_speed_factors = worker_speed_factors;
-                    spec.policy = policy;
-                    spec.iterations = iterations;
-                    spec.seed = seed;
-                    specs.push_back(std::move(spec));
+              for (const ShardStrategy shard : shards) {
+                for (const Topology topology : topologies) {
+                  for (const Enforcement enforcement : enforcements) {
+                    for (const double sigma : tac_oracle_sigmas) {
+                      for (const std::string& policy : policies) {
+                        ExperimentSpec spec;
+                        spec.model = model;
+                        spec.cluster.env = env;
+                        spec.cluster.workers = w;
+                        spec.cluster.ps = p;
+                        spec.cluster.training = training;
+                        spec.cluster.batch_factor = batch;
+                        spec.cluster.chunk_bytes = chunk;
+                        spec.cluster.shard = shard;
+                        spec.cluster.topology = topology;
+                        spec.cluster.enforcement = enforcement;
+                        spec.cluster.tac_oracle_sigma = sigma;
+                        spec.cluster.jitter_sigma = jitter_sigma;
+                        spec.cluster.out_of_order = out_of_order;
+                        spec.cluster.worker_speed_factors =
+                            worker_speed_factors;
+                        spec.policy = policy;
+                        spec.iterations = iterations;
+                        spec.seed = seed;
+                        specs.push_back(std::move(spec));
+                      }
+                    }
                   }
                 }
               }
@@ -377,6 +405,16 @@ std::string SweepSpec::ToString() const {
   if (chunk_bytes != std::vector<std::int64_t>{0}) {
     text += ":chunk=" + JoinFormatted(chunk_bytes, [](std::int64_t c) {
       return std::to_string(c);
+    });
+  }
+  if (shards != std::vector<ShardStrategy>{ShardStrategy::kBytes}) {
+    text += ":shard=" + JoinFormatted(shards, [](ShardStrategy s) {
+      return std::string(ShardStrategyToken(s));
+    });
+  }
+  if (topologies != std::vector<Topology>{Topology::kPsFabric}) {
+    text += ":topology=" + JoinFormatted(topologies, [](Topology t) {
+      return std::string(TopologyToken(t));
     });
   }
   if (enforcements != std::vector<Enforcement>{Enforcement::kHandoffGate}) {

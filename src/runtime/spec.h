@@ -45,6 +45,8 @@ struct ClusterSpec {
   bool training = false;
   double batch_factor = 1.0;
   std::int64_t chunk_bytes = 0;
+  ShardStrategy shard = ShardStrategy::kBytes;
+  Topology topology = Topology::kPsFabric;
   Enforcement enforcement = Enforcement::kHandoffGate;
   double tac_oracle_sigma = 0.0;
   // Env defaults apply when unset (EnvG/EnvC pick their own jitter and
@@ -101,6 +103,8 @@ struct SweepSpec {
   std::vector<int> ps{1};
   std::vector<double> batch_factors{1.0};
   std::vector<std::int64_t> chunk_bytes{0};
+  std::vector<ShardStrategy> shards{ShardStrategy::kBytes};
+  std::vector<Topology> topologies{Topology::kPsFabric};
   std::vector<Enforcement> enforcements{Enforcement::kHandoffGate};
   std::vector<double> tac_oracle_sigmas{0.0};
   std::vector<std::string> policies{"tic"};
@@ -114,7 +118,8 @@ struct SweepSpec {
   std::size_t size() const;
 
   // The full grid, nested model → task → workers → ps → batch → chunk →
-  // enforcement → sigma → policy (policy varies fastest, so consecutive
+  // shard → topology → enforcement → sigma → policy (policy varies
+  // fastest, so consecutive
   // specs share a Session Runner-cache entry). Deterministic: the order
   // depends only on the axis value order. Throws if models is empty.
   std::vector<ExperimentSpec> Expand() const;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "core/tic.h"
 #include "models/builder.h"
 #include "models/zoo.h"
@@ -82,6 +85,25 @@ TEST(Chunking, SchedulableAfterRewrite) {
   EXPECT_GT(chunked.RecvOps().size(), g.RecvOps().size());
   const Schedule schedule = Tic(chunked);
   EXPECT_TRUE(schedule.CoversAllRecvs(chunked));
+}
+
+TEST(Chunking, ValidateRejectsNonPositiveSizesWithActionableMessage) {
+  // ChunkTransfers treats <= 0 as "chunking off", but callers that meant
+  // to chunk (the spec's chunk= knob, the ir::chunk_transfers pass) call
+  // Validate() and must get told how to fix the value.
+  try {
+    ChunkingOptions{.max_chunk_bytes = 0}.Validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("max_chunk_bytes must be > 0"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("got 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("disable chunking"), std::string::npos) << what;
+  }
+  EXPECT_THROW(ChunkingOptions{.max_chunk_bytes = -1}.Validate(),
+               std::invalid_argument);
+  EXPECT_NO_THROW(ChunkingOptions{.max_chunk_bytes = 1}.Validate());
 }
 
 TEST(Chunking, ChunkSizesNearEqual) {

@@ -129,6 +129,56 @@ TEST(CliSmoke, ExecFlagsAreRejectedElsewhere) {
       << result.stderr_text;
 }
 
+TEST(CliSmoke, LowerRunsComposedScenarioThroughOnePipeline) {
+  // The DESIGN.md §10 quickstart: chunked + sharded + multi-job, one
+  // ir::PassPipeline invocation. stdout carries the pass list and the
+  // combined result; --dump adds per-pass module summaries on stderr.
+  const std::string out_path = ::testing::TempDir() + "/tictac_lower.json";
+  const std::string cmd =
+      std::string(TICTAC_CLI_PATH) +
+      " lower --jobs \"2x{envG:workers=2:ps=2:training:chunk=4194304"
+      ":shard=even model=Inception v1 policy=tic iterations=2}"
+      " {envG:workers=2:ps=2:training model=AlexNet v2 policy=baseline"
+      " iterations=2}@0.05\" --dump --json >" +
+      out_path + " 2>/dev/null";
+  int status = std::system(cmd.c_str());
+#ifndef _WIN32
+  if (WIFEXITED(status)) status = WEXITSTATUS(status);
+#endif
+  ASSERT_EQ(status, 0);
+  std::ifstream in(out_path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string json = text.str();
+  EXPECT_NE(json.find("\"passes\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("chunk_transfers"), std::string::npos) << json;
+  EXPECT_NE(json.find("merge_jobs"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean_iteration_s\":"), std::string::npos) << json;
+}
+
+TEST(CliSmoke, LowerWithoutJobsPrintsUsageAndFails) {
+  const CliResult result = RunCli("lower");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("--jobs"), std::string::npos)
+      << result.stderr_text;
+}
+
+TEST(CliSmoke, LowerRejectsNonPositiveChunkAtParseTime) {
+  const CliResult result = RunCli(
+      "lower --jobs \"{envG:workers=2:ps=1:training:chunk=-4 "
+      "model=AlexNet v2 policy=tic iterations=1}\"");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.stderr_text.find("chunk"), std::string::npos)
+      << result.stderr_text;
+}
+
+TEST(CliSmoke, LowerFlagsAreRejectedElsewhere) {
+  const CliResult result = RunCli("run --model \"AlexNet v2\" --dump");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("--dump"), std::string::npos)
+      << result.stderr_text;
+}
+
 TEST(CliSmoke, ExecMalformedStragglerIsRejected) {
   const CliResult result = RunCli("exec --straggler fast");
   EXPECT_EQ(result.exit_code, 2);

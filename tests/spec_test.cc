@@ -335,5 +335,83 @@ TEST(EnforcementTokens, RoundTrip) {
   EXPECT_THROW(ParseEnforcement("dag"), std::invalid_argument);
 }
 
+TEST(ExperimentSpec, ShardAndTopologyKnobsRoundTripExactly) {
+  const auto spec = ExperimentSpec::Parse(
+      "envG:workers=4:ps=2:training:chunk=1M:shard=even "
+      "model=VGG-16 policy=tac");
+  EXPECT_EQ(spec.cluster.shard, ShardStrategy::kEven);
+  EXPECT_EQ(spec.cluster.topology, Topology::kPsFabric);
+  // Non-default shard= is emitted (after chunk=, before enforce=);
+  // default topology is omitted from the canonical form.
+  const std::string text = spec.ToString();
+  EXPECT_NE(text.find(":chunk=1048576:shard=even"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find(":topology="), std::string::npos) << text;
+  EXPECT_EQ(ExperimentSpec::Parse(text), spec);
+  EXPECT_EQ(ExperimentSpec::Parse(text).ToString(), text);
+
+  const auto ring = ExperimentSpec::Parse(
+      "envG:workers=4:ps=1:training:topology=ring model=VGG-16 "
+      "policy=baseline");
+  EXPECT_EQ(ring.cluster.topology, Topology::kRing);
+  EXPECT_NE(ring.ToString().find(":topology=ring"), std::string::npos)
+      << ring.ToString();
+  EXPECT_EQ(ExperimentSpec::Parse(ring.ToString()), ring);
+  EXPECT_EQ(ExperimentSpec::Parse(ring.ToString()).ToString(),
+            ring.ToString());
+}
+
+TEST(ExperimentSpec, ShardAndTopologyRejectUnknownValuesAndLists) {
+  ExpectThrowWith(
+      [] {
+        ExperimentSpec::Parse(
+            "envG:workers=4:ps=1:shard=hash model=VGG-16");
+      },
+      "hash");
+  ExpectThrowWith(
+      [] {
+        ExperimentSpec::Parse(
+            "envG:workers=4:ps=1:topology=mesh model=VGG-16");
+      },
+      "mesh");
+  // Comma lists on these axes belong to SweepSpec, like every other axis.
+  EXPECT_THROW(ExperimentSpec::Parse(
+                   "envG:workers=4:ps=1:shard=bytes,even model=VGG-16"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ExperimentSpec::Parse(
+          "envG:workers=4:ps=1:training:topology=ps,ring model=VGG-16"),
+      std::invalid_argument);
+}
+
+TEST(SweepSpec, ShardAndTopologyAxesExpandAndRoundTrip) {
+  const auto sweep = SweepSpec::Parse(
+      "envG:workers=2:ps=2:training:shard=bytes,even:topology=ps,ring "
+      "models=VGG-16 policies=tic");
+  EXPECT_EQ(sweep.shards, (std::vector<ShardStrategy>{
+                              ShardStrategy::kBytes, ShardStrategy::kEven}));
+  EXPECT_EQ(sweep.topologies, (std::vector<Topology>{Topology::kPsFabric,
+                                                     Topology::kRing}));
+  EXPECT_EQ(sweep.size(), 4u);
+  const auto specs = sweep.Expand();
+  ASSERT_EQ(specs.size(), 4u);
+  // Nesting: shard varies slower than topology (chunk → shard →
+  // topology → enforcement → ... → policy).
+  EXPECT_EQ(specs[0].cluster.shard, ShardStrategy::kBytes);
+  EXPECT_EQ(specs[0].cluster.topology, Topology::kPsFabric);
+  EXPECT_EQ(specs[1].cluster.shard, ShardStrategy::kBytes);
+  EXPECT_EQ(specs[1].cluster.topology, Topology::kRing);
+  EXPECT_EQ(specs[2].cluster.shard, ShardStrategy::kEven);
+  EXPECT_EQ(specs[2].cluster.topology, Topology::kPsFabric);
+
+  const auto reparsed = SweepSpec::Parse(sweep.ToString());
+  EXPECT_EQ(reparsed, sweep);
+  EXPECT_EQ(reparsed.ToString(), sweep.ToString());
+  // Default-valued axes stay out of the canonical form.
+  const auto plain = SweepSpec::Parse("envG:workers=2:ps=1 models=VGG-16");
+  EXPECT_EQ(plain.ToString().find(":shard="), std::string::npos);
+  EXPECT_EQ(plain.ToString().find(":topology="), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tictac::runtime
