@@ -20,8 +20,12 @@
 # error) per policy, and bench_lowering's BM_Lower* cases record the
 # pass-pipeline lowering cost over the arena-interned IR against the
 # frozen pre-IR implementation plus the arena interning counters
-# (pool entries vs naive pred storage, dedup hits); the summary below
-# echoes all six.
+# (pool entries vs naive pred storage, dedup hits), and
+# bench_clustersweep's BM_ClusterSweep cases record the 100/1000-job
+# contended sweep through the sharded parallel engine plus the population
+# SLO counters (p99 job iteration, Jain fairness); the summary below
+# echoes all seven, plus the BM_RecvSetScan scalar-vs-widened bitset
+# scans.
 #
 # Usage: bench/run_benches.sh [build_dir] [out.json] [extra benchmark args]
 #   BENCH_MIN_TIME=0.2 bench/run_benches.sh build-release
@@ -39,6 +43,23 @@ shift $(( $# > 2 ? 2 : $# ))
 BIN="${BUILD_DIR}/bench_sched_overhead"
 if [[ ! -x "${BIN}" ]]; then
   echo "error: ${BIN} not found — configure with Google Benchmark installed" >&2
+  exit 1
+fi
+
+# BENCH_sched.json is the repo's perf trajectory; numbers from anything
+# but an optimized build poison it (a debug row once shipped as the
+# committed baseline). Refuse unless the tree was configured Release, or
+# the caller explicitly opts out for a local smoke run.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+    "${BUILD_DIR}/CMakeCache.txt" 2>/dev/null || true)"
+if [[ "${BUILD_TYPE}" != "Release" && "${BENCH_ALLOW_DEBUG:-0}" != "1" ]]; then
+  echo "error: ${BUILD_DIR} is configured as '${BUILD_TYPE:-unknown}', not" \
+       "Release — benchmark numbers from unoptimized builds must not enter" \
+       "${OUT}." >&2
+  echo "  configure one with: cmake -B build-release -S ." \
+       "-DCMAKE_BUILD_TYPE=Release" >&2
+  echo "  or set BENCH_ALLOW_DEBUG=1 to run anyway (numbers are then" \
+       "labeled '${BUILD_TYPE:-unknown}', not fit for committing)." >&2
   exit 1
 fi
 
@@ -85,7 +106,7 @@ EOF
 EXTRA_OUT="$(mktemp)"
 trap 'rm -f "${EXTRA_OUT}"' EXIT
 for extra_bench in bench_multijob bench_service bench_faults bench_exec \
-                   bench_lowering; do
+                   bench_lowering bench_clustersweep; do
   EXTRA_BIN="${BUILD_DIR}/${extra_bench}"
   if [[ -x "${EXTRA_BIN}" ]]; then
     "${EXTRA_BIN}" \
@@ -185,5 +206,33 @@ if lowering:
             extras = (f" (arena {pool:.0f} of {naive:.0f} naive pred"
                       f" entries, {hits:.0f} dedup hits)")
         print(f"  {b['name']}: {b['real_time']:.1f} {b['time_unit']}{extras}")
+cluster = [b for b in data.get("benchmarks", [])
+           if b.get("name", "").startswith("BM_ClusterSweep")]
+if cluster:
+    print("datacenter contended sweep (BM_ClusterSweep, sharded engine):")
+    for b in cluster:
+        fabrics = b.get("fabrics")
+        p99 = b.get("p99_job_iteration_s")
+        fairness = b.get("fairness")
+        extras = ""
+        if fabrics is not None:
+            extras = (f" ({fabrics:.0f} fabrics, p99 job iteration"
+                      f" {p99:.3f} s, fairness {fairness:.3f})")
+        print(f"  {b['name']}: {b['real_time']:.1f} {b['time_unit']}{extras}")
+scans = [b for b in data.get("benchmarks", [])
+         if b.get("name", "").startswith("BM_RecvSetScan")]
+if scans:
+    print("RecvSet hot-path scans (BM_RecvSetScan, scalar vs widened):")
+    by_arg = {}
+    for b in scans:
+        print(f"  {b['name']}: {b['real_time']:.1f} {b['time_unit']}")
+        name = b["name"]
+        arg = name.rsplit("/", 1)[-1]
+        kind = "widened" if "widened" in name else "scalar"
+        by_arg.setdefault(arg, {})[kind] = b["real_time"]
+    for arg, kinds in by_arg.items():
+        if "scalar" in kinds and "widened" in kinds and kinds["widened"]:
+            print(f"  {arg} bits: widened is"
+                  f" {kinds['scalar'] / kinds['widened']:.2f}x scalar")
 EOF
 fi

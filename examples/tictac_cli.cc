@@ -30,6 +30,17 @@
 //       accepted as a single job, e.g.
 //       --jobs "envG:workers=4:ps=2:training:chunk=4096:shard=even
 //       model=VGG-16 policy=tac".
+//   tictac_cli clustersweep --jobs "<job groups>" [--fabrics K]
+//                           [--threads N] [--json]
+//       Datacenter-scale contended sweep (DESIGN.md §11): partition N
+//       jobs (same group grammar as multijob, but counts up to 4096)
+//       over K shared PS fabrics — K = 0 or absent picks the fewest the
+//       64-job per-fabric cap allows — merge them into one task graph
+//       and simulate it on the sharded event engine, e.g.
+//       --jobs "1000x{envG:workers=2:ps=1:training model=AlexNet v2
+//       policy=tac iterations=2 seed=1}" --threads 8. The report
+//       (per-job iteration-time distribution, total throughput, Jain
+//       fairness) is byte-identical at every --threads value.
 //   tictac_cli serve --arrivals "<arrival spec>" [--fabrics K]
 //                    [--duration T] [--job "<experiment spec>"]...
 //                    [--placement <name>] [--max-jobs N] [--queue N]
@@ -87,6 +98,7 @@
 #include "ir/lower.h"
 #include "models/builder.h"
 #include "models/zoo.h"
+#include "runtime/clustersweep.h"
 #include "sched/placement.h"
 #include "util/table.h"
 
@@ -121,6 +133,10 @@ struct Args {
   std::string trace_out;  // --trace: per-job JSON records file
   std::string faults;     // --faults: fault::FaultSpec grammar
   int retry_budget = 3;   // --retry-budget: evictions before failure
+  // clustersweep: fabric count (0 = fewest the cap allows) and engine
+  // threads (0 = hardware concurrency).
+  int sweep_fabrics = 0;
+  int threads = 0;
   // exec: sim-to-real validation knobs (exec::ExecSpec).
   std::vector<std::string> exec_policies;          // --policy, repeatable
   std::vector<std::pair<int, double>> stragglers;  // --straggler w=F
@@ -140,6 +156,8 @@ int Usage() {
          "  tictac_cli multijob --jobs \"<multijob>\" [--no-isolated] "
          "[--json]\n"
          "  tictac_cli lower --jobs \"<multijob>\" [--dump] [--json]\n"
+         "  tictac_cli clustersweep --jobs \"<job groups>\" [--fabrics K] "
+         "[--threads N] [--json]\n"
          "  tictac_cli serve --arrivals \"<arrival>\" [--fabrics K] "
          "[--duration T] [--job \"<spec>\"]... [--placement <name>] "
          "[--max-jobs N] [--queue N] [--seed N] [--faults \"<faults>\"] "
@@ -251,6 +269,7 @@ bool Parse(int argc, char** argv, Args& args) {
                             args.command == "sweep" ||
                             args.command == "multijob" ||
                             args.command == "lower" ||
+                            args.command == "clustersweep" ||
                             args.command == "serve";
   // Name the offender before any positional-argument checks, so a bare
   // `tictac_cli frobnicate` says what was wrong instead of just printing
@@ -304,7 +323,7 @@ bool Parse(int argc, char** argv, Args& args) {
                              flag == "--jobs" || flag == "--no-isolated" ||
                              flag == "--dump" || flag == "--parallel" ||
                              flag == "--csv" || flag == "--json" ||
-                             serve_family;
+                             flag == "--threads" || serve_family;
     // exec's own flag set; rejected with the same symmetry everywhere else.
     const bool exec_family = flag == "--model" || flag == "--iters" ||
                              flag == "--straggler" ||
@@ -327,6 +346,9 @@ bool Parse(int argc, char** argv, Args& args) {
             flag == "--json")) ||
           (args.command == "lower" &&
            (flag == "--jobs" || flag == "--dump" || flag == "--json")) ||
+          (args.command == "clustersweep" &&
+           (flag == "--jobs" || flag == "--fabrics" ||
+            flag == "--threads" || flag == "--json")) ||
           (args.command == "serve" && (serve_family || flag == "--json")) ||
           (exec_command && (flag == "--seed" || flag == "--json"));
       if (!allowed) {
@@ -335,6 +357,7 @@ bool Parse(int argc, char** argv, Args& args) {
                      "--sweep/--parallel/--csv/--json to sweep; "
                      "--jobs/--no-isolated/--json to multijob; "
                      "--jobs/--dump/--json to lower; "
+                     "--jobs/--fabrics/--threads/--json to clustersweep; "
                      "--arrivals/--fabrics/--duration/--job/--placement/"
                      "--max-jobs/--queue/--seed/--faults/--retry-budget/"
                      "--trace/--json to serve; --seed/--json also to "
@@ -410,7 +433,18 @@ bool Parse(int argc, char** argv, Args& args) {
       if (!v) return false;
       args.serve_jobs.emplace_back(v);
     } else if (flag == "--fabrics") {
-      if (!ParseIntFlag(next(), args.fabrics)) return false;
+      // serve and clustersweep both take --fabrics; they default
+      // differently (1 fabric vs fewest-that-fit), so they keep
+      // separate fields.
+      int* dst = args.command == "clustersweep" ? &args.sweep_fabrics
+                                                : &args.fabrics;
+      if (!ParseIntFlag(next(), *dst)) return false;
+    } else if (flag == "--threads") {
+      if (!ParseIntFlag(next(), args.threads)) return false;
+      if (args.threads < 0) {
+        std::cerr << "--threads must be >= 0 (0 = all cores)\n";
+        return false;
+      }
     } else if (flag == "--duration") {
       if (!ParseDoubleFlag(next(), args.duration)) return false;
     } else if (flag == "--placement") {
@@ -702,6 +736,44 @@ int CmdLower(const Args& args) {
   return 0;
 }
 
+int CmdClusterSweep(const Args& args) {
+  if (args.spec_text.empty()) {
+    std::cerr << "clustersweep: missing job list (use --jobs "
+                 "\"1000x{<experiment spec>}\")\n";
+    return 2;
+  }
+  // Same group grammar as multijob, but replication counts up to 4096 —
+  // the sweep partitions them over fabrics instead of packing one.
+  std::vector<runtime::MultiJobEntry> jobs =
+      runtime::ParseJobGroups(args.spec_text, /*max_count=*/4096);
+  runtime::ClusterSweepOptions options;
+  options.fabrics = args.sweep_fabrics;
+  options.num_threads = args.threads;
+  const runtime::ClusterSweep sweep(std::move(jobs), options);
+  const runtime::ClusterSweepResult result = sweep.Run();
+  if (args.emit == Args::Emit::kJson) {
+    std::cout << result.ToJson();
+    return 0;
+  }
+  std::cerr << "clustersweep: " << result.jobs << " jobs over "
+            << result.fabrics << " fabrics (" << result.components
+            << " engine shards), " << result.iterations << " iterations\n";
+  util::Table table({"Metric", "Value"});
+  table.AddRow({"mean makespan (ms)",
+                util::Fmt(result.mean_makespan_s * 1e3, 2)});
+  table.AddRow({"mean job iteration (ms)",
+                util::Fmt(result.mean_job_iteration_s * 1e3, 2)});
+  table.AddRow({"p50 job iteration (ms)",
+                util::Fmt(result.p50_job_iteration_s * 1e3, 2)});
+  table.AddRow({"p99 job iteration (ms)",
+                util::Fmt(result.p99_job_iteration_s * 1e3, 2)});
+  table.AddRow({"total throughput (samples/s)",
+                util::Fmt(result.total_throughput, 1)});
+  table.AddRow({"Jain fairness", util::Fmt(result.fairness, 3)});
+  table.Print(std::cout);
+  return 0;
+}
+
 int CmdServe(const Args& args) {
   if (args.arrivals.empty()) {
     std::cerr << "serve: missing arrival process (use --arrivals "
@@ -843,6 +915,7 @@ int main(int argc, char** argv) {
     if (args.command == "sweep") return CmdSweep(args);
     if (args.command == "multijob") return CmdMultiJob(args);
     if (args.command == "lower") return CmdLower(args);
+    if (args.command == "clustersweep") return CmdClusterSweep(args);
     if (args.command == "serve") return CmdServe(args);
     if (args.command == "exec") return CmdExec(args);
     if (args.command == "simulate") return CmdSimulate(args);

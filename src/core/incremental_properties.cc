@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/tac.h"
+
 namespace tictac::core {
 
 IncrementalProperties::IncrementalProperties(const PropertyIndex& index,
-                                             const TimeOracle& oracle)
-    : index_(&index) {
+                                             const TimeOracle& oracle) {
   // Precondition: recvs have no recv ancestors, so a recv's own M is its
   // transfer time (constant while outstanding) and completed recvs never
   // contribute to P or M+. Tac() routes graphs violating this to the
@@ -26,20 +27,35 @@ IncrementalProperties::IncrementalProperties(const PropertyIndex& index,
   }
 
   outstanding_.assign(recvs.size(), 1);
-  outstanding_set_ = RecvSet(recvs.size());
-  for (std::size_t i = 0; i < recvs.size(); ++i) outstanding_set_.Set(i);
   remaining_ = recvs.size();
   dirty_flag_.assign(recvs.size(), 0);
   dirty_.reserve(recvs.size());
   surviving_.reserve(recvs.size());
 
+  // Sparse mirrors of the dep/consumer bitsets. The bitset scans cost
+  // O(bits/64) words regardless of population; at 100k recvs that is
+  // ~1.6k words per op per completion — the dominant cost of the whole
+  // schedule. The mirrors are built once here (ForEach visits bits in
+  // increasing order, so iterating them reproduces the bitset scan
+  // order exactly) and CompleteRecv touches only real members.
   dep_count_.resize(g.size());
   dep_sum_.assign(g.size(), 0);
+  dep_recvs_.resize(g.size());
   for (std::size_t id = 0; id < g.size(); ++id) {
     const RecvSet& dep = index.dep(static_cast<OpId>(id));
     dep_count_[id] = static_cast<int>(dep.Count());
+    dep_recvs_[id].reserve(static_cast<std::size_t>(dep_count_[id]));
     dep.ForEach([&](std::size_t ri) {
       dep_sum_[id] += static_cast<std::int64_t>(ri);
+      dep_recvs_[id].push_back(static_cast<std::uint32_t>(ri));
+    });
+  }
+  consumer_ops_.resize(recvs.size());
+  for (std::size_t ri = 0; ri < recvs.size(); ++ri) {
+    const RecvSet& consumers = index.consumers(ri);
+    consumer_ops_[ri].reserve(consumers.Count());
+    consumers.ForEach([&](std::size_t id) {
+      consumer_ops_[ri].push_back(static_cast<std::uint32_t>(id));
     });
   }
 
@@ -47,20 +63,36 @@ IncrementalProperties::IncrementalProperties(const PropertyIndex& index,
   // to what the full recompute reports for the all-outstanding set.
   props_ = index.UpdateProperties(
       oracle, std::vector<bool>(recvs.size(), true), &op_M_);
+
+  const std::size_t blocks =
+      (recvs.size() + (std::size_t{1} << kBlockShift) - 1) >> kBlockShift;
+  blk_dirty_.assign(blocks, 1);  // refreshed lazily on the first BestRecv
+  blk_count_.resize(blocks);
+  blk_max_p_.resize(blocks);
+  blk_min_mplus_.resize(blocks);
+  blk_min_u_.resize(blocks);
+  blk_max_m_.resize(blocks);
+  blk_any_m_eq_p_.resize(blocks);
+
+  m_sorted_.reserve(recvs.size());
+  for (std::size_t i = 0; i < recvs.size(); ++i) {
+    m_sorted_.emplace_back(recv_time_[i], static_cast<std::uint32_t>(i));
+  }
+  std::sort(m_sorted_.begin(), m_sorted_.end());
 }
 
 void IncrementalProperties::CompleteRecv(std::size_t ri) {
   assert(ri < outstanding_.size() && outstanding_[ri] != 0);
   outstanding_[ri] = 0;
-  outstanding_set_.Clear(ri);
   props_[ri] = RecvProperties{};
+  MarkBlockDirty(ri);
   --remaining_;
   dirty_.clear();
 
-  index_->consumers(ri).ForEach([&](std::size_t id) {
+  for (const std::uint32_t id : consumer_ops_[ri]) {
     const int d = --dep_count_[id];
     dep_sum_[id] -= static_cast<std::int64_t>(ri);
-    if (d == 0) return;  // its whole P contribution went to `ri` itself
+    if (d == 0) continue;  // its whole P contribution went to `ri` itself
     if (d == 1) {
       // The op leaves the M+ pool and joins the P pool of its one
       // surviving recv; both of that recv's properties need a rebuild.
@@ -69,26 +101,36 @@ void IncrementalProperties::CompleteRecv(std::size_t ri) {
         dirty_flag_[q] = 1;
         dirty_.push_back(q);
       }
-      return;
+      continue;
     }
     // d >= 2: still an M+ contributor, but its outstanding communication
-    // time shrank. Re-sum M over dep ∩ outstanding — the masked scan
-    // visits the surviving bits in the full pass's order, so the sum is
+    // time shrank. Re-sum M over dep ∩ outstanding — the sparse list is
+    // in increasing recv order, the full pass's order, so the sum is
     // bit-identical — then fold the new value into the M+ of every recv
     // the op still depends on: a pure min() update, exact because
     // contributions only ever decrease.
     double m = 0.0;
     surviving_.clear();
-    index_->dep(static_cast<OpId>(id))
-        .ForEachAnd(outstanding_set_, [&](std::size_t r) {
-          m += recv_time_[r];
-          surviving_.push_back(static_cast<std::uint32_t>(r));
-        });
+    for (const std::uint32_t r : dep_recvs_[id]) {
+      if (outstanding_[r] == 0) continue;
+      m += recv_time_[r];
+      surviving_.push_back(r);
+    }
     op_M_[id] = m;
     for (const std::uint32_t r : surviving_) {
-      if (m < props_[r].Mplus) props_[r].Mplus = m;
+      if (m < props_[r].Mplus) {
+        props_[r].Mplus = m;
+        // Lowering a member's M+ moves the block's min to
+        // min(old min, m) exactly, so the aggregate is maintained in
+        // O(1) instead of dirtying the block — this fold touches most
+        // outstanding recvs every round, and re-scanning every touched
+        // block would cost more than the pruning saves.
+        if (m < blk_min_mplus_[r >> kBlockShift]) {
+          blk_min_mplus_[r >> kBlockShift] = m;
+        }
+      }
     }
-  });
+  }
 
   // Rebuilds run after every count/M update so they see the final state.
   for (const std::size_t q : dirty_) {
@@ -101,16 +143,118 @@ void IncrementalProperties::RecomputeRecv(std::size_t q) {
   assert(outstanding_[q] != 0);
   double p = 0.0;
   double mplus = kInfinity;
-  index_->consumers(q).ForEach([&](std::size_t id) {
+  for (const std::uint32_t id : consumer_ops_[q]) {
     const int d = dep_count_[id];
     if (d == 1) {
       p += time_[id];  // q is its only outstanding dependency
     } else if (d >= 2) {
       mplus = std::min(mplus, op_M_[id]);
     }
-  });
+  }
   props_[q].P = p;
   props_[q].Mplus = mplus;
+  MarkBlockDirty(q);
+}
+
+void IncrementalProperties::RefreshBlock(std::size_t blk) {
+  const std::size_t lo = blk << kBlockShift;
+  const std::size_t hi =
+      std::min(props_.size(), lo + (std::size_t{1} << kBlockShift));
+  int count = 0;
+  double max_p = -kInfinity;
+  double min_mplus = kInfinity;
+  double min_u = kInfinity;
+  double max_m = -kInfinity;
+  char any_m_eq_p = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (outstanding_[i] == 0) continue;
+    ++count;
+    max_m = std::max(max_m, props_[i].M);
+    max_p = std::max(max_p, props_[i].P);
+    min_mplus = std::min(min_mplus, props_[i].Mplus);
+    if (props_[i].M < props_[i].P) min_u = std::min(min_u, props_[i].M);
+    if (props_[i].M == props_[i].P) any_m_eq_p = 1;
+  }
+  blk_count_[blk] = count;
+  blk_max_p_[blk] = max_p;
+  blk_min_mplus_[blk] = min_mplus;
+  blk_min_u_[blk] = min_u;
+  blk_max_m_[blk] = max_m;
+  blk_any_m_eq_p_[blk] = any_m_eq_p;
+  blk_dirty_[blk] = 0;
+}
+
+namespace {
+// Heterogeneous comparator for equal_range over (M, idx) pairs keyed
+// by M alone.
+struct MKeyLess {
+  bool operator()(const std::pair<double, std::uint32_t>& a, double b) const {
+    return a.first < b;
+  }
+  bool operator()(double a, const std::pair<double, std::uint32_t>& b) const {
+    return a < b.first;
+  }
+};
+}  // namespace
+
+int IncrementalProperties::BestRecv() {
+  const std::size_t n = props_.size();
+  int best = -1;
+  // Cached equal-M range for the current best's M (recomputed whenever
+  // the best — and hence b.M — changes mid-fold).
+  double eq_key = kInfinity;
+  auto eq_lo = m_sorted_.cend();
+  auto eq_hi = m_sorted_.cend();
+  for (std::size_t blk = 0; blk < blk_dirty_.size(); ++blk) {
+    if (blk_dirty_[blk] != 0) RefreshBlock(blk);
+    if (blk_count_[blk] == 0) continue;
+    const std::size_t lo = blk << kBlockShift;
+    const std::size_t hi = std::min(n, lo + (std::size_t{1} << kBlockShift));
+    if (best >= 0) {
+      // Skip when no member can beat the best via any TacBefore path
+      // (the exact case split in the BestRecv declaration comment).
+      const RecvProperties& b = props_[static_cast<std::size_t>(best)];
+      const bool no_m_path = blk_min_u_[blk] >= b.M;
+      const bool no_p_path = b.P >= b.M || blk_max_p_[blk] <= b.P;
+      if (no_m_path && no_p_path) {
+        // Strict paths are closed; a tie needs exact lhs == rhs with a
+        // strictly smaller M+ — check the four equality combos.
+        bool tie = false;
+        if (blk_min_mplus_[blk] < b.Mplus) {
+          tie = b.P == b.M ||
+                (b.P <= b.M && blk_max_p_[blk] >= b.P &&
+                 blk_max_m_[blk] >= b.P) ||
+                blk_any_m_eq_p_[blk] != 0;
+          if (!tie && b.M <= b.P) {
+            // M_i == b.M combo: exact lookup in the static M table.
+            if (b.M != eq_key) {
+              const auto range = std::equal_range(
+                  m_sorted_.cbegin(), m_sorted_.cend(), b.M, MKeyLess{});
+              eq_key = b.M;
+              eq_lo = range.first;
+              eq_hi = range.second;
+            }
+            for (auto it = eq_lo; it != eq_hi; ++it) {
+              const std::size_t idx = it->second;
+              if (idx >= lo && idx < hi && outstanding_[idx] != 0) {
+                tie = true;
+                break;
+              }
+            }
+          }
+        }
+        if (!tie) continue;
+      }
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (outstanding_[i] == 0) continue;
+      if (best < 0 ||
+          TacBefore(props_[i], props_[static_cast<std::size_t>(best)])) {
+        best = static_cast<int>(i);
+      }
+    }
+  }
+  return best;
 }
 
 }  // namespace tictac::core

@@ -12,7 +12,7 @@
 //
 // The results are bit-identical to PropertyIndex::UpdateProperties on
 // the same outstanding set:
-//   * M is re-summed over the op's dep bitset in the same (increasing
+//   * M is re-summed over the op's dep set in the same (increasing
 //     recv-index) order as the full pass, never maintained by
 //     subtraction, so float rounding matches exactly;
 //   * P is re-summed over consumers(q) in op-id order — the same order
@@ -54,16 +54,56 @@ class IncrementalProperties {
   // over consumers(ri) instead of a full O(V·R) pass.
   void CompleteRecv(std::size_t ri);
 
+  // The recv tac.cc's flat left-to-right TacBefore fold over props()
+  // would pick, or -1 with nothing outstanding. Computed with per-block
+  // pruning: recvs are grouped into 256-wide blocks carrying exact
+  // aggregates over their outstanding members, refreshed lazily. A
+  // candidate i beats the running best b iff
+  // min(b.P, M_i) < min(P_i, b.M); splitting on where the left min
+  // lands gives the block-skip conditions (all three must hold):
+  //   * M_i <= b.P path: needs M_i < min(P_i, b.M), so no member
+  //     strictly beats when min over members of
+  //     (M_i if M_i < P_i else +inf) >= b.M — most recvs have P == 0
+  //     (no op depends solely on them yet), so this aggregate is
+  //     usually +inf and the clause usually holds;
+  //   * M_i > b.P path: needs b.P < P_i and b.P < b.M, killed by
+  //     b.P >= b.M or max-P <= b.P;
+  //   * M+ tie path: needs exact lhs == rhs, which decomposes over
+  //     which side each min lands on into four equality combos:
+  //     b.P == b.M; P_i == b.P (needs b.P <= b.M, and the block to
+  //     bracket b.P in both its P and M ranges); M_i == P_i (a
+  //     per-block flag); and M_i == b.M (needs b.M <= b.P). The first
+  //     three use block aggregates; the last is checked *exactly* —
+  //     recv M is static, so a sorted (M, idx) table gives the recvs
+  //     whose M equals b.M by equal_range, and the combo fires only in
+  //     blocks actually containing one. (A 256-wide min/max bracket
+  //     over broad-spectrum M values almost always contains b.M even
+  //     though exact equality is rare — the bracket version skipped
+  //     almost nothing.) Any tie still needs min-M+ < b.Mplus to
+  //     matter, and the final op-id tie-break never flips a verdict:
+  //     candidates always carry a larger recv index than the running
+  //     best.
+  // Skipped blocks provably contribute no fold update, and surviving
+  // blocks are scanned with the exact scalar fold — the result is
+  // bit-identical to the full scan at every step, which is what keeps
+  // Tac() == TacFullRecompute() pinnable while the per-round argmin
+  // drops below O(R) whenever blocks prune.
+  int BestRecv();
+
  private:
   // Fresh P / M+ for outstanding recv `q` from its consumer set.
   void RecomputeRecv(std::size_t q);
 
-  const PropertyIndex* index_;
   std::vector<double> time_;       // op id -> cached oracle time
   std::vector<double> recv_time_;  // recv index -> cached oracle time
   std::vector<char> outstanding_;  // recv index -> still to transfer
-  RecvSet outstanding_set_;        // same, as a bitset for masked scans
   std::vector<int> dep_count_;     // op id -> |dep ∩ outstanding|
+  // Sparse mirrors of PropertyIndex's dep/consumer bitsets, in the same
+  // increasing-index order the bitset ForEach visits — O(members) per
+  // scan instead of O(bits/64) words, which is what the per-completion
+  // update actually pays at 100k recvs.
+  std::vector<std::vector<std::uint32_t>> dep_recvs_;     // op -> recv idxs
+  std::vector<std::vector<std::uint32_t>> consumer_ops_;  // recv -> op ids
   // op id -> Σ of outstanding recv indices in dep; when dep_count_ hits 1
   // this IS the surviving recv index, found in O(1).
   std::vector<std::int64_t> dep_sum_;
@@ -75,6 +115,26 @@ class IncrementalProperties {
   std::vector<std::size_t> dirty_;
   std::vector<char> dirty_flag_;
   std::vector<std::uint32_t> surviving_;  // one op's dep ∩ outstanding
+
+  // BestRecv's block-pruning state (see the method comment).
+  static constexpr std::size_t kBlockShift = 8;  // 256 recvs per block
+  void RefreshBlock(std::size_t blk);
+  void MarkBlockDirty(std::size_t ri) {
+    blk_dirty_[ri >> kBlockShift] = 1;
+  }
+  std::vector<char> blk_dirty_;
+  std::vector<int> blk_count_;          // outstanding members
+  std::vector<double> blk_max_p_;
+  std::vector<double> blk_min_mplus_;
+  std::vector<double> blk_min_u_;       // min of (M if M < P else +inf)
+  std::vector<double> blk_max_m_;
+  std::vector<char> blk_any_m_eq_p_;    // any outstanding member with M == P
+  // (M, recv idx) sorted pairs over all recvs; recv M is static, so the
+  // recvs whose M is exactly equal to the running best's — the only way
+  // the M_i == b.M tie combo can fire — are found by equal_range
+  // instead of per-block brackets (a bracket over 256 broad-spectrum M
+  // values almost always contains b.M; exact equality almost never).
+  std::vector<std::pair<double, std::uint32_t>> m_sorted_;
 };
 
 }  // namespace tictac::core

@@ -4,19 +4,47 @@
 
 namespace tictac::core {
 
+// Count/IntersectCount accumulate four independent lane counters over
+// 4-word blocks: the per-word popcounts no longer chain through a single
+// accumulator, so the compiler can pipeline or vectorize them (pinned
+// against the scalar loop in core_test, measured in BM_RecvSetScan).
+
 std::size_t RecvSet::Count() const {
-  std::size_t n = 0;
-  for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
-  return n;
+  const std::size_t nw = words_.size();
+  std::size_t n0 = 0, n1 = 0, n2 = 0, n3 = 0;
+  std::size_t w = 0;
+  for (; w + 4 <= nw; w += 4) {
+    n0 += static_cast<std::size_t>(__builtin_popcountll(words_[w + 0]));
+    n1 += static_cast<std::size_t>(__builtin_popcountll(words_[w + 1]));
+    n2 += static_cast<std::size_t>(__builtin_popcountll(words_[w + 2]));
+    n3 += static_cast<std::size_t>(__builtin_popcountll(words_[w + 3]));
+  }
+  for (; w < nw; ++w) {
+    n0 += static_cast<std::size_t>(__builtin_popcountll(words_[w]));
+  }
+  return n0 + n1 + n2 + n3;
 }
 
 std::size_t RecvSet::IntersectCount(const RecvSet& other) const {
   assert(bits_ == other.bits_ && "RecvSet size mismatch");
-  std::size_t n = 0;
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    n += static_cast<std::size_t>(__builtin_popcountll(words_[w] & other.words_[w]));
+  const std::size_t nw = words_.size();
+  std::size_t n0 = 0, n1 = 0, n2 = 0, n3 = 0;
+  std::size_t w = 0;
+  for (; w + 4 <= nw; w += 4) {
+    n0 += static_cast<std::size_t>(
+        __builtin_popcountll(words_[w + 0] & other.words_[w + 0]));
+    n1 += static_cast<std::size_t>(
+        __builtin_popcountll(words_[w + 1] & other.words_[w + 1]));
+    n2 += static_cast<std::size_t>(
+        __builtin_popcountll(words_[w + 2] & other.words_[w + 2]));
+    n3 += static_cast<std::size_t>(
+        __builtin_popcountll(words_[w + 3] & other.words_[w + 3]));
   }
-  return n;
+  for (; w < nw; ++w) {
+    n0 += static_cast<std::size_t>(
+        __builtin_popcountll(words_[w] & other.words_[w]));
+  }
+  return n0 + n1 + n2 + n3;
 }
 
 PropertyIndex::PropertyIndex(const Graph& graph) : graph_(&graph) {

@@ -52,40 +52,61 @@ class RecvSet {
   std::size_t IntersectCount(const RecvSet& other) const;
   std::size_t size_bits() const { return bits_; }
 
-  // Calls fn(bit_index) for every set bit.
+  // Calls fn(bit_index) for every set bit, in increasing index order.
+  // Scans 4-word blocks and skips a whole block when its OR is zero —
+  // the common case late in a TAC run, when most recvs have completed —
+  // falling back to per-word bit extraction only for blocks with
+  // survivors. The visit order is exactly the naive per-word order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      std::uint64_t word = words_[w];
-      while (word) {
-        const int b = __builtin_ctzll(word);
-        fn(w * 64 + static_cast<std::size_t>(b));
-        word &= word - 1;
+    const std::size_t nw = words_.size();
+    std::size_t w = 0;
+    for (; w + 4 <= nw; w += 4) {
+      if ((words_[w] | words_[w + 1] | words_[w + 2] | words_[w + 3]) == 0) {
+        continue;
       }
+      for (std::size_t k = w; k < w + 4; ++k) EmitWord(words_[k], k, fn);
     }
+    for (; w < nw; ++w) EmitWord(words_[w], w, fn);
   }
 
   // Calls fn(bit_index) for every bit set in both this and `mask`, in
   // increasing index order — the masked bits are visited in exactly the
   // order ForEach would visit them, so float accumulations over the
   // intersection are bit-identical to a filtered ForEach. Word-wise AND
-  // skips cleared bits for free, which is what keeps the incremental
-  // property updates cheap once most recvs have completed.
-  // Requires size_bits() == mask.size_bits().
+  // skips cleared bits for free, and the same 4-word block skip as
+  // ForEach drops fully-masked-out blocks on the OR of their ANDs, which
+  // is what keeps the incremental property updates cheap once most recvs
+  // have completed. Requires size_bits() == mask.size_bits().
   template <typename Fn>
   void ForEachAnd(const RecvSet& mask, Fn&& fn) const {
     assert(bits_ == mask.bits_ && "RecvSet size mismatch");
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      std::uint64_t word = words_[w] & mask.words_[w];
-      while (word) {
-        const int b = __builtin_ctzll(word);
-        fn(w * 64 + static_cast<std::size_t>(b));
-        word &= word - 1;
-      }
+    const std::size_t nw = words_.size();
+    std::size_t w = 0;
+    for (; w + 4 <= nw; w += 4) {
+      const std::uint64_t a0 = words_[w] & mask.words_[w];
+      const std::uint64_t a1 = words_[w + 1] & mask.words_[w + 1];
+      const std::uint64_t a2 = words_[w + 2] & mask.words_[w + 2];
+      const std::uint64_t a3 = words_[w + 3] & mask.words_[w + 3];
+      if ((a0 | a1 | a2 | a3) == 0) continue;
+      EmitWord(a0, w, fn);
+      EmitWord(a1, w + 1, fn);
+      EmitWord(a2, w + 2, fn);
+      EmitWord(a3, w + 3, fn);
     }
+    for (; w < nw; ++w) EmitWord(words_[w] & mask.words_[w], w, fn);
   }
 
  private:
+  template <typename Fn>
+  static void EmitWord(std::uint64_t word, std::size_t w, Fn& fn) {
+    while (word) {
+      const int b = __builtin_ctzll(word);
+      fn(w * 64 + static_cast<std::size_t>(b));
+      word &= word - 1;
+    }
+  }
+
   std::size_t bits_ = 0;
   std::vector<std::uint64_t> words_;
 };

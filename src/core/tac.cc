@@ -58,8 +58,10 @@ Schedule Tac(const PropertyIndex& index, const TimeOracle& oracle) {
   IncrementalProperties state(index, oracle);
   int count = 0;
   while (state.remaining() > 0) {
-    const int best = BestOutstanding(
-        state.props(), [&](std::size_t i) { return state.outstanding(i); });
+    // Block-pruned fold; bit-identical to BestOutstanding over props()
+    // (see IncrementalProperties::BestRecv), sub-O(R) per round when
+    // whole blocks provably cannot beat the running best.
+    const int best = state.BestRecv();
     assert(best >= 0);
     schedule.SetPriority(recvs[static_cast<std::size_t>(best)], count++);
     state.CompleteRecv(static_cast<std::size_t>(best));

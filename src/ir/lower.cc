@@ -108,6 +108,9 @@ void AppendStandardPasses(PassPipeline& pipeline, runtime::Topology topology,
   } else {
     pipeline.Add(MakeLowerPsFabricPass());
     pipeline.Add(MakeMergeJobsPass());
+    // No-op (and no network built) unless a job's config enables
+    // sim.flow_fairness, so the static-split presets are untouched.
+    pipeline.Add(MakeLowerFlowNicsPass());
   }
   pipeline.Add(MakeApplyArrivalOffsetsPass());
   pipeline.Add(MakePipelineItersPass(iterations));
@@ -244,6 +247,7 @@ runtime::Lowering ToLowering(const Module& module) {
   runtime::Lowering out;
   out.num_workers = T;
   out.num_resources = module.num_resources;
+  out.flow = module.flow;
   out.worker_tasks.resize(static_cast<std::size_t>(T));
   out.worker_recv_tasks.resize(static_cast<std::size_t>(T));
   out.transfer_param.resize(static_cast<std::size_t>(T));

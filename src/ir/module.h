@@ -202,6 +202,12 @@ class Module {
   // exported Lowering has no PS-side update/sink tables (the legacy
   // LowerAllReduce leaves them empty).
   bool ring = false;
+  // Set by lower_flow_nics (valid at kMerged): the shared-fabric capacity
+  // graph for SimOptions::flow_fairness — channel resources mapped to the
+  // NIC / fat-tree core links they traverse (models/topology.h). Null =
+  // static bandwidth/T split only. Shared, not copied, by the Lowering
+  // exporters; passes that rebuild the module must carry it over.
+  std::shared_ptr<const sim::FlowNetwork> flow;
 
   const PredArena& arena() const { return arena_; }
 

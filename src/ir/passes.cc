@@ -11,7 +11,9 @@
 #include "core/properties.h"
 #include "core/time_oracle.h"
 #include "ir/lower.h"
+#include "models/topology.h"
 #include "runtime/sharding.h"
+#include "sim/flow.h"
 
 namespace tictac::ir {
 namespace {
@@ -635,6 +637,8 @@ class ApplyArrivalOffsetsPass final : public Pass {
     out.stage = Stage::kMerged;
     out.jobs = module.jobs;
     out.total_workers = module.total_workers;
+    out.flow = module.flow;  // delay resources are appended past the
+                             // fabric block, so the capacity graph holds
 
     std::vector<NodeId> buf;
     int delay_resources = 0;
@@ -682,6 +686,88 @@ class ApplyArrivalOffsetsPass final : public Pass {
     out.num_resources = module.num_resources + delay_resources;
     module = std::move(out);
   }
+};
+
+// --- lower_flow_nics --------------------------------------------------------
+
+class LowerFlowNicsPass final : public Pass {
+ public:
+  // With `from_config` the fat-tree knobs come from the merged module's
+  // job configs (which must agree); otherwise `options` wins.
+  LowerFlowNicsPass() : from_config_(true) {}
+  explicit LowerFlowNicsPass(models::FatTreeOptions options)
+      : from_config_(false), options_(options) {}
+
+  std::string name() const override {
+    if (from_config_) return "lower_flow_nics";
+    return "lower_flow_nics:pods=" + std::to_string(options_.pods) +
+           ",over=" + FormatRatio(options_.oversubscription);
+  }
+
+  void Run(Module& module) const override {
+    RequireStage(module, Stage::kMerged, "lower_flow_nics");
+    if (module.flow != nullptr) {
+      throw std::invalid_argument(
+          "ir.lower_flow_nics: module already holds a flow network (the "
+          "pass may run once)");
+    }
+    if (from_config_) {
+      // The preset pipelines include this pass unconditionally; jobs that
+      // never turn flow fairness on get no network and the static-split
+      // lowering stays byte-identical.
+      bool enabled = false;
+      for (const JobInfo& job : module.jobs) {
+        enabled |= job.config.sim.flow_fairness;
+      }
+      if (!enabled) return;
+    }
+    if (module.ring) {
+      throw std::invalid_argument(
+          "ir.lower_flow_nics: ring fabrics have no PS channel layout to "
+          "attach a flow network to");
+    }
+    const JobInfo& first = module.jobs.front();
+    models::FatTreeOptions options = options_;
+    if (from_config_) {
+      options.pods = first.config.fabric_pods;
+      options.oversubscription = first.config.fabric_oversubscription;
+      for (const JobInfo& job : module.jobs) {
+        if (job.config.fabric_pods != options.pods ||
+            job.config.fabric_oversubscription != options.oversubscription) {
+          throw std::invalid_argument(
+              "ir.lower_flow_nics: co-located jobs disagree on the fabric "
+              "topology (pods=" +
+              std::to_string(job.config.fabric_pods) + " vs " +
+              std::to_string(options.pods) + ", over=" +
+              FormatRatio(job.config.fabric_oversubscription) + " vs " +
+              FormatRatio(options.oversubscription) +
+              ") — one fabric, one topology");
+        }
+      }
+    }
+    const int T = module.total_workers;
+    // Undo the W_j/T contention prescale (runtime/multijob.h) to recover
+    // the fabric's line rate; exact for single jobs (W == T).
+    models::FabricShape shape;
+    shape.num_workers = T;
+    shape.num_ps = first.config.num_ps;
+    shape.bandwidth_bps =
+        first.config.platform.bandwidth_bps * T / first.config.num_workers;
+    shape.resource_base = 0;
+    module.flow = std::make_shared<const sim::FlowNetwork>(
+        models::BuildFatTreeFlowNetwork(shape, options));
+  }
+
+ private:
+  static std::string FormatRatio(double value) {
+    std::string s = std::to_string(value);
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+    return s;
+  }
+
+  bool from_config_;
+  models::FatTreeOptions options_;
 };
 
 // --- pipeline_iters ---------------------------------------------------------
@@ -868,6 +954,13 @@ std::shared_ptr<const Pass> MakeApplyArrivalOffsetsPass() {
 std::shared_ptr<const Pass> MakePipelineItersPass(int iterations) {
   return std::make_shared<const PipelineItersPass>(iterations);
 }
+std::shared_ptr<const Pass> MakeLowerFlowNicsPass() {
+  return std::make_shared<const LowerFlowNicsPass>();
+}
+std::shared_ptr<const Pass> MakeLowerFlowNicsPass(
+    models::FatTreeOptions options) {
+  return std::make_shared<const LowerFlowNicsPass>(options);
+}
 
 // Called once by PassRegistry::Global().
 void RegisterBuiltinPasses(PassRegistry& registry) {
@@ -909,6 +1002,43 @@ void RegisterBuiltinPasses(PassRegistry& registry) {
       throw std::invalid_argument("iterations must be >= 1");
     }
     return MakePipelineItersPass(static_cast<int>(k));
+  });
+  registry.Register("lower_flow_nics", [](const std::string& arg) {
+    if (arg.empty()) return MakeLowerFlowNicsPass();
+    models::FatTreeOptions options;
+    std::size_t pos = 0;
+    while (pos <= arg.size()) {
+      std::size_t comma = arg.find(',', pos);
+      if (comma == std::string::npos) comma = arg.size();
+      const std::string kv = arg.substr(pos, comma - pos);
+      const std::size_t eq = kv.find('=');
+      const auto bad = [&](const std::string& why) {
+        throw std::invalid_argument(
+            "ir: pass 'lower_flow_nics' " + why + " in ':" + arg +
+            "' — expected 'pods=<int>,over=<ratio>' (either key optional)");
+      };
+      if (eq == std::string::npos) bad("has a key without '='");
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      if (key != "pods" && key != "over") {
+        bad("got unknown key '" + key + "'");
+      }
+      std::size_t consumed = 0;
+      bool ok = false;
+      try {
+        if (key == "pods") {
+          options.pods = std::stoi(value, &consumed);
+        } else {
+          options.oversubscription = std::stod(value, &consumed);
+        }
+        ok = consumed == value.size();
+      } catch (const std::exception&) {
+      }
+      if (!ok) bad("got malformed value '" + value + "'");
+      pos = comma + 1;
+    }
+    options.Validate();
+    return MakeLowerFlowNicsPass(options);
   });
 }
 

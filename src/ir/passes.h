@@ -32,6 +32,12 @@
 //   pipeline_iters:K      kMerged       kMerged    K pipelined iterations
 //                                                  with cross-iteration
 //                                                  dependencies
+//   lower_flow_nics       kMerged       kMerged    attach the NIC/fat-tree
+//                                                  capacity graph for
+//                                                  flow-level fairness
+//                                                  (":pods=P,over=R"
+//                                                  overrides the configs'
+//                                                  fabric knobs)
 //
 // chunk_transfers / shard_params / compute_schedules must run before
 // expand_replicas (they rewrite or annotate the logical stage and refuse
@@ -43,6 +49,7 @@
 #include <memory>
 
 #include "ir/pass.h"
+#include "models/topology.h"
 
 namespace tictac::ir {
 
@@ -57,5 +64,13 @@ std::shared_ptr<const Pass> MakeApplyArrivalOffsetsPass();
 // Throws std::invalid_argument("iterations must be >= 1") for k < 1 —
 // the legacy LowerPipeline precondition, enforced at pipeline build.
 std::shared_ptr<const Pass> MakePipelineItersPass(int iterations);
+// Attaches Module::flow, the capacity graph for the sim's max-min flow
+// model (DESIGN.md §11). The no-argument form reads the fat-tree knobs
+// from the merged jobs' ClusterConfigs (which must agree); the options
+// form overrides them. PS fabrics only; refuses ring modules and runs
+// once.
+std::shared_ptr<const Pass> MakeLowerFlowNicsPass();
+std::shared_ptr<const Pass> MakeLowerFlowNicsPass(
+    models::FatTreeOptions options);
 
 }  // namespace tictac::ir

@@ -114,6 +114,24 @@ void ClusterConfig::Validate() const {
            std::to_string(worker_speed_factors[w]));
     }
   }
+  if (fabric_pods < 1) {
+    fail("fabric_pods must be >= 1 (1 = single non-blocking switch), got " +
+         std::to_string(fabric_pods));
+  }
+  // fabric_pods vs host count is checked at lowering time against the
+  // MERGED fabric (models/topology.h): co-located jobs pool their hosts,
+  // so a per-job bound here would falsely reject valid multi-job configs.
+  if (!(fabric_oversubscription > 0.0) ||
+      std::isinf(fabric_oversubscription)) {
+    fail("fabric_oversubscription must be a finite ratio > 0 (1 = full "
+         "bisection bandwidth), got " +
+         std::to_string(fabric_oversubscription));
+  }
+  if (sim.flow_fairness && topology == Topology::kRing) {
+    fail("sim.flow_fairness models the PS fabric's shared links; ring "
+         "all-reduce has no flow network — use topology=ps or turn "
+         "flow fairness off");
+  }
 }
 
 ClusterConfig EnvG(int num_workers, int num_ps, bool training) {

@@ -86,14 +86,23 @@ struct ClusterConfig {
   Topology topology = Topology::kPsFabric;
   // Parameter -> PS placement strategy (runtime/sharding.h).
   ShardStrategy shard = ShardStrategy::kBytes;
+  // Fat-tree shape of the PS fabric for the flow-level contention model
+  // (models/topology.h; consumed by the lower_flow_nics pass when
+  // sim.flow_fairness is on): leaf pod count and core oversubscription
+  // ratio. Defaults describe a single non-blocking switch.
+  int fabric_pods = 1;
+  double fabric_oversubscription = 1.0;
 
   // Rejects configurations that would silently misbehave downstream:
   // num_workers/num_ps < 1, batch_factor <= 0, chunk_bytes < 0,
-  // topology=ring without training or with < 2 workers, and
+  // topology=ring without training or with < 2 workers,
   // worker_speed_factors whose size is neither 0 nor num_workers or whose
-  // entries are not positive. Throws std::invalid_argument naming the
-  // offending field and value. Runner and ClusterSpec::Build() call this
-  // on construction.
+  // entries are not positive, fabric_pods < 1, non-positive
+  // fabric_oversubscription, and sim.flow_fairness on a ring topology
+  // (the flow model covers the PS fabric only; pods vs host count is
+  // checked at lowering time against the merged fabric). Throws
+  // std::invalid_argument naming the offending field and value. Runner
+  // and ClusterSpec::Build() call this on construction.
   void Validate() const;
 };
 

@@ -16,6 +16,7 @@
 // (§6.1) while per-worker transfer order remains the worker's own affair.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/graph.h"
@@ -34,6 +35,12 @@ struct Lowering {
   std::vector<sim::Task> tasks;
   int num_resources = 0;
   int num_workers = 0;
+
+  // Capacity graph for flow-level max-min fairness, attached by the
+  // lower_flow_nics pass when the config enables sim.flow_fairness (null
+  // = static bandwidth/T split only). Runners point
+  // SimOptions::network at it for the sim's lifetime.
+  std::shared_ptr<const sim::FlowNetwork> flow;
 
   // Task ids of each worker's ops (the worker partition), used for the
   // per-worker makespan and the U/L bounds of Section 3.2.

@@ -43,8 +43,9 @@ std::string MultiJobSpec::ToString() const {
   return text;
 }
 
-MultiJobSpec MultiJobSpec::Parse(std::string_view text) {
-  MultiJobSpec spec;
+std::vector<MultiJobEntry> ParseJobGroups(std::string_view text,
+                                          long long max_count) {
+  std::vector<MultiJobEntry> jobs;
   std::size_t pos = 0;
   const auto skip_ws = [&] {
     while (pos < text.size() &&
@@ -75,8 +76,8 @@ MultiJobSpec MultiJobSpec::Parse(std::string_view text) {
       } catch (const std::out_of_range&) {
         count = -1;  // out of any acceptable range: fail below, loudly
       }
-      if (count < 1 || count > kMaxJobs) {
-        Fail("job count must be in [1, " + std::to_string(kMaxJobs) +
+      if (count < 1 || count > max_count) {
+        Fail("job count must be in [1, " + std::to_string(max_count) +
              "], got " + digits_text);
       }
       pos = digits + 1;
@@ -109,12 +110,21 @@ MultiJobSpec MultiJobSpec::Parse(std::string_view text) {
       }
       pos = end;
     }
-    for (long long c = 0; c < count; ++c) spec.jobs.push_back(entry);
+    // Totals above max_count are the caller's to reject (MultiJobSpec
+    // caps per-fabric in Validate; the cluster sweep caps at parse time)
+    // so the per-fabric error message stays the legacy one.
+    for (long long c = 0; c < count; ++c) jobs.push_back(entry);
   }
-  if (spec.jobs.empty()) {
+  if (jobs.empty()) {
     Fail("no jobs found — expected at least one [COUNTx]{<experiment spec>} "
          "group");
   }
+  return jobs;
+}
+
+MultiJobSpec MultiJobSpec::Parse(std::string_view text) {
+  MultiJobSpec spec;
+  spec.jobs = ParseJobGroups(text, kMaxJobs);
   spec.Validate();
   return spec;
 }
@@ -260,6 +270,12 @@ MultiJobRunner::MultiJobRunner(MultiJobSpec spec) : spec_(std::move(spec)) {
   bool any_scheduled = false;
   for (const bool covered : scheduled_) any_scheduled |= covered;
   sim_options_.enforce_gates = any_scheduled;
+  // Non-null exactly when a config enabled sim.flow_fairness
+  // (lower_flow_nics); the lowering outlives every Run(). Like
+  // enforce_gates, any one job opting in turns the flow model on for the
+  // shared fabric — contention is fabric-wide or not at all.
+  sim_options_.network = lowering_.combined.flow.get();
+  sim_options_.flow_fairness |= sim_options_.network != nullptr;
 }
 
 MultiJobResult MultiJobRunner::Run() const {

@@ -56,6 +56,15 @@ struct MultiJobEntry {
                          const MultiJobEntry&) = default;
 };
 
+// Parses the "[COUNTx]{<experiment spec>}[@offset_s]" group grammar into
+// a flat job list, with replication counts capped at `max_count`.
+// MultiJobSpec::Parse is this with the 64-job fabric cap plus
+// Validate(); the cluster sweep (runtime/clustersweep.h) parses with a
+// larger cap and partitions the result over several fabrics. Throws
+// std::invalid_argument (naming the bad token) on malformed input.
+std::vector<MultiJobEntry> ParseJobGroups(std::string_view text,
+                                          long long max_count);
+
 // N jobs sharing one PS fabric. Text form (round-trips exactly):
 //
 //   jobs=2x{envG:workers=4:ps=2:training model=ResNet-101 v1 policy=tac
@@ -184,6 +193,10 @@ class MultiJobRunner {
   const MultiJobSpec& spec() const { return spec_; }
   const MultiJobLowering& lowering() const { return lowering_; }
   int total_workers() const { return lowering_.total_workers; }
+  // The options every Run() simulates with (gates, jitter, flow network),
+  // derived from the jobs' configs at construction. The cluster sweep
+  // (runtime/clustersweep.h) reads these to merge fabrics into one sim.
+  const sim::SimOptions& sim_options() const { return sim_options_; }
 
  private:
   MultiJobSpec spec_;

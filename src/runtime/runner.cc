@@ -228,6 +228,9 @@ ExperimentResult Runner::Run(const core::SchedulingPolicy& policy,
     options.enforce_gates = schedule.size() == graph_.size() &&
                             schedule.CoversAllRecvs(graph_);
   }
+  // lowering.flow is non-null exactly when the config enabled
+  // sim.flow_fairness (lower_flow_nics); it outlives the runs below.
+  options.network = lowering.flow.get();
   sim::TaskGraphSim sim = lowering.BuildSim();
 
   ExperimentResult result;

@@ -140,6 +140,10 @@ void ParseClusterToken(const std::string& token, SweepSpec& sweep) {
       sweep.tasks = {false};
       continue;
     }
+    if (setting == "flow") {
+      sweep.flow = true;
+      continue;
+    }
     const std::size_t eq = setting.find('=');
     if (eq == std::string::npos) {
       Fail("malformed cluster setting '" + setting + "' in '" + token + "'");
@@ -217,10 +221,19 @@ void ParseClusterToken(const std::string& token, SweepSpec& sweep) {
       for (const auto& v : values) {
         sweep.worker_speed_factors.push_back(ParseDouble(v, key));
       }
+    } else if (key == "pods") {
+      if (values.size() != 1) Fail("pods= is not a sweep axis");
+      sweep.pods = ParseBoundedInt(values[0], key, 1, 1 << 20);
+    } else if (key == "oversub") {
+      if (values.size() != 1) Fail("oversub= is not a sweep axis");
+      const double o = ParseDouble(values[0], key);
+      if (o <= 0.0) Fail("oversub must be > 0, got " + values[0]);
+      sweep.oversub = o;
     } else {
       Fail("unknown cluster setting '" + key + "' in '" + token +
            "' (known: workers, ps, training, inference, task, batch, "
-           "chunk, shard, topology, enforce, sigma, jitter, ooo, speeds)");
+           "chunk, shard, topology, enforce, sigma, jitter, ooo, speeds, "
+           "flow, pods, oversub)");
     }
   }
 }
@@ -262,6 +275,9 @@ ClusterConfig ClusterSpec::Build() const {
   if (jitter_sigma) config.sim.jitter_sigma = *jitter_sigma;
   if (out_of_order) config.sim.out_of_order_probability = *out_of_order;
   config.worker_speed_factors = worker_speed_factors;
+  config.sim.flow_fairness = flow;
+  config.fabric_pods = pods;
+  config.fabric_oversubscription = oversub;
   config.Validate();
   return config;
 }
@@ -290,6 +306,9 @@ std::string ClusterSpec::ToString() const {
   if (!worker_speed_factors.empty()) {
     text += ":speeds=" + JoinFormatted(worker_speed_factors, FormatDouble);
   }
+  if (flow) text += ":flow";
+  if (pods != 1) text += ":pods=" + std::to_string(pods);
+  if (oversub != 1.0) text += ":oversub=" + FormatDouble(oversub);
   return text;
 }
 
@@ -368,6 +387,9 @@ std::vector<ExperimentSpec> SweepSpec::Expand() const {
                         spec.cluster.out_of_order = out_of_order;
                         spec.cluster.worker_speed_factors =
                             worker_speed_factors;
+                        spec.cluster.flow = flow;
+                        spec.cluster.pods = pods;
+                        spec.cluster.oversub = oversub;
                         spec.policy = policy;
                         spec.iterations = iterations;
                         spec.seed = seed;
@@ -430,6 +452,9 @@ std::string SweepSpec::ToString() const {
   if (!worker_speed_factors.empty()) {
     text += ":speeds=" + JoinFormatted(worker_speed_factors, FormatDouble);
   }
+  if (flow) text += ":flow";
+  if (pods != 1) text += ":pods=" + std::to_string(pods);
+  if (oversub != 1.0) text += ":oversub=" + FormatDouble(oversub);
   text += " models=" + Join(models);
   text += " policies=" + Join(policies);
   text += " iterations=" + std::to_string(iterations);

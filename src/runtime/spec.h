@@ -56,6 +56,13 @@ struct ClusterSpec {
   // Per-worker speed multipliers; empty = homogeneous. Never a sweep
   // axis (its commas separate per-worker values, not grid points).
   std::vector<double> worker_speed_factors;
+  // Flow-level max-min fairness (":flow" enables sim.flow_fairness) and
+  // the fat-tree shape lower_flow_nics builds when it is on: pods= core
+  // pods, oversub= core oversubscription ratio. Scalar knobs, not sweep
+  // axes.
+  bool flow = false;
+  int pods = 1;
+  double oversub = 1.0;
 
   // Materializes the validated ClusterConfig (throws std::invalid_argument
   // with the offending field for out-of-range values, unknown env).
@@ -111,6 +118,11 @@ struct SweepSpec {
   std::optional<double> jitter_sigma;
   std::optional<double> out_of_order;
   std::vector<double> worker_speed_factors;
+  // Scalar flow-fairness knobs, mirrored into every expanded cluster
+  // (see ClusterSpec::flow/pods/oversub).
+  bool flow = false;
+  int pods = 1;
+  double oversub = 1.0;
   int iterations = 10;
   std::uint64_t seed = 1;
 

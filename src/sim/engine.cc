@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "sim/flow.h"
+
 namespace tictac::sim {
 
 TaskGraphSim::TaskGraphSim(std::vector<Task> tasks, int num_resources)
@@ -135,10 +137,15 @@ namespace {
 
 // Completion event. Time ties are broken by the smaller TaskId — made
 // explicit here so completion order (and therefore successor release
-// order) is deterministic.
+// order) is deterministic. `epoch` invalidates projections for
+// varying-rate flows: every max-min recompute that changes a flow's rate
+// bumps the flow's epoch and pushes a fresh projection, so any earlier
+// entry for that flow is stale and skipped on pop. Non-flow tasks always
+// carry epoch 0 and are never stale.
 struct CompletionEvent {
   double time;
   TaskId task;
+  int epoch = 0;
   bool operator>(const CompletionEvent& other) const {
     if (time != other.time) return time > other.time;
     return task > other.task;
@@ -267,6 +274,44 @@ SimResult TaskGraphSim::Run(const SimOptions& options,
     }
   };
 
+  // Flow-fairness state (SimOptions::flow_fairness + network, DESIGN.md
+  // §11). Sized only when enabled and the network maps at least one
+  // resource to a shared link; otherwise every flow branch below is
+  // skipped and the run is bit-identical to the static-split engine
+  // (pinned in tests/flow_test.cc).
+  const FlowNetwork* net = options.network;
+  const bool has_flows =
+      options.flow_fairness && net != nullptr && net->HasFlows();
+  std::vector<double> flow_remaining;  // nominal seconds of demand left
+  std::vector<double> flow_rate;       // progress per second of sim time
+  std::vector<double> flow_last;       // last time `remaining` was advanced
+  std::vector<double> flow_alloc;      // bytes/s from the last water-fill
+  std::vector<int> flow_epoch;         // bumped on every rate change
+  std::vector<char> flow_frozen;       // water-fill scratch
+  std::vector<TaskId> active_flows;    // in-flight flow tasks
+  std::vector<std::size_t> active_pos;  // task -> index in active_flows
+  std::vector<int> link_members;        // water-fill scratch, per link
+  std::vector<double> link_residual;    // water-fill scratch, per link
+  std::vector<int> touched_links;
+  if (has_flows) {
+    net->Validate(num_resources_);
+    flow_remaining.assign(tasks_.size(), 0.0);
+    flow_rate.assign(tasks_.size(), 0.0);
+    flow_last.assign(tasks_.size(), 0.0);
+    flow_alloc.assign(tasks_.size(), 0.0);
+    flow_epoch.assign(tasks_.size(), 0);
+    flow_frozen.assign(tasks_.size(), 0);
+    active_pos.assign(tasks_.size(), 0);
+    link_members.assign(net->links.size(), 0);
+    link_residual.assign(net->links.size(), 0.0);
+  }
+  // True when tasks on resource r share links (and so progress at the
+  // water-filled rate instead of their fixed nominal duration).
+  auto is_flow_resource = [&](int r) {
+    return static_cast<std::size_t>(r) < net->resource_links.size() &&
+           !net->resource_links[static_cast<std::size_t>(r)].empty();
+  };
+
   std::vector<int> gate_counter(static_cast<std::size_t>(num_gate_groups_), 0);
   // Tasks whose predecessors are done but whose gate is still closed,
   // slotted by (group, rank) so a cascade release is a direct lookup.
@@ -339,6 +384,99 @@ SimResult TaskGraphSim::Run(const SimOptions& options,
       completions;
   double now = 0.0;
 
+  // Progressive-filling max-min allocation over the active flows,
+  // invoked on every flow start and finish. Advances each active flow's
+  // remaining demand to `t_now` at its old rate first (rates are
+  // piecewise constant between recomputes), then water-fills: repeatedly
+  // find the tightest link (minimum residual capacity per unfrozen
+  // member), freeze every flow crossing a tightest link at that fair
+  // share, and subtract the frozen bandwidth. Flows whose rate changed
+  // get a new epoch and a fresh completion projection; unchanged flows
+  // keep their queued event. All iteration is in deterministic
+  // (active-list / link-id) order and uses exact float comparisons, so
+  // results are reproducible across runs and shards.
+  auto recompute_rates = [&](double t_now) {
+    for (TaskId f : active_flows) {
+      const auto fi = static_cast<std::size_t>(f);
+      flow_remaining[fi] -= (t_now - flow_last[fi]) * flow_rate[fi];
+      if (flow_remaining[fi] < 0.0) flow_remaining[fi] = 0.0;
+      flow_last[fi] = t_now;
+    }
+    touched_links.clear();
+    for (TaskId f : active_flows) {
+      flow_frozen[static_cast<std::size_t>(f)] = 0;
+      const int r = tasks_[static_cast<std::size_t>(f)].resource;
+      for (int l : net->resource_links[static_cast<std::size_t>(r)]) {
+        const auto li = static_cast<std::size_t>(l);
+        if (link_members[li]++ == 0) {
+          touched_links.push_back(l);
+          link_residual[li] = net->links[li].capacity_bps;
+        }
+      }
+    }
+    std::size_t unfrozen = active_flows.size();
+    while (unfrozen > 0) {
+      double level = std::numeric_limits<double>::infinity();
+      for (int l : touched_links) {
+        const auto li = static_cast<std::size_t>(l);
+        if (link_members[li] > 0) {
+          level = std::min(level, link_residual[li] / link_members[li]);
+        }
+      }
+      bool froze = false;
+      for (TaskId f : active_flows) {
+        const auto fi = static_cast<std::size_t>(f);
+        if (flow_frozen[fi]) continue;
+        const int r = tasks_[fi].resource;
+        const auto& links = net->resource_links[static_cast<std::size_t>(r)];
+        bool at_bottleneck = false;
+        for (int l : links) {
+          const auto li = static_cast<std::size_t>(l);
+          // Exact comparison: `level` is the min over these very
+          // divisions, so the argmin links match it bit for bit.
+          if (link_members[li] > 0 &&
+              link_residual[li] / link_members[li] == level) {
+            at_bottleneck = true;
+            break;
+          }
+        }
+        if (!at_bottleneck) continue;
+        flow_frozen[fi] = 1;
+        flow_alloc[fi] = level;
+        froze = true;
+        --unfrozen;
+        for (int l : links) {
+          const auto li = static_cast<std::size_t>(l);
+          link_residual[li] -= level;
+          if (link_residual[li] < 0.0) link_residual[li] = 0.0;
+          --link_members[li];
+        }
+      }
+      // Unreachable for valid networks (the argmin link always has a
+      // member to freeze); guards against float pathologies looping.
+      if (!froze) break;
+    }
+    for (int l : touched_links) {
+      link_members[static_cast<std::size_t>(l)] = 0;
+      link_residual[static_cast<std::size_t>(l)] = 0.0;
+    }
+    for (TaskId f : active_flows) {
+      const auto fi = static_cast<std::size_t>(f);
+      const int r = tasks_[fi].resource;
+      double rate =
+          flow_alloc[fi] / net->resource_nominal_bps[static_cast<std::size_t>(r)];
+      // Validate() guarantees positive capacities and nominal rates, so a
+      // non-positive share can only come from accumulated float dust on a
+      // degenerate topology; keep completion times finite regardless.
+      if (!(rate > 0.0)) rate = std::numeric_limits<double>::epsilon();
+      if (rate != flow_rate[fi]) {
+        flow_rate[fi] = rate;
+        ++flow_epoch[fi];
+        completions.push({t_now + flow_remaining[fi] / rate, f, flow_epoch[fi]});
+      }
+    }
+  };
+
   // Selection rule: uniformly random among {ready tasks with the minimum
   // priority number} ∪ {ready tasks with no priority}. With probability
   // out_of_order_probability the pick ignores priorities entirely,
@@ -388,7 +526,22 @@ SimResult TaskGraphSim::Run(const SimOptions& options,
                   ? duration[static_cast<std::size_t>(t)] /
                         speed[static_cast<std::size_t>(r)]
                   : duration[static_cast<std::size_t>(t)];
-          completions.push({now + d, t});
+          if (has_flows && is_flow_resource(r)) {
+            // A flow's fault/jitter-adjusted duration is its demand at
+            // the nominal (static-split) rate; the water-fill converts
+            // it to wall time. Joining reshapes every rate, so recompute
+            // immediately — the new flow's first projection comes from
+            // its 0 -> fair-share rate change.
+            const auto ti = static_cast<std::size_t>(t);
+            flow_remaining[ti] = d;
+            flow_rate[ti] = 0.0;
+            flow_last[ti] = now;
+            active_pos[ti] = active_flows.size();
+            active_flows.push_back(t);
+            recompute_rates(now);
+          } else {
+            completions.push({now + d, t});
+          }
           progress = true;
         }
       }
@@ -416,13 +569,31 @@ SimResult TaskGraphSim::Run(const SimOptions& options,
       start_eligible();
       continue;
     }
-    const auto [time, t] = completions.top();
+    const auto [time, t, epoch] = completions.top();
     completions.pop();
+    if (has_flows && epoch != 0 &&
+        epoch != flow_epoch[static_cast<std::size_t>(t)]) {
+      // Superseded projection for a flow whose rate changed (or that
+      // already finished) since this event was queued.
+      continue;
+    }
     now = time;
     result.end[static_cast<std::size_t>(t)] = now;
     result.makespan = std::max(result.makespan, now);
     busy[static_cast<std::size_t>(
         tasks_[static_cast<std::size_t>(t)].resource)] = false;
+    if (has_flows && epoch != 0) {
+      // A flow finished: swap-remove it from the active list, invalidate
+      // any projections still queued for it, and hand its bandwidth to
+      // the remaining flows.
+      const auto ti = static_cast<std::size_t>(t);
+      const std::size_t i = active_pos[ti];
+      active_flows[i] = active_flows.back();
+      active_pos[static_cast<std::size_t>(active_flows[i])] = i;
+      active_flows.pop_back();
+      ++flow_epoch[ti];
+      recompute_rates(now);
+    }
     for (TaskId s : succs_[static_cast<std::size_t>(t)]) {
       if (--missing_preds[static_cast<std::size_t>(s)] == 0) {
         deps_done_enqueue(s);

@@ -20,6 +20,16 @@
 // timeline reproduces the unperturbed engine bit for bit (pinned in
 // tests/sim_test.cc and tests/fault_test.cc).
 //
+// Flow fairness (SimOptions::flow_fairness + network): transfers on
+// resources the FlowNetwork maps to shared links progress at
+// progressive-filling max-min rates instead of their static per-channel
+// slice, recomputed incrementally on every flow start and finish with
+// epoch-invalidated completion projections (DESIGN.md §11). The flag off
+// — or a network without flows — reproduces the static-split engine bit
+// for bit (pinned in tests/flow_test.cc). Like the fault path, the flow
+// path draws no extra randomness, so schedules stay comparable across
+// the two contention models under one seed.
+//
 // Hot-path data structures (sized once per Run, no per-event allocation):
 //   * ready tasks live in per-resource priority buckets (priorities are
 //     rank-compressed per resource in the constructor, so total bucket
@@ -47,6 +57,23 @@ class TaskGraphSim {
   void Validate() const;
 
   SimResult Run(const SimOptions& options, std::uint64_t seed) const;
+
+  // Sharded execution (sim/parallel.cc, DESIGN.md §11): partitions the
+  // graph into independent components — tasks connected through a
+  // dependency edge, a shared resource, a shared gate group, or a shared
+  // flow link — and advances each component's event loop on its own
+  // thread with a per-component random stream. The result is identical
+  // at every thread count (component runs depend only on the component
+  // and the seed; merges are ordered), and with a single component this
+  // delegates to Run() and is bit-identical to it. num_threads <= 0
+  // means hardware concurrency.
+  SimResult RunParallel(const SimOptions& options, std::uint64_t seed,
+                        int num_threads) const;
+
+  // Component id per task under `options` (flow links can merge
+  // components), ids dense and ordered by each component's smallest task
+  // id. Exposed for tests and for shard-count reporting.
+  std::vector<int> ComponentOf(const SimOptions& options) const;
 
   const std::vector<Task>& tasks() const { return tasks_; }
   int num_resources() const { return num_resources_; }

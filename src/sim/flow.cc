@@ -1,0 +1,58 @@
+#include "sim/flow.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tictac::sim {
+
+bool FlowNetwork::HasFlows() const {
+  for (const std::vector<int>& links : resource_links) {
+    if (!links.empty()) return true;
+  }
+  return false;
+}
+
+void FlowNetwork::Validate(int num_resources) const {
+  if (resource_links.size() > static_cast<std::size_t>(num_resources)) {
+    throw std::invalid_argument(
+        "FlowNetwork: resource_links covers " +
+        std::to_string(resource_links.size()) +
+        " resources but the simulation has only " +
+        std::to_string(num_resources));
+  }
+  if (resource_nominal_bps.size() < resource_links.size()) {
+    throw std::invalid_argument(
+        "FlowNetwork: resource_nominal_bps (" +
+        std::to_string(resource_nominal_bps.size()) +
+        " entries) must cover every resource in resource_links (" +
+        std::to_string(resource_links.size()) + ")");
+  }
+  for (std::size_t l = 0; l < links.size(); ++l) {
+    const double c = links[l].capacity_bps;
+    if (!(c > 0.0) || !std::isfinite(c)) {
+      throw std::invalid_argument(
+          "FlowNetwork: link " + std::to_string(l) +
+          " capacity must be positive and finite, got " + std::to_string(c));
+    }
+  }
+  for (std::size_t r = 0; r < resource_links.size(); ++r) {
+    if (resource_links[r].empty()) continue;
+    for (const int l : resource_links[r]) {
+      if (l < 0 || static_cast<std::size_t>(l) >= links.size()) {
+        throw std::invalid_argument(
+            "FlowNetwork: resource " + std::to_string(r) +
+            " references link " + std::to_string(l) + " of " +
+            std::to_string(links.size()));
+      }
+    }
+    const double nominal = resource_nominal_bps[r];
+    if (!(nominal > 0.0) || !std::isfinite(nominal)) {
+      throw std::invalid_argument(
+          "FlowNetwork: resource " + std::to_string(r) +
+          " needs a positive finite nominal rate, got " +
+          std::to_string(nominal));
+    }
+  }
+}
+
+}  // namespace tictac::sim

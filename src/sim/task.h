@@ -15,6 +15,8 @@
 
 namespace tictac::sim {
 
+struct FlowNetwork;  // sim/flow.h
+
 using TaskId = std::int32_t;
 
 inline constexpr int kNoPriority = std::numeric_limits<int>::max();
@@ -73,6 +75,15 @@ struct SimOptions {
   // the unperturbed engine, bit for bit (the fault path draws no extra
   // randomness and is skipped entirely). The pointee must outlive Run().
   const std::vector<ResourceFault>* faults = nullptr;
+  // Flow-level max-min fair bandwidth sharing (DESIGN.md §11). Off (the
+  // default) or a null/flow-less network reproduces the static
+  // bandwidth/T split bit for bit — the flow path is skipped entirely.
+  // On, transfers on resources `network` maps to shared links progress at
+  // progressive-filling max-min rates, recomputed on every flow start and
+  // finish, instead of their fixed nominal rate. The pointee must outlive
+  // Run().
+  bool flow_fairness = false;
+  const FlowNetwork* network = nullptr;
 };
 
 struct SimResult {

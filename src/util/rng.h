@@ -95,10 +95,17 @@ class Rng {
   // — the arrival process, per-iteration sim seeds — replays untouched.
   // Same (seed, stream) => bit-identical child on every platform.
   static Rng Stream(std::uint64_t seed, std::uint64_t stream) {
+    return Rng(StreamSeed(seed, stream));
+  }
+
+  // The child seed Stream() is built from, for consumers that pass seeds
+  // onward instead of holding a generator (the sharded sim engine seeds
+  // each component with StreamSeed(seed, component)).
+  static std::uint64_t StreamSeed(std::uint64_t seed, std::uint64_t stream) {
     std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return Rng(z ^ (z >> 31));
+    return z ^ (z >> 31);
   }
 
   // Portable uniform in (0, 1] (the inverse-CDF base draw): mt19937_64

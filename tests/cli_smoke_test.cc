@@ -179,6 +179,52 @@ TEST(CliSmoke, LowerFlagsAreRejectedElsewhere) {
       << result.stderr_text;
 }
 
+TEST(CliSmoke, ClusterSweepRunsAndEmitsJson) {
+  const std::string out_path = ::testing::TempDir() + "/tictac_sweep.json";
+  const std::string cmd =
+      std::string(TICTAC_CLI_PATH) +
+      " clustersweep --jobs \"6x{envG:workers=2:ps=1:training"
+      " model=AlexNet v2 policy=tac iterations=2 seed=1}\""
+      " --fabrics 2 --threads 2 --json >" +
+      out_path + " 2>/dev/null";
+  int status = std::system(cmd.c_str());
+#ifndef _WIN32
+  if (WIFEXITED(status)) status = WEXITSTATUS(status);
+#endif
+  ASSERT_EQ(status, 0);
+  std::ifstream in(out_path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string json = text.str();
+  EXPECT_NE(json.find("\"jobs\": 6"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fabrics\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_job_iteration_s\":"), std::string::npos) << json;
+}
+
+TEST(CliSmoke, ClusterSweepWithoutJobsPrintsUsageAndFails) {
+  const CliResult result = RunCli("clustersweep");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("--jobs"), std::string::npos)
+      << result.stderr_text;
+}
+
+TEST(CliSmoke, ClusterSweepFlagsAreRejectedElsewhere) {
+  const CliResult result = RunCli("run --model \"AlexNet v2\" --threads 4");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("--threads"), std::string::npos)
+      << result.stderr_text;
+}
+
+TEST(CliSmoke, ClusterSweepRejectsNegativeThreads) {
+  const CliResult result = RunCli(
+      "clustersweep --jobs \"{envG:workers=2:ps=1:training model=AlexNet v2 "
+      "policy=tic iterations=1 seed=1}\" --threads -2");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("--threads must be >= 0"),
+            std::string::npos)
+      << result.stderr_text;
+}
+
 TEST(CliSmoke, ExecMalformedStragglerIsRejected) {
   const CliResult result = RunCli("exec --straggler fast");
   EXPECT_EQ(result.exit_code, 2);

@@ -1,0 +1,234 @@
+// Flow-level max-min fairness differentials (DESIGN.md §11).
+//
+// The anchor: flow fairness OFF — or a null/flow-less network — must be
+// byte-for-byte identical to the static bandwidth/T split engine, across
+// the model zoo, the scheduling policies, and the multi-job shared
+// fabric. On top of that, the flow model's semantics are pinned on
+// hand-built graphs where the max-min allocation is computable by hand:
+// a lone flow takes the whole link, a fully-loaded link reproduces the
+// static split exactly, and a departure hands the idle share to the
+// survivors mid-flight.
+#include "sim/flow.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/multijob.h"
+#include "runtime/spec.h"
+#include "sim/engine.h"
+
+namespace tictac {
+namespace {
+
+void ExpectSameResult(const sim::SimResult& a, const sim::SimResult& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.start, b.start);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.start_order, b.start_order);
+}
+
+sim::Task FlowTask(double duration, int resource,
+                   std::vector<sim::TaskId> preds = {}) {
+  sim::Task t;
+  t.duration = duration;
+  t.resource = resource;
+  t.preds = std::move(preds);
+  return t;
+}
+
+runtime::MultiJobRunner MakeRunner(const std::string& cluster,
+                                   const std::string& model,
+                                   const std::string& policy) {
+  runtime::MultiJobSpec spec;
+  runtime::MultiJobEntry entry;
+  entry.spec = runtime::ExperimentSpec::Parse(
+      cluster + " model=" + model + " policy=" + policy +
+      " iterations=2 seed=3");
+  spec.jobs.push_back(entry);
+  return runtime::MultiJobRunner(std::move(spec));
+}
+
+// A two-channel shared link at twice the per-channel nominal rate: the
+// static split gives each channel 50 B/s of the 100 B/s link.
+sim::FlowNetwork TwoChannelLink() {
+  sim::FlowNetwork net;
+  net.links = {{100.0}};
+  net.resource_links = {{0}, {0}};
+  net.resource_nominal_bps = {50.0, 50.0};
+  return net;
+}
+
+TEST(FlowModel, OffOrFlowlessNetworkIsBitIdenticalToTheStaticSplit) {
+  for (const char* model : {"AlexNet v2", "Inception v2"}) {
+    for (const char* policy : {"baseline", "tic", "tac"}) {
+      SCOPED_TRACE(std::string(model) + " / " + policy);
+      // Same jobs, lowered twice: once with the flow network attached
+      // (":flow") and once without. The tasks are identical — the pass
+      // only attaches capacities — so running the flow lowering with
+      // fairness off must reproduce the legacy lowering exactly.
+      runtime::MultiJobRunner with_net =
+          MakeRunner("envG:workers=4:ps=2:training:flow", model, policy);
+      runtime::MultiJobRunner legacy =
+          MakeRunner("envG:workers=4:ps=2:training", model, policy);
+      ASSERT_NE(with_net.sim_options().network, nullptr);
+      ASSERT_EQ(legacy.sim_options().network, nullptr);
+
+      const sim::TaskGraphSim sim = with_net.lowering().combined.BuildSim();
+      const sim::TaskGraphSim legacy_sim =
+          legacy.lowering().combined.BuildSim();
+      const sim::SimResult reference =
+          legacy_sim.Run(legacy.sim_options(), 42);
+
+      sim::SimOptions off_with_net = with_net.sim_options();
+      off_with_net.flow_fairness = false;
+      ExpectSameResult(sim.Run(off_with_net, 42), reference);
+
+      sim::SimOptions on_null_net = with_net.sim_options();
+      on_null_net.network = nullptr;
+      ExpectSameResult(sim.Run(on_null_net, 42), reference);
+    }
+  }
+}
+
+TEST(FlowModel, MultiJobFlowOffMatchesLegacyByteForByte) {
+  const auto make = [](bool flow) {
+    runtime::MultiJobSpec spec;
+    const std::string cluster =
+        flow ? "envG:workers=2:ps=2:training:flow"
+             : "envG:workers=2:ps=2:training";
+    for (const char* model : {"AlexNet v2", "Inception v2"}) {
+      runtime::MultiJobEntry entry;
+      entry.spec = runtime::ExperimentSpec::Parse(
+          cluster + " model=" + std::string(model) +
+          " policy=tac iterations=2 seed=3");
+      spec.jobs.push_back(entry);
+    }
+    return runtime::MultiJobRunner(std::move(spec));
+  };
+  const runtime::MultiJobRunner with_net = make(true);
+  const runtime::MultiJobRunner legacy = make(false);
+  const sim::TaskGraphSim sim = with_net.lowering().combined.BuildSim();
+  const sim::TaskGraphSim legacy_sim = legacy.lowering().combined.BuildSim();
+  sim::SimOptions off = with_net.sim_options();
+  off.flow_fairness = false;
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    ExpectSameResult(sim.Run(off, seed),
+                     legacy_sim.Run(legacy.sim_options(), seed));
+  }
+}
+
+TEST(FlowModel, SingleActiveFlowTakesTheWholeLink) {
+  const sim::FlowNetwork net = TwoChannelLink();
+  sim::TaskGraphSim sim({FlowTask(1.0, 0)}, 2);
+  sim::SimOptions options;
+  options.flow_fairness = true;
+  options.network = &net;
+  const sim::SimResult r = sim.Run(options, 1);
+  // Alone on the 100 B/s link, the 50 B/s-nominal channel runs at rate
+  // 2.0: the 1 s task finishes in 0.5 s.
+  EXPECT_DOUBLE_EQ(r.end[0], 0.5);
+  EXPECT_DOUBLE_EQ(r.makespan, 0.5);
+}
+
+TEST(FlowModel, FullyLoadedLinkReproducesTheStaticSplit) {
+  const sim::FlowNetwork net = TwoChannelLink();
+  const std::vector<sim::Task> tasks{FlowTask(1.0, 0), FlowTask(2.0, 1)};
+  sim::TaskGraphSim sim(tasks, 2);
+  sim::SimOptions on;
+  on.flow_fairness = true;
+  on.network = &net;
+  // Both channels active from t = 0: each gets its 50 B/s nominal share
+  // while the other runs... but the 1 s flow finishes first and frees
+  // its share, so only the fully-overlapped prefix matches the split.
+  const sim::SimResult r = sim.Run(on, 1);
+  EXPECT_DOUBLE_EQ(r.end[0], 1.0);  // contended the whole way: unchanged
+  // Task 1: 1 s at rate 1 (1.0 of 2.0 done), then alone at rate 2 for
+  // the remaining 1.0 -> finishes at 1.5 instead of the static 2.0.
+  EXPECT_DOUBLE_EQ(r.end[1], 1.5);
+
+  // With both flows pinned for their whole lifetime (equal durations),
+  // flow on is byte-for-byte the static split.
+  sim::TaskGraphSim pinned({FlowTask(1.0, 0), FlowTask(1.0, 1)}, 2);
+  sim::SimOptions off;
+  ExpectSameResult(pinned.Run(on, 5), pinned.Run(off, 5));
+}
+
+TEST(FlowModel, DepartureHandsIdleShareToSurvivorMidFlight) {
+  const sim::FlowNetwork net = TwoChannelLink();
+  // Task 1 depends on nothing but lives longer; after task 0 departs at
+  // t = 1 the survivor's rate doubles mid-transfer.
+  sim::TaskGraphSim sim({FlowTask(1.0, 0), FlowTask(3.0, 1)}, 2);
+  sim::SimOptions options;
+  options.flow_fairness = true;
+  options.network = &net;
+  const sim::SimResult r = sim.Run(options, 1);
+  EXPECT_DOUBLE_EQ(r.end[0], 1.0);
+  // 1 s at rate 1 leaves 2.0 nominal seconds; at rate 2 that is 1 s of
+  // wall clock: end = 2.0, not the static 3.0.
+  EXPECT_DOUBLE_EQ(r.end[1], 2.0);
+}
+
+TEST(FlowModel, OversubscribedCoreSlowsCrossPodTransfers) {
+  const auto mean_iteration = [](const std::string& cluster) {
+    return MakeRunner(cluster, "AlexNet v2", "tac")
+        .Run(2, 7)
+        .combined.MeanIterationTime();
+  };
+  // Pin jitter/ooo to zero so the three runs differ only in the network
+  // model, never in random draws.
+  const std::string base = "envG:workers=4:ps=2:training:jitter=0:ooo=0";
+  const double static_split = mean_iteration(base);
+  const double nic_only = mean_iteration(base + ":flow");
+  const double oversubscribed =
+      mean_iteration(base + ":flow:pods=2:oversub=64");
+  // Without an oversubscribed core the flow model can only hand out idle
+  // bandwidth: never slower than the static split.
+  EXPECT_LE(nic_only, static_split + 1e-9);
+  // A 64:1 core chokes every cross-pod transfer well below its nominal
+  // rate.
+  EXPECT_GT(oversubscribed, nic_only);
+}
+
+TEST(FlowNetwork, ValidateNamesTheOffendingEntry) {
+  const auto expect_throw = [](const sim::FlowNetwork& net, int resources,
+                               const std::string& fragment) {
+    try {
+      net.Validate(resources);
+      FAIL() << "expected invalid_argument containing '" << fragment << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << "message was: " << e.what();
+    }
+  };
+  sim::FlowNetwork bad_link = TwoChannelLink();
+  bad_link.resource_links[0] = {3};
+  expect_throw(bad_link, 2, "link");
+
+  sim::FlowNetwork bad_capacity = TwoChannelLink();
+  bad_capacity.links[0].capacity_bps = 0.0;
+  expect_throw(bad_capacity, 2, "capacity");
+
+  sim::FlowNetwork bad_nominal = TwoChannelLink();
+  bad_nominal.resource_nominal_bps[1] = 0.0;
+  expect_throw(bad_nominal, 2, "nominal");
+
+  sim::FlowNetwork too_wide = TwoChannelLink();
+  expect_throw(too_wide, 1, "resource");
+}
+
+TEST(FlowModel, RingTopologyRejectsFlowFairness) {
+  try {
+    runtime::ExperimentSpec::Parse(
+        "envG:workers=4:ps=1:training:topology=ring:flow model=AlexNet v2");
+    FAIL() << "expected the ring + flow combination to be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("flow"), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace tictac

@@ -283,14 +283,16 @@ TEST(PassPipeline, PresetNamesMatchTheDocumentedOrder) {
   const auto ps = StandardLoweringPipeline(runtime::Topology::kPsFabric, 3);
   EXPECT_EQ(ps.names(),
             (std::vector<std::string>{"expand_replicas", "lower_ps_fabric",
-                                      "merge_jobs", "apply_arrival_offsets",
+                                      "merge_jobs", "lower_flow_nics",
+                                      "apply_arrival_offsets",
                                       "pipeline_iters:3"}));
   const auto full = FullLoweringPipeline(runtime::Topology::kPsFabric);
   EXPECT_EQ(full.names(),
             (std::vector<std::string>{
                 "chunk_transfers", "shard_params", "compute_schedules",
                 "expand_replicas", "lower_ps_fabric", "merge_jobs",
-                "apply_arrival_offsets", "pipeline_iters:1"}));
+                "lower_flow_nics", "apply_arrival_offsets",
+                "pipeline_iters:1"}));
   EXPECT_THROW(StandardLoweringPipeline(runtime::Topology::kPsFabric, 0),
                std::invalid_argument);
 }

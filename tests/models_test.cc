@@ -1,9 +1,13 @@
 #include "models/builder.h"
+#include "models/topology.h"
 #include "models/zoo.h"
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 namespace tictac::models {
 namespace {
@@ -223,6 +227,139 @@ TEST(Builder, DeterministicAcrossCalls) {
     EXPECT_EQ(a.op(id).cost, b.op(id).cost);
     EXPECT_EQ(a.preds(id), b.preds(id));
   }
+}
+
+void ExpectTopologyThrow(const std::function<void()>& build,
+                         const std::string& fragment) {
+  try {
+    build();
+    FAIL() << "expected invalid_argument containing '" << fragment << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(FatTree, PodOfSplitsHostsContiguously) {
+  // floor(index * pods / count): contiguous, balanced, covers every pod.
+  EXPECT_EQ(PodOf(0, 6, 2), 0);
+  EXPECT_EQ(PodOf(2, 6, 2), 0);
+  EXPECT_EQ(PodOf(3, 6, 2), 1);
+  EXPECT_EQ(PodOf(5, 6, 2), 1);
+  // Uneven split: 5 hosts over 2 pods -> 3 + 2.
+  EXPECT_EQ(PodOf(2, 5, 2), 0);
+  EXPECT_EQ(PodOf(3, 5, 2), 1);
+  // pods == count degenerates to one host per pod.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(PodOf(i, 4, 4), i);
+}
+
+TEST(FatTree, ValidationNamesTheOffendingKnob) {
+  const FabricShape shape{.num_workers = 2, .num_ps = 1,
+                          .bandwidth_bps = 100.0};
+  ExpectTopologyThrow(
+      [&] { BuildFatTreeFlowNetwork(shape, {.pods = 0}); },
+      "pods must be >= 1");
+  ExpectTopologyThrow(
+      [&] { BuildFatTreeFlowNetwork(shape, {.oversubscription = 0.0}); },
+      "oversubscription must be a positive finite ratio");
+  ExpectTopologyThrow(
+      [&] { BuildFatTreeFlowNetwork(shape, {.pods = 8}); },
+      "some pods would be empty");
+  ExpectTopologyThrow(
+      [&] {
+        BuildFatTreeFlowNetwork({.num_workers = 0, .num_ps = 1,
+                                 .bandwidth_bps = 100.0}, {});
+      },
+      "at least one worker and one PS");
+  ExpectTopologyThrow(
+      [&] {
+        BuildFatTreeFlowNetwork({.num_workers = 2, .num_ps = 1,
+                                 .bandwidth_bps = 0.0}, {});
+      },
+      "bandwidth_bps must be positive");
+}
+
+TEST(FatTree, SinglePodBuildsNicOnlyContention) {
+  // W=2, S=1, line rate 100: 6 NIC links (worker in/out x2, PS out/in),
+  // no core. Channel resources map to exactly the two NIC directions
+  // they traverse; compute and PS-CPU resources stay non-flow.
+  const sim::FlowNetwork net = BuildFatTreeFlowNetwork(
+      {.num_workers = 2, .num_ps = 1, .bandwidth_bps = 100.0}, {});
+  ASSERT_EQ(net.links.size(), 6u);
+  for (const sim::FlowLink& link : net.links) {
+    EXPECT_DOUBLE_EQ(link.capacity_bps, 100.0);
+  }
+  // Block: workers [0,2), downlinks [2,4), uplinks [4,6), PS CPU {6}.
+  ASSERT_EQ(net.resource_links.size(), 7u);
+  EXPECT_TRUE(net.resource_links[0].empty());
+  EXPECT_TRUE(net.resource_links[1].empty());
+  EXPECT_TRUE(net.resource_links[6].empty());
+  // Downlink w=0: PS egress (link 4) + worker 0 ingress (link 0).
+  EXPECT_EQ(net.resource_links[2], (std::vector<int>{0, 4}));
+  EXPECT_EQ(net.resource_links[3], (std::vector<int>{1, 4}));
+  // Uplink w=0: worker 0 egress (link 2) + PS ingress (link 5).
+  EXPECT_EQ(net.resource_links[4], (std::vector<int>{2, 5}));
+  EXPECT_EQ(net.resource_links[5], (std::vector<int>{3, 5}));
+  // Nominal rate = static per-channel split, line / W.
+  for (int r = 2; r <= 5; ++r) {
+    EXPECT_DOUBLE_EQ(net.resource_nominal_bps[static_cast<std::size_t>(r)],
+                     50.0);
+  }
+  net.Validate(7);
+}
+
+TEST(FatTree, OversubscribedCoreLinksOnCrossPodChannelsOnly) {
+  // W=2, S=2, pods=2, oversub=4: worker 0 + PS 0 land in pod 0, worker 1
+  // + PS 1 in pod 1. 8 NIC links at 100 plus 2 core uplinks and 2 core
+  // downlinks at (2 hosts x 100) / 4 = 50.
+  const sim::FlowNetwork net = BuildFatTreeFlowNetwork(
+      {.num_workers = 2, .num_ps = 2, .bandwidth_bps = 100.0},
+      {.pods = 2, .oversubscription = 4.0});
+  ASSERT_EQ(net.links.size(), 12u);
+  for (int l = 0; l < 8; ++l) {
+    EXPECT_DOUBLE_EQ(net.links[static_cast<std::size_t>(l)].capacity_bps,
+                     100.0);
+  }
+  for (int l = 8; l < 12; ++l) {
+    EXPECT_DOUBLE_EQ(net.links[static_cast<std::size_t>(l)].capacity_bps,
+                     50.0);
+  }
+  // Block: workers [0,2), downlinks [2,6), uplinks [6,10), PS CPUs [10,12).
+  ASSERT_EQ(net.resource_links.size(), 12u);
+  // Pod-local downlink (w=0, s=0): NICs only.
+  EXPECT_EQ(net.resource_links[2], (std::vector<int>{0, 4}));
+  // Cross-pod downlink (w=0, s=1): NICs + pod 1's core uplink (9) and
+  // pod 0's core downlink (10).
+  EXPECT_EQ(net.resource_links[3], (std::vector<int>{0, 5, 9, 10}));
+  // Cross-pod uplink (w=1, s=0): worker 1 egress (3), PS 0 ingress (6),
+  // pod 1's core uplink (9), pod 0's core downlink (10).
+  EXPECT_EQ(net.resource_links[8], (std::vector<int>{3, 6, 9, 10}));
+  net.Validate(12);
+}
+
+TEST(FatTree, AppendOffsetsSecondFabricsLinksAndResources) {
+  // Two fabrics in one network, the sweep's merged layout: fabric B's
+  // links start after A's 6, its resources after A's block of 7.
+  sim::FlowNetwork net;
+  AppendFatTreeFabric({.num_workers = 2, .num_ps = 1,
+                       .bandwidth_bps = 100.0, .resource_base = 0},
+                      {}, &net);
+  AppendFatTreeFabric({.num_workers = 1, .num_ps = 1,
+                       .bandwidth_bps = 200.0, .resource_base = 7},
+                      {}, &net);
+  ASSERT_EQ(net.links.size(), 10u);
+  EXPECT_DOUBLE_EQ(net.links[6].capacity_bps, 200.0);
+  // Fabric B block: worker {7}, downlink {8}, uplink {9}, PS CPU {10}.
+  ASSERT_EQ(net.resource_links.size(), 11u);
+  EXPECT_TRUE(net.resource_links[7].empty());
+  EXPECT_EQ(net.resource_links[8], (std::vector<int>{6, 8}));
+  EXPECT_EQ(net.resource_links[9], (std::vector<int>{7, 9}));
+  EXPECT_TRUE(net.resource_links[10].empty());
+  // Fabric A's mappings are untouched; B's nominal is its own line rate
+  // over its single worker.
+  EXPECT_EQ(net.resource_links[2], (std::vector<int>{0, 4}));
+  EXPECT_DOUBLE_EQ(net.resource_nominal_bps[8], 200.0);
+  net.Validate(11);
 }
 
 }  // namespace

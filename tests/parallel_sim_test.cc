@@ -1,0 +1,301 @@
+// Sharded event engine differentials (sim/parallel.cc, DESIGN.md §11).
+//
+// The contract under test: RunParallel partitions the graph into
+// independent components (dependency edges, shared resources, shared
+// gate groups, shared flow links), advances each on its own thread with
+// the per-component random stream util::Rng::StreamSeed(seed, c), and
+// merges — and the result is IDENTICAL at every thread count, including
+// 1, where single-component graphs delegate to Run() outright. The
+// manual-shard tests re-derive a component's subgraph by hand (local ids
+// in global order, dense resource remap, remapped fault timeline) and
+// check the merged result against running that subgraph alone.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/clustersweep.h"
+#include "runtime/multijob.h"
+#include "sim/engine.h"
+#include "sim/flow.h"
+#include "sim/task.h"
+#include "util/rng.h"
+
+namespace tictac {
+namespace {
+
+sim::Task MakeTask(double duration, int resource,
+                   std::vector<sim::TaskId> preds = {}, int priority = 0) {
+  sim::Task t;
+  t.duration = duration;
+  t.resource = resource;
+  t.preds = std::move(preds);
+  t.priority = priority;
+  return t;
+}
+
+void ExpectSameResult(const sim::SimResult& a, const sim::SimResult& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.start, b.start);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.start_order, b.start_order);
+}
+
+TEST(ComponentOf, UnionsPredsResourcesAndGateGroups) {
+  // Six tasks, three components: {0,1} share a dependency edge (distinct
+  // resources), {2,3} share resource 2, {4,5} share gate group 0 on
+  // distinct resources.
+  std::vector<sim::Task> tasks;
+  tasks.push_back(MakeTask(1.0, 0));
+  tasks.push_back(MakeTask(1.0, 1, {0}));
+  tasks.push_back(MakeTask(1.0, 2));
+  tasks.push_back(MakeTask(1.0, 2));
+  sim::Task g0 = MakeTask(1.0, 3);
+  g0.gate_group = 0;
+  g0.gate_rank = 0;
+  sim::Task g1 = MakeTask(1.0, 4);
+  g1.gate_group = 0;
+  g1.gate_rank = 1;
+  tasks.push_back(g0);
+  tasks.push_back(g1);
+
+  const sim::TaskGraphSim sim(tasks, 5);
+  const std::vector<int> expected{0, 0, 1, 1, 2, 2};
+  EXPECT_EQ(sim.ComponentOf(sim::SimOptions{}), expected);
+}
+
+TEST(ComponentOf, SharedFlowLinksMergeComponentsOnlyWhenFlowIsOn) {
+  // Two tasks on distinct resources that traverse the same link: two
+  // components with flow off (the link is inert), one with it on (their
+  // rates are coupled through the shared capacity).
+  const std::vector<sim::Task> tasks{MakeTask(1.0, 0), MakeTask(1.0, 1)};
+  sim::FlowNetwork net;
+  net.links = {{100.0}};
+  net.resource_links = {{0}, {0}};
+  net.resource_nominal_bps = {50.0, 50.0};
+
+  const sim::TaskGraphSim sim(tasks, 2);
+  sim::SimOptions off;
+  off.network = &net;  // attached but fairness off: still inert
+  EXPECT_EQ(sim.ComponentOf(off), (std::vector<int>{0, 1}));
+
+  sim::SimOptions on = off;
+  on.flow_fairness = true;
+  EXPECT_EQ(sim.ComponentOf(on), (std::vector<int>{0, 0}));
+}
+
+TEST(RunParallel, SingleComponentDelegatesToTheSerialEngine) {
+  // A diamond on one shared resource pool: one component, so any thread
+  // count must be byte-identical to Run() (it literally delegates).
+  std::vector<sim::Task> tasks;
+  tasks.push_back(MakeTask(1.0, 0));
+  tasks.push_back(MakeTask(2.0, 1, {0}));
+  tasks.push_back(MakeTask(3.0, 0, {0}));
+  tasks.push_back(MakeTask(1.0, 1, {1, 2}));
+  const sim::TaskGraphSim sim(tasks, 2);
+  sim::SimOptions options;
+  options.jitter_sigma = 0.3;
+  options.out_of_order_probability = 0.2;
+  for (const int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectSameResult(sim.RunParallel(options, 11, threads),
+                     sim.Run(options, 11));
+  }
+}
+
+TEST(RunParallel, ThreadCountCannotChangeTheResult) {
+  // Six disjoint gated chains with jitter and out-of-order draws — the
+  // randomized paths — simulated at 1, 2 and 8 threads: all identical.
+  std::vector<sim::Task> tasks;
+  for (int c = 0; c < 6; ++c) {
+    const int first = static_cast<int>(tasks.size());
+    for (int i = 0; i < 4; ++i) {
+      sim::Task t = MakeTask(0.5 + 0.25 * i, c,
+                             i == 0 ? std::vector<sim::TaskId>{}
+                                    : std::vector<sim::TaskId>{
+                                          static_cast<sim::TaskId>(
+                                              first + i - 1)},
+                             i);
+      t.gate_group = c;
+      t.gate_rank = i;
+      tasks.push_back(t);
+    }
+  }
+  const sim::TaskGraphSim sim(tasks, 6);
+  sim::SimOptions options;
+  options.enforce_gates = true;
+  options.jitter_sigma = 0.2;
+  options.out_of_order_probability = 0.3;
+  const sim::SimResult one = sim.RunParallel(options, 17, 1);
+  EXPECT_EQ(one.start_order.size(), tasks.size());
+  for (const int threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectSameResult(sim.RunParallel(options, 17, threads), one);
+  }
+}
+
+TEST(RunParallel, ShardRunsMatchManualComponentRuns) {
+  // Components interleaved by task id — component 0 owns tasks {0, 2} on
+  // resource 0, component 1 owns {1, 3} on resource 1 — so the test
+  // exercises the dense local remaps, not just contiguous slicing.
+  std::vector<sim::Task> tasks;
+  tasks.push_back(MakeTask(1.0, 0));
+  tasks.push_back(MakeTask(2.0, 1));
+  tasks.push_back(MakeTask(0.5, 0, {0}));
+  tasks.push_back(MakeTask(0.25, 1, {1}));
+  const sim::TaskGraphSim sim(tasks, 2);
+  sim::SimOptions options;
+  options.jitter_sigma = 0.4;
+
+  const sim::SimResult merged = sim.RunParallel(options, 9, 2);
+
+  // Component c's subgraph: local ids in increasing global order, the
+  // component's resources remapped dense in first-use order, stream seed
+  // StreamSeed(seed, c) — the protocol sim/parallel.cc documents.
+  for (int c = 0; c < 2; ++c) {
+    SCOPED_TRACE("component=" + std::to_string(c));
+    const std::vector<sim::TaskId> members{static_cast<sim::TaskId>(c),
+                                           static_cast<sim::TaskId>(c + 2)};
+    std::vector<sim::Task> local;
+    for (const sim::TaskId g : members) {
+      sim::Task t = tasks[static_cast<std::size_t>(g)];
+      t.resource = 0;  // each component touches exactly one resource
+      for (sim::TaskId& pred : t.preds) pred = pred == c ? 0 : 1;
+      local.push_back(t);
+    }
+    const sim::TaskGraphSim shard(local, 1);
+    const sim::SimResult alone =
+        shard.Run(options, util::Rng::StreamSeed(9, static_cast<std::uint64_t>(c)));
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const auto g = static_cast<std::size_t>(members[i]);
+      EXPECT_EQ(merged.start[g], alone.start[i]);
+      EXPECT_EQ(merged.end[g], alone.end[i]);
+    }
+  }
+}
+
+TEST(RunParallel, FaultTimelinesApplyPerShardIdentically) {
+  // Two components, each with a fault on its own resource: the sharded
+  // engine filters and remaps the timeline per shard. Thread counts must
+  // agree with each other AND with the hand-built shard run.
+  std::vector<sim::Task> tasks;
+  tasks.push_back(MakeTask(1.0, 0));
+  tasks.push_back(MakeTask(1.0, 0, {0}));
+  tasks.push_back(MakeTask(1.0, 1));
+  tasks.push_back(MakeTask(1.0, 1, {2}));
+  const std::vector<sim::ResourceFault> faults{
+      {0.5, 0, 0.25},  // resource 0 slows to quarter speed at t=0.5
+      {0.5, 1, 2.0},   // resource 1 doubles at t=0.5
+  };
+  const sim::TaskGraphSim sim(tasks, 2);
+  sim::SimOptions options;
+  options.faults = &faults;
+
+  const sim::SimResult one = sim.RunParallel(options, 3, 1);
+  ExpectSameResult(sim.RunParallel(options, 3, 4), one);
+  // Task 1 starts at t=1 under speed 0.25: duration 4, end 5. Task 3
+  // starts at t=1 under speed 2: end 1.5.
+  EXPECT_DOUBLE_EQ(one.end[1], 5.0);
+  EXPECT_DOUBLE_EQ(one.end[3], 1.5);
+
+  // Manual shard for component 1 ({2, 3} on resource 1): the fault's
+  // resource id remaps with the dense resource remap.
+  std::vector<sim::Task> local{MakeTask(1.0, 0), MakeTask(1.0, 0, {0})};
+  const std::vector<sim::ResourceFault> local_faults{{0.5, 0, 2.0}};
+  sim::SimOptions local_options;
+  local_options.faults = &local_faults;
+  const sim::TaskGraphSim shard(local, 1);
+  const sim::SimResult alone =
+      shard.Run(local_options, util::Rng::StreamSeed(3, 1));
+  EXPECT_EQ(one.start[2], alone.start[0]);
+  EXPECT_EQ(one.end[3], alone.end[1]);
+}
+
+TEST(ClusterSweep, SingleFabricMatchesTheMultiJobRunner) {
+  // Three jobs on one fabric: the sweep's per-job means must equal the
+  // MultiJobRunner's own slices exactly (same lowering, same engine).
+  const std::string text =
+      "2x{envG:workers=2:ps=1:training model=AlexNet v2 policy=tac "
+      "iterations=2 seed=5} {envG:workers=2:ps=1:training model=AlexNet v2 "
+      "policy=baseline iterations=2 seed=5}";
+  std::vector<runtime::MultiJobEntry> jobs =
+      runtime::ParseJobGroups(text, 4096);
+  ASSERT_EQ(jobs.size(), 3u);
+
+  runtime::MultiJobSpec spec;
+  spec.jobs = jobs;
+  const runtime::MultiJobRunner runner(std::move(spec));
+  const runtime::MultiJobResult reference = runner.Run();
+
+  runtime::ClusterSweepOptions options;
+  options.fabrics = 1;
+  const runtime::ClusterSweep sweep(std::move(jobs), options);
+  EXPECT_EQ(sweep.num_jobs(), 3);
+  EXPECT_EQ(sweep.num_fabrics(), 1);
+  const runtime::ClusterSweepResult result = sweep.Run();
+
+  ASSERT_EQ(result.job_mean_iteration_s.size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(result.job_mean_iteration_s[j],
+              reference.jobs[j].MeanIterationTime())
+        << "job " << j;
+  }
+}
+
+TEST(ClusterSweep, ThreadCountCannotChangeTheReport) {
+  const std::string text =
+      "8x{envG:workers=2:ps=1:training model=AlexNet v2 policy=tac "
+      "iterations=2 seed=4}";
+  const auto run = [&text](int threads) {
+    runtime::ClusterSweepOptions options;
+    options.fabrics = 2;
+    options.num_threads = threads;
+    return runtime::ClusterSweep(runtime::ParseJobGroups(text, 4096), options)
+        .Run()
+        .ToJson();
+  };
+  EXPECT_EQ(run(1), run(3));
+}
+
+TEST(ClusterSweep, RejectsOverfullOrUnderfilledPartitions) {
+  const auto parse_n = [](int n) {
+    return runtime::ParseJobGroups(
+        std::to_string(n) +
+            "x{envG:workers=2:ps=1:training model=AlexNet v2 policy=tac "
+            "iterations=1 seed=1}",
+        4096);
+  };
+  {
+    runtime::ClusterSweepOptions options;
+    options.fabrics = 5;
+    try {
+      runtime::ClusterSweep sweep(parse_n(3), options);
+      FAIL() << "expected fabrics > jobs to be rejected";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("more fabrics"), std::string::npos)
+          << "message was: " << e.what();
+    }
+  }
+  {
+    // 70 jobs forced onto one fabric: over the 64-job cap. Rejected by
+    // partition arithmetic BEFORE any runner is constructed, so the
+    // error is instant and names the fix.
+    runtime::ClusterSweepOptions options;
+    options.fabrics = 1;
+    try {
+      runtime::ClusterSweep sweep(parse_n(70), options);
+      FAIL() << "expected the per-fabric cap to reject 70 jobs on 1 fabric";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("per-fabric cap"), std::string::npos)
+          << "message was: " << what;
+      EXPECT_NE(what.find("use at least 2 fabrics"), std::string::npos)
+          << "message was: " << what;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tictac

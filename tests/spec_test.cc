@@ -413,5 +413,80 @@ TEST(SweepSpec, ShardAndTopologyAxesExpandAndRoundTrip) {
   EXPECT_EQ(plain.ToString().find(":topology="), std::string::npos);
 }
 
+TEST(ExperimentSpec, FlowKnobsParseBuildAndRoundTrip) {
+  const auto spec = ExperimentSpec::Parse(
+      "envG:workers=8:ps=4:training:flow:pods=4:oversub=2.5 "
+      "model=VGG-16 policy=tac");
+  EXPECT_TRUE(spec.cluster.flow);
+  EXPECT_EQ(spec.cluster.pods, 4);
+  EXPECT_DOUBLE_EQ(spec.cluster.oversub, 2.5);
+
+  const ClusterConfig config = spec.BuildCluster();
+  EXPECT_TRUE(config.sim.flow_fairness);
+  EXPECT_EQ(config.fabric_pods, 4);
+  EXPECT_DOUBLE_EQ(config.fabric_oversubscription, 2.5);
+
+  EXPECT_EQ(ExperimentSpec::Parse(spec.ToString()), spec);
+  EXPECT_NE(spec.ToString().find(":flow:pods=4:oversub=2.5"),
+            std::string::npos);
+
+  // Defaults stay invisible in the canonical form.
+  const auto plain = ExperimentSpec::Parse(
+      "envG:workers=8:ps=4:training model=VGG-16 policy=tac");
+  EXPECT_FALSE(plain.cluster.flow);
+  EXPECT_FALSE(plain.BuildCluster().sim.flow_fairness);
+  EXPECT_EQ(plain.ToString().find(":flow"), std::string::npos);
+  EXPECT_EQ(plain.ToString().find(":pods="), std::string::npos);
+  EXPECT_EQ(plain.ToString().find(":oversub="), std::string::npos);
+}
+
+TEST(ExperimentSpec, FlowKnobsRejectListsAndBadValues) {
+  ExpectThrowWith(
+      [] {
+        ExperimentSpec::Parse(
+            "envG:workers=4:ps=2:training:pods=2,4 model=VGG-16");
+      },
+      "pods= is not a sweep axis");
+  ExpectThrowWith(
+      [] {
+        ExperimentSpec::Parse(
+            "envG:workers=4:ps=2:training:oversub=0 model=VGG-16");
+      },
+      "oversub must be > 0");
+  // pods > hosts is rejected at lowering time, not parse time, but
+  // pods < 1 is structural and fails eagerly.
+  ExpectThrowWith(
+      [] {
+        ExperimentSpec::Parse(
+            "envG:workers=4:ps=2:training:pods=0 model=VGG-16");
+      },
+      "pods");
+  // The flow model covers the PS fabric only.
+  ExpectThrowWith(
+      [] {
+        ExperimentSpec::Parse(
+            "envG:workers=4:ps=1:training:topology=ring:flow model=VGG-16");
+      },
+      "flow");
+}
+
+TEST(SweepSpec, FlowKnobsAreScalarsMirroredIntoEveryCluster) {
+  const auto sweep = SweepSpec::Parse(
+      "envG:workers=2,4:ps=2:training:flow:pods=2:oversub=4 "
+      "models=VGG-16 policies=tic,tac");
+  EXPECT_TRUE(sweep.flow);
+  EXPECT_EQ(sweep.pods, 2);
+  EXPECT_DOUBLE_EQ(sweep.oversub, 4.0);
+  EXPECT_EQ(SweepSpec::Parse(sweep.ToString()), sweep);
+
+  const auto specs = sweep.Expand();
+  ASSERT_EQ(specs.size(), 4u);
+  for (const ExperimentSpec& spec : specs) {
+    EXPECT_TRUE(spec.cluster.flow);
+    EXPECT_EQ(spec.cluster.pods, 2);
+    EXPECT_DOUBLE_EQ(spec.cluster.oversub, 4.0);
+  }
+}
+
 }  // namespace
 }  // namespace tictac::runtime
